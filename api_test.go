@@ -1,0 +1,135 @@
+package ptlactive_test
+
+import (
+	"errors"
+	"testing"
+
+	"ptlactive"
+)
+
+// TestPublicAPIQuickstart drives the package-documented quickstart through
+// the public surface only.
+func TestPublicAPIQuickstart(t *testing.T) {
+	eng := ptlactive.NewEngine(ptlactive.Config{
+		Initial: map[string]ptlactive.Value{"ibm": ptlactive.Float(10)},
+		Start:   1,
+	})
+	var fired []int64
+	err := eng.AddTrigger("doubled",
+		`[t <- time] [x <- item("ibm")]
+		     previously (item("ibm") <= 0.5 * x and time >= t - 10)`,
+		func(ctx *ptlactive.ActionContext) error {
+			fired = append(fired, ctx.FiredAt)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range [][2]int64{{15, 2}, {18, 5}, {25, 8}} {
+		if err := eng.Exec(p[1], map[string]ptlactive.Value{"ibm": ptlactive.Float(float64(p[0]))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(fired) != 1 || fired[0] != 8 {
+		t.Fatalf("fired = %v, want [8]", fired)
+	}
+}
+
+func TestPublicAPIConstraint(t *testing.T) {
+	eng := ptlactive.NewEngine(ptlactive.Config{
+		Initial: map[string]ptlactive.Value{"balance": ptlactive.Int(10)},
+	})
+	if err := eng.AddConstraint("nonneg", `item("balance") >= 0`); err != nil {
+		t.Fatal(err)
+	}
+	err := eng.Exec(1, map[string]ptlactive.Value{"balance": ptlactive.Int(-5)})
+	if !errors.Is(err, ptlactive.ErrConstraintViolation) {
+		t.Fatalf("err = %v", err)
+	}
+	var ce *ptlactive.ConstraintError
+	if !errors.As(err, &ce) || ce.Constraint != "nonneg" {
+		t.Fatalf("constraint error = %v", err)
+	}
+}
+
+func TestPublicAPIValueConstructors(t *testing.T) {
+	if ptlactive.Int(3).AsInt() != 3 ||
+		ptlactive.Float(2.5).AsFloat() != 2.5 ||
+		ptlactive.Str("x").AsString() != "x" ||
+		!ptlactive.Bool(true).AsBool() {
+		t.Fatal("scalar constructors broken")
+	}
+	r := ptlactive.Relation([][]ptlactive.Value{{ptlactive.Int(1)}})
+	if r.NumRows() != 1 {
+		t.Fatal("relation constructor broken")
+	}
+	tp := ptlactive.Tuple(ptlactive.Int(1), ptlactive.Int(2))
+	if tp.TupleLen() != 2 {
+		t.Fatal("tuple constructor broken")
+	}
+}
+
+func TestPublicAPIConditionAnalysis(t *testing.T) {
+	f, err := ptlactive.ParseCondition(`(not @logout(U)) since @login(U)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := ptlactive.CheckCondition(f, ptlactive.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Free) != 1 || info.Free[0] != "U" {
+		t.Fatalf("free = %v", info.Free)
+	}
+	if ptlactive.Decomposable(f) {
+		t.Fatal("parameterized condition should not be decomposable")
+	}
+}
+
+func TestPublicAPIEvaluatorEmbedding(t *testing.T) {
+	f, err := ptlactive.ParseCondition(`previously @ping`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := ptlactive.NewRegistry()
+	ev, err := ptlactive.CompileCondition(f, reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ptlactive.SystemState{
+		DB: ptlactive.EmptyDB(), TS: 1,
+	}
+	st.Events = ptlactive.NewEventSet(ptlactive.NewEvent("ping"))
+	res, err := ev.Step(st)
+	if err != nil || !res.Fired {
+		t.Fatalf("res=%v err=%v", res, err)
+	}
+}
+
+func TestPublicAPIValidTime(t *testing.T) {
+	base := ptlactive.NewDB(map[string]ptlactive.Value{"a": ptlactive.Int(0)})
+	s := ptlactive.NewValidStore(base, 0, 10)
+	if err := s.Begin(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Post(1, "a", ptlactive.Int(9), 5, 6); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(1, 7); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := ptlactive.ParseCondition(`item("a") = 9`)
+	m, err := ptlactive.NewValidMonitor(s, ptlactive.NewRegistry(), f, ptlactive.Tentative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := m.Poll()
+	if err != nil || len(fs) == 0 {
+		t.Fatalf("fs=%v err=%v", fs, err)
+	}
+	on, err := ptlactive.OnlineSatisfied(s, ptlactive.NewRegistry(), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = on
+}

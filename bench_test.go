@@ -1,0 +1,225 @@
+// Benchmarks: one testing.B benchmark per reproduction experiment
+// (E1-E9, DESIGN.md section 3). The experiment kernels live in
+// internal/experiments; cmd/benchtables prints the full sweep tables these
+// benchmarks sample.
+//
+//	go test -bench=. -benchmem
+package ptlactive_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ptlactive"
+	"ptlactive/internal/adb"
+	"ptlactive/internal/experiments"
+	"ptlactive/internal/ptlgen"
+	"ptlactive/internal/workload"
+)
+
+const doubledCondition = `[t <- time] [x <- item("px_IBM")]
+    previously (item("px_IBM") <= 0.5 * x and time >= t - 10)`
+
+// BenchmarkE1IncrementalVsNaive measures per-update evaluation cost at
+// several history lengths for both engines (the paper's core efficiency
+// claim: incremental cost is independent of history length).
+func BenchmarkE1IncrementalVsNaive(b *testing.B) {
+	f, err := ptlactive.ParseCondition(doubledCondition)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := ptlactive.NewRegistry()
+	for _, n := range []int{100, 1000, 4000} {
+		h := workload.Stocks(rand.New(rand.NewSource(1)), workload.DefaultStockConfig(), n)
+		b.Run(fmt.Sprintf("incremental/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.RunIncremental(f, reg, h); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*h.Len()), "ns/update")
+		})
+		if n <= 1000 {
+			b.Run(fmt.Sprintf("naive/n=%d", n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := experiments.RunNaive(f, reg, h); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*h.Len()), "ns/update")
+			})
+		}
+	}
+}
+
+// BenchmarkE2BoundedState measures the time-bound optimization: per-run
+// cost and peak retained state with and without it.
+func BenchmarkE2BoundedState(b *testing.B) {
+	for _, optimized := range []bool{true, false} {
+		name := "optimized"
+		if !optimized {
+			name = "unoptimized"
+		}
+		b.Run(name, func(b *testing.B) {
+			peak := 0
+			for i := 0; i < b.N; i++ {
+				p, err := experiments.BoundedStateRun(2000, 50, optimized)
+				if err != nil {
+					b.Fatal(err)
+				}
+				peak = p
+			}
+			b.ReportMetric(float64(peak), "peak-nodes")
+		})
+	}
+}
+
+// BenchmarkE3AggregateRewriting compares direct incremental aggregates
+// against the Section-6.1.1 rule rewriting and the naive recomputation.
+func BenchmarkE3AggregateRewriting(b *testing.B) {
+	cond := `sum(item("px_IBM"); time = 0; @update_stocks("IBM")) > 1000000`
+	f, err := ptlactive.ParseCondition(cond)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := ptlactive.NewRegistry()
+	h := workload.Stocks(rand.New(rand.NewSource(3)), workload.DefaultStockConfig(), 1000)
+	b.Run("direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.RunIncremental(f, reg, h); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.RunNaive(f, reg, h); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE4FiringThroughput measures end-to-end evaluation throughput on
+// random formulas.
+func BenchmarkE4FiringThroughput(b *testing.B) {
+	reg := ptlgen.Registry()
+	for _, depth := range []int{2, 4} {
+		rng := rand.New(rand.NewSource(4))
+		f := ptlgen.Formula(rng, depth)
+		h := ptlgen.History(rng, 500)
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.RunIncremental(f, reg, h); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*h.Len()), "ns/state")
+		})
+	}
+}
+
+// BenchmarkE5ValidTime replays a retroactive workload against tentative
+// and definite monitors.
+func BenchmarkE5ValidTime(b *testing.B) {
+	for _, delta := range []int64{5, 50} {
+		b.Run(fmt.Sprintf("delta=%d", delta), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				experiments.RunValidTime(delta, 50)
+			}
+		})
+	}
+}
+
+// BenchmarkE6OnlineOffline measures the satisfaction checks over random
+// schedules (and asserts Theorem 2 as a side effect).
+func BenchmarkE6OnlineOffline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, cd := experiments.OnlineOfflineRun(50, int64(i))
+		if cd != 0 {
+			b.Fatalf("Theorem 2 violated in benchmark run: %d diverging collapsed schedules", cd)
+		}
+	}
+}
+
+// BenchmarkE7StateBlowup compiles the k-th-from-the-end family for the
+// event-expression engine (exponential DFA) and the PTL engine (linear
+// registers); the table version prints the state counts.
+func BenchmarkE7StateBlowup(b *testing.B) {
+	b.Run("table", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			t := experiments.E7StateBlowup(true)
+			if len(t.Rows) == 0 {
+				b.Fatal("empty table")
+			}
+		}
+	})
+}
+
+// BenchmarkE8RelevanceFiltering measures the execution model's relevance
+// filter: per-run cost with eager vs filtered scheduling.
+func BenchmarkE8RelevanceFiltering(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		sched adb.Scheduling
+	}{{"eager", adb.Eager}, {"relevant", adb.Relevant}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var steps int64
+			for i := 0; i < b.N; i++ {
+				s, _ := experiments.RelevanceRun(100, 500, mode.sched)
+				steps = s
+			}
+			b.ReportMetric(float64(steps), "eval-steps")
+		})
+	}
+}
+
+// BenchmarkE9TemporalActions measures the executed-predicate machinery
+// driving the Section-7 BUY-STOCK temporal action.
+func BenchmarkE9TemporalActions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		buys, _ := experiments.TemporalActionRun(500)
+		if buys == 0 {
+			b.Fatal("temporal action never ran")
+		}
+	}
+}
+
+// BenchmarkAblationDecomposable measures the general constraint-graph
+// machinery against the boolean fast path on the decomposable subclass
+// (the paper's prototype scope, [Deng 94]).
+func BenchmarkAblationDecomposable(b *testing.B) {
+	for _, fast := range []bool{false, true} {
+		name := "general"
+		if fast {
+			name = "fast"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.DecomposableRun(2000, fast); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExtensionFutureProgression measures the future-operator monitor
+// (the paper's Section-11 extension) on bounded vs unbounded obligations.
+func BenchmarkExtensionFutureProgression(b *testing.B) {
+	for _, bounded := range []bool{false, true} {
+		name := "unbounded"
+		if bounded {
+			name = "bounded"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				v, _, _ := experiments.FutureMonitorRun(1000, bounded)
+				if v == 0 {
+					b.Fatal("no verdicts")
+				}
+			}
+		})
+	}
+}

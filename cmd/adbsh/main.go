@@ -1,0 +1,317 @@
+// Command adbsh is a small scriptable shell for the active database: it
+// reads commands from stdin (or a script file), maintains an engine, and
+// prints firings and aborts as they happen. It is the interactive
+// counterpart of the examples.
+//
+// Commands (one per line, # comments):
+//
+//	item <name> <value>                  set an initial item (before rules)
+//	trigger <name> :: <condition>        register a trigger (prints firings)
+//	constraint <name> :: <constraint>    register an integrity constraint
+//	commit <time> [k=v ...] [@ev(args)]  run a transaction
+//	emit <time> @ev(args) ...            event-only state
+//	show db | firings | history | rules  inspect state
+//	eval <time-ignored> :: <condition>   one-off check of a closed condition
+//	                                     against the current history
+//
+// Values: integers, floats, or quoted strings. Example session:
+//
+//	item ibm 10
+//	trigger doubled :: [t <- time] [x <- item("ibm")] previously (item("ibm") <= 0.5 * x and time >= t - 10)
+//	commit 2 ibm=15
+//	commit 8 ibm=25
+//	show firings
+package main
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ptlactive"
+)
+
+func main() {
+	in := os.Stdin
+	if len(os.Args) > 1 {
+		fh, err := os.Open(os.Args[1])
+		if err != nil {
+			fatal(err)
+		}
+		defer fh.Close()
+		in = fh
+	}
+	sh := &shell{initial: map[string]ptlactive.Value{}}
+	sc := bufio.NewScanner(in)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if err := sh.exec(line); err != nil {
+			fmt.Fprintf(os.Stderr, "adbsh: line %d: %v\n", lineNo, err)
+			os.Exit(1)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+}
+
+type shell struct {
+	initial map[string]ptlactive.Value
+	eng     *ptlactive.Engine
+}
+
+// engine lazily creates the engine; items set before the first rule or
+// transaction become the initial state.
+func (s *shell) engine() *ptlactive.Engine {
+	if s.eng == nil {
+		s.eng = ptlactive.NewEngine(ptlactive.Config{
+			Initial: s.initial,
+			OnFiring: func(f ptlactive.Firing) {
+				if len(f.Binding) > 0 {
+					fmt.Printf("FIRE %s at %d %v\n", f.Rule, f.Time, f.Binding)
+				} else {
+					fmt.Printf("FIRE %s at %d\n", f.Rule, f.Time)
+				}
+			},
+		})
+	}
+	return s.eng
+}
+
+func (s *shell) exec(line string) error {
+	cmd, rest, _ := strings.Cut(line, " ")
+	rest = strings.TrimSpace(rest)
+	switch cmd {
+	case "item":
+		if s.eng != nil {
+			return errors.New("item must precede rules and transactions")
+		}
+		name, vs, ok := strings.Cut(rest, " ")
+		if !ok {
+			return errors.New("usage: item <name> <value>")
+		}
+		v, err := parseValue(strings.TrimSpace(vs))
+		if err != nil {
+			return err
+		}
+		s.initial[name] = v
+		return nil
+	case "trigger", "constraint":
+		name, cond, ok := strings.Cut(rest, "::")
+		if !ok {
+			return fmt.Errorf("usage: %s <name> :: <condition>", cmd)
+		}
+		name = strings.TrimSpace(name)
+		cond = strings.TrimSpace(cond)
+		if cmd == "trigger" {
+			return s.engine().AddTrigger(name, cond, nil)
+		}
+		return s.engine().AddConstraint(name, cond)
+	case "commit":
+		fields := splitFields(rest)
+		if len(fields) == 0 {
+			return errors.New("usage: commit <time> [k=v ...] [@ev(args) ...]")
+		}
+		ts, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad time %q", fields[0])
+		}
+		updates := map[string]ptlactive.Value{}
+		var events []ptlactive.Event
+		for _, f := range fields[1:] {
+			if strings.HasPrefix(f, "@") {
+				ev, err := parseEvent(f)
+				if err != nil {
+					return err
+				}
+				events = append(events, ev)
+				continue
+			}
+			k, vs, ok := strings.Cut(f, "=")
+			if !ok {
+				return fmt.Errorf("bad update %q", f)
+			}
+			v, err := parseValue(vs)
+			if err != nil {
+				return err
+			}
+			updates[k] = v
+		}
+		err = s.engine().Exec(ts, updates, events...)
+		var ce *ptlactive.ConstraintError
+		if errors.As(err, &ce) {
+			fmt.Printf("ABORT at %d: %s\n", ts, ce.Constraint)
+			return nil
+		}
+		return err
+	case "emit":
+		fields := splitFields(rest)
+		if len(fields) < 2 {
+			return errors.New("usage: emit <time> @ev(args) ...")
+		}
+		ts, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad time %q", fields[0])
+		}
+		var events []ptlactive.Event
+		for _, f := range fields[1:] {
+			ev, err := parseEvent(f)
+			if err != nil {
+				return err
+			}
+			events = append(events, ev)
+		}
+		return s.engine().Emit(ts, events...)
+	case "eval":
+		_, cond, ok := strings.Cut(rest, "::")
+		if !ok {
+			cond = rest
+		}
+		f, err := ptlactive.ParseCondition(strings.TrimSpace(cond))
+		if err != nil {
+			return err
+		}
+		eng := s.engine()
+		nv := ptlactive.NewNaiveEvaluator(eng.Registry(), eng.History(), eng)
+		got, err := nv.SatLast(f, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("eval: %t\n", got)
+		return nil
+	case "export":
+		return s.engine().ExportHistory(os.Stdout)
+	case "show":
+		eng := s.engine()
+		switch rest {
+		case "db":
+			fmt.Println(eng.DB())
+		case "firings":
+			for _, f := range eng.Firings() {
+				fmt.Printf("  %s at %d %v\n", f.Rule, f.Time, f.Binding)
+			}
+			fmt.Printf("  (%d total)\n", len(eng.Firings()))
+		case "history":
+			fmt.Print(eng.History())
+		case "rules":
+			for _, n := range eng.RuleNames() {
+				info, _ := eng.Rule(n)
+				kind := "trigger"
+				if info.Constraint {
+					kind = "constraint"
+				}
+				fmt.Printf("  %s (%s, params %v, pending %d)\n", n, kind, info.Parameters, info.PendingStates)
+			}
+		default:
+			return fmt.Errorf("show what? db|firings|history|rules")
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+// splitFields splits on spaces but keeps quoted strings and @ev(...) forms
+// intact.
+func splitFields(s string) []string {
+	var out []string
+	var cur strings.Builder
+	depth := 0
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case inStr:
+			cur.WriteByte(c)
+			if c == '"' {
+				inStr = false
+			}
+		case c == '"':
+			cur.WriteByte(c)
+			inStr = true
+		case c == '(':
+			depth++
+			cur.WriteByte(c)
+		case c == ')':
+			depth--
+			cur.WriteByte(c)
+		case c == ' ' && depth == 0:
+			if cur.Len() > 0 {
+				out = append(out, cur.String())
+				cur.Reset()
+			}
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if cur.Len() > 0 {
+		out = append(out, cur.String())
+	}
+	return out
+}
+
+// parseEvent parses @name or @name(arg, ...).
+func parseEvent(s string) (ptlactive.Event, error) {
+	if !strings.HasPrefix(s, "@") {
+		return ptlactive.Event{}, fmt.Errorf("event must start with @: %q", s)
+	}
+	s = s[1:]
+	name, argstr, hasArgs := strings.Cut(s, "(")
+	if !hasArgs {
+		return ptlactive.NewEvent(name), nil
+	}
+	if !strings.HasSuffix(argstr, ")") {
+		return ptlactive.Event{}, fmt.Errorf("unterminated event args in %q", s)
+	}
+	argstr = strings.TrimSuffix(argstr, ")")
+	var args []ptlactive.Value
+	for _, a := range strings.Split(argstr, ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			continue
+		}
+		v, err := parseValue(a)
+		if err != nil {
+			return ptlactive.Event{}, err
+		}
+		args = append(args, v)
+	}
+	return ptlactive.NewEvent(name, args...), nil
+}
+
+// parseValue parses an integer, float, quoted string, bool, or bare word
+// (treated as a string).
+func parseValue(s string) (ptlactive.Value, error) {
+	if s == "" {
+		return ptlactive.Value{}, errors.New("empty value")
+	}
+	if s == "true" {
+		return ptlactive.Bool(true), nil
+	}
+	if s == "false" {
+		return ptlactive.Bool(false), nil
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return ptlactive.Int(i), nil
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return ptlactive.Float(f), nil
+	}
+	if strings.HasPrefix(s, `"`) && strings.HasSuffix(s, `"`) && len(s) >= 2 {
+		return ptlactive.Str(s[1 : len(s)-1]), nil
+	}
+	return ptlactive.Str(s), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "adbsh:", err)
+	os.Exit(1)
+}

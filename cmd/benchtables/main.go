@@ -1,0 +1,43 @@
+// Command benchtables regenerates every experiment table of
+// EXPERIMENTS.md (E1-E9, one per reproduced claim of the paper) and prints
+// them. Use -quick for reduced sweeps and -markdown for the format
+// EXPERIMENTS.md embeds.
+//
+//	go run ./cmd/benchtables            # full sweeps, aligned text
+//	go run ./cmd/benchtables -quick
+//	go run ./cmd/benchtables -markdown  # paste into EXPERIMENTS.md
+//	go run ./cmd/benchtables -only E1,E7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"ptlactive/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced sweeps")
+	markdown := flag.Bool("markdown", false, "emit markdown tables")
+	only := flag.String("only", "", "comma-separated experiment ids (e.g. E1,E7)")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		id = strings.TrimSpace(strings.ToUpper(id))
+		if id != "" {
+			want[id] = true
+		}
+	}
+	for _, t := range experiments.All(*quick) {
+		if len(want) > 0 && !want[strings.ToUpper(t.ID)] {
+			continue
+		}
+		if *markdown {
+			fmt.Println(t.Markdown())
+		} else {
+			fmt.Println(t)
+		}
+	}
+}

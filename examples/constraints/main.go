@@ -1,0 +1,63 @@
+// Constraints: temporal integrity constraints enforced at commit attempts
+// (Section 3: an integrity constraint is the rule whose condition is
+// attempts_to_commit(X) plus the negated constraint, and whose action is
+// abort(X)). The program enforces two constraints over an account ledger:
+//
+//  1. the balance never drops below zero (a classic state constraint,
+//     expressible without temporal operators);
+//  2. the balance never decreases by more than 100 within any window of 5
+//     time units (a genuinely temporal dynamic constraint).
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"ptlactive"
+)
+
+func main() {
+	eng := ptlactive.NewEngine(ptlactive.Config{
+		Initial: map[string]ptlactive.Value{"balance": ptlactive.Int(200)},
+	})
+
+	if err := eng.AddConstraint("non_negative", `item("balance") >= 0`); err != nil {
+		log.Fatal(err)
+	}
+	// No instant in the last 5 units had a balance exceeding the current
+	// one by more than 100.
+	err := eng.AddConstraint("no_crash",
+		`[b <- item("balance")] not previously <= 5 (item("balance") > b + 100)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	post := func(ts, amount int64) {
+		cur, _ := eng.DB().Get("balance")
+		next := cur.AsInt() + amount
+		err := eng.Exec(ts, map[string]ptlactive.Value{"balance": ptlactive.Int(next)})
+		switch {
+		case err == nil:
+			fmt.Printf("%4d  commit: balance %d -> %d\n", ts, cur.AsInt(), next)
+		case errors.Is(err, ptlactive.ErrConstraintViolation):
+			var ce *ptlactive.ConstraintError
+			errors.As(err, &ce)
+			fmt.Printf("%4d  ABORT:  balance %d -> %d rejected by %q\n",
+				ts, cur.AsInt(), next, ce.Constraint)
+		default:
+			log.Fatal(err)
+		}
+	}
+
+	post(1, +50)  // 200 -> 250
+	post(2, -80)  // 250 -> 170: fine (drop of 80 within 5 units)
+	post(3, -40)  // 170 -> 130: ABORT (250 at time 1 exceeds 130+100)
+	post(9, -40)  // 170 -> 130: fine (time 1 now outside the window)
+	post(10, -40) // 130 -> 90: fine (250@1 out of window; 170@9... none exceed 190)
+	post(11, -95) // 90 -> -5: ABORT (non_negative)
+	post(12, -90) // 90 -> 0: ABORT (130 at time 9 exceeds 0+100)
+
+	bal, _ := eng.DB().Get("balance")
+	fmt.Printf("\nfinal balance: %s\n", bal)
+}

@@ -1,0 +1,75 @@
+// Futurewatch: the paper's Section-11 future work in action — monitoring
+// *future* temporal-logic conditions (until, eventually, always) by
+// formula progression. The scenario is a response-time SLA: every order
+// must be filled within 15 time units ("whenever an order is open, it is
+// eventually <= 15 filled"), checked per instant, with verdicts emitted
+// the moment they are determined.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ptlactive"
+)
+
+func main() {
+	reg := ptlactive.NewRegistry()
+	// open_orders counts unfilled orders; the SLA per instant: if an order
+	// is open now, the count returns to zero within 15 time units.
+	mon, err := ptlactive.CompileFuture(
+		`item("open_orders") = 0 or eventually <= 15 (item("open_orders") = 0)`,
+		reg, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Drive a small order ledger through an engine; each state is fed to
+	// the monitor as it is appended.
+	eng := ptlactive.NewEngine(ptlactive.Config{
+		Initial: map[string]ptlactive.Value{"open_orders": ptlactive.Int(0)},
+	})
+	open := int64(0)
+	post := func(ts int64, delta int64, what string) {
+		open += delta
+		if err := eng.Exec(ts, map[string]ptlactive.Value{"open_orders": ptlactive.Int(open)}); err != nil {
+			log.Fatal(err)
+		}
+		h := eng.History()
+		st := h.At(h.Len() - 1)
+		rs, err := mon.Step(st)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%4d  %-18s open=%d\n", ts, what, open)
+		for _, r := range rs {
+			verdict := "SLA MET"
+			if !r.Holds {
+				verdict = "SLA VIOLATED"
+			}
+			fmt.Printf("      verdict for t=%d: %s\n", r.Time, verdict)
+		}
+	}
+	// Feed the initial state too.
+	if rs, err := mon.Step(eng.History().At(0)); err != nil {
+		log.Fatal(err)
+	} else if len(rs) > 0 {
+		fmt.Printf("      verdict for t=0: met=%t\n", rs[0].Holds)
+	}
+
+	post(5, +1, "order placed")  // open -> 1
+	post(12, +1, "order placed") // open -> 2
+	post(18, -2, "both filled")  // open -> 0 within 15 of t=5? 18-5=13 OK
+	post(40, +1, "order placed") // open -> 1
+	post(58, -1, "filled late")  // 58-40=18 > 15: t=40 violated
+	post(60, +1, "order placed") // stays open past the end of the trace
+
+	fmt.Println("--- end of trace ---")
+	for _, r := range mon.Finish() {
+		verdict := "SLA MET"
+		if !r.Holds {
+			verdict = "SLA VIOLATED (trace ended with the order open)"
+		}
+		fmt.Printf("      verdict for t=%d: %s\n", r.Time, verdict)
+	}
+}

@@ -1,0 +1,103 @@
+// Validtime: Section 9's model — a stock sale occurs at 12:50 but is
+// posted to the database at 13:00. A tentative trigger fires on the
+// retroactive value immediately; a definite trigger (maximum delay
+// Delta = 15 minutes) waits until the value can no longer change. The
+// program also demonstrates the online/offline divergence of the u1/u2
+// integrity-constraint example.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ptlactive"
+)
+
+func main() {
+	// Times in minutes from noon. Delta = 15.
+	base := ptlactive.NewDB(map[string]ptlactive.Value{"ibm": ptlactive.Float(70)})
+	store := ptlactive.NewValidStore(base, 0, 15)
+	reg := ptlactive.NewRegistry()
+
+	cond, err := ptlactive.ParseCondition(`item("ibm") >= 72`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tentative, err := ptlactive.NewValidMonitor(store, reg, cond, ptlactive.Tentative)
+	if err != nil {
+		log.Fatal(err)
+	}
+	definite, err := ptlactive.NewValidMonitor(store, reg, cond, ptlactive.Definite)
+	if err != nil {
+		log.Fatal(err)
+	}
+	poll := func(label string) {
+		tf, err := tentative.Poll()
+		if err != nil {
+			log.Fatal(err)
+		}
+		df, err := definite.Poll()
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, f := range tf {
+			fmt.Printf("  [%s] tentative trigger fired for valid instant %d\n", label, f.Time)
+		}
+		for _, f := range df {
+			fmt.Printf("  [%s] definite  trigger fired for valid instant %d\n", label, f.Time)
+		}
+	}
+
+	fmt.Println("12:50 sale (ibm=72) is posted at 13:00 (minute 60), valid at minute 50:")
+	if err := store.Begin(1); err != nil {
+		log.Fatal(err)
+	}
+	if err := store.Post(1, "ibm", ptlactive.Float(72), 50, 60); err != nil {
+		log.Fatal(err)
+	}
+	if err := store.Commit(1, 60); err != nil {
+		log.Fatal(err)
+	}
+	poll("t=60")
+
+	fmt.Println("time advances to minute 80 (another transaction commits):")
+	if err := store.Begin(2); err != nil {
+		log.Fatal(err)
+	}
+	if err := store.Post(2, "other", ptlactive.Int(1), 80, 80); err != nil {
+		log.Fatal(err)
+	}
+	if err := store.Commit(2, 80); err != nil {
+		log.Fatal(err)
+	}
+	poll("t=80")
+
+	// Online vs offline satisfaction (Section 9.3's example).
+	fmt.Println("\nonline vs offline satisfaction of \"u2 only after u1\":")
+	b2 := ptlactive.NewDB(map[string]ptlactive.Value{
+		"u1": ptlactive.Int(0), "u2": ptlactive.Int(0),
+	})
+	s2 := ptlactive.NewValidStore(b2, 0, ptlactive.UnlimitedDelay)
+	must := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	must(s2.Begin(1))
+	must(s2.Begin(2))
+	must(s2.Post(1, "u1", ptlactive.Int(1), 1, 1)) // u1 first in valid time
+	must(s2.Post(2, "u2", ptlactive.Int(1), 2, 2)) // then u2
+	must(s2.Commit(2, 3))                          // but T2 commits before T1
+	must(s2.Commit(1, 4))
+	c, err := ptlactive.ParseCondition(
+		`not previously (item("u2") = 1 and not previously item("u1") = 1)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	on, err := ptlactive.OnlineSatisfied(s2, reg, c)
+	must(err)
+	off, err := ptlactive.OfflineSatisfied(s2, reg, c)
+	must(err)
+	fmt.Printf("  online satisfied:  %t   (u2 was committed while u1 was not yet visible)\n", on)
+	fmt.Printf("  offline satisfied: %t   (in valid time u1 does precede u2)\n", off)
+}

@@ -1,0 +1,3 @@
+module ptlactive
+
+go 1.22

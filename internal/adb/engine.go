@@ -1,0 +1,818 @@
+// Package adb implements the paper's rule system and execution model
+// (Sections 3, 7 and 8): Condition-Action rules whose conditions are PTL
+// formulas, temporal integrity constraints evaluated at commit attempts,
+// the executed predicate for composite and temporal actions, relevance
+// filtering and batched invocation of the temporal component.
+package adb
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"ptlactive/internal/core"
+	"ptlactive/internal/event"
+	"ptlactive/internal/histio"
+	"ptlactive/internal/history"
+	"ptlactive/internal/ptl"
+	"ptlactive/internal/query"
+	"ptlactive/internal/relation"
+	"ptlactive/internal/value"
+)
+
+// Scheduling selects when a trigger's condition is (re)evaluated
+// (Section 8).
+type Scheduling int
+
+const (
+	// Eager evaluates the condition at every new system state.
+	Eager Scheduling = iota
+	// Relevant evaluates only when a state carries one of the condition's
+	// event symbols, or a transaction commit for conditions that read the
+	// database. Pending states are then processed in order (catch-up), so
+	// firing is delayed, never lost — "trigger firing may be delayed, but
+	// not go unrecognized".
+	Relevant
+	// Manual evaluates only on an explicit Flush; this is the batched
+	// invocation mode ("the temporal component invocation can be executed
+	// for multiple events at the same time").
+	Manual
+)
+
+// Firing records one rule firing: the rule, the satisfying parameter
+// binding, and the system state at which the condition held.
+type Firing struct {
+	Rule       string
+	Binding    core.Binding
+	Time       int64
+	StateIndex int
+}
+
+// ActionContext is passed to trigger actions. Actions run after the rule
+// sweep of the state that fired them; they may run further transactions
+// and emit events through it.
+type ActionContext struct {
+	Engine  *Engine
+	Rule    string
+	Binding core.Binding
+	// FiredAt is the timestamp of the state satisfying the condition.
+	FiredAt int64
+}
+
+// Param returns a bound condition parameter by name.
+func (c *ActionContext) Param(name string) (value.Value, bool) {
+	v, ok := c.Binding[name]
+	return v, ok
+}
+
+// Exec runs a transaction on behalf of the action: updates are applied and
+// committed as a new system state (with the given extra events) at the
+// next clock tick.
+func (c *ActionContext) Exec(updates map[string]value.Value, events ...event.Event) error {
+	return c.Engine.execInternal(updates, events)
+}
+
+// AsOf returns the value a tracked item (Config.TrackItems) had at the
+// instant this firing's condition was satisfied. Actions run after the
+// firing state's sweep — possibly much later under Relevant or Manual
+// scheduling — so the current database may have moved on; AsOf reads the
+// auxiliary relation instead.
+func (c *ActionContext) AsOf(item string) (value.Value, bool) {
+	return c.Engine.ItemAsOf(item, c.FiredAt)
+}
+
+// Action is the action part of a trigger.
+type Action func(ctx *ActionContext) error
+
+// ErrConstraintViolation is returned (wrapped) by Txn.Commit when a
+// temporal integrity constraint rejects the transaction.
+var ErrConstraintViolation = errors.New("integrity constraint violated")
+
+// ConstraintError carries the violated constraint's name.
+type ConstraintError struct {
+	Constraint string
+	Txn        int64
+}
+
+// Error describes the violation.
+func (e *ConstraintError) Error() string {
+	return fmt.Sprintf("adb: transaction %d aborted: %s: %v", e.Txn, e.Constraint, ErrConstraintViolation)
+}
+
+// Unwrap yields ErrConstraintViolation for errors.Is.
+func (e *ConstraintError) Unwrap() error { return ErrConstraintViolation }
+
+// rule is the engine-internal compiled form.
+type rule struct {
+	name       string
+	condition  ptl.Formula
+	info       *ptl.Info
+	ev         core.ConditionEvaluator
+	action     Action
+	constraint bool
+	sched      Scheduling
+	events     map[string]bool
+	readsDB    bool
+	cursor     int // next history index this rule's evaluator will see
+	paramOrder []string
+}
+
+// Engine is an active database: a current database state, a growing
+// system history, a rule set and the temporal component that evaluates
+// rule conditions incrementally.
+//
+// All engine methods take explicit timestamps where a new system state is
+// created; timestamps must be strictly increasing. The engine is not safe
+// for concurrent use.
+type Engine struct {
+	reg   *query.Registry
+	hist  *history.History
+	db    history.DBState
+	now   int64
+	rules []*rule
+	index map[string]*rule
+
+	execs     []ptl.Execution
+	firings   []Firing
+	onFiring  func(Firing)
+	nextTxn   int64
+	inSweep   bool
+	pending   []Firing // firings awaiting action execution
+	cascade   int
+	cascadeTo int
+
+	// base is the absolute index of hist's first state; Compact advances
+	// it as fully-processed prefix states are discarded.
+	base int
+
+	// tracked holds the Section-5 auxiliary relations for items named in
+	// Config.TrackItems: each captures the item's value over time with
+	// [T_start, T_end) validity intervals, so delayed actions (Relevant or
+	// Manual scheduling, batching) can read values as of their firing
+	// instant rather than the current instant.
+	tracked map[string]*relation.ScalarAux
+
+	// stats for the E8 benchmark.
+	evalSteps int64
+	noFast    bool
+}
+
+// Config configures a new engine.
+type Config struct {
+	// Registry supplies the query functions; nil means just the built-ins.
+	Registry *query.Registry
+	// Initial is the initial database state.
+	Initial map[string]value.Value
+	// Start is the timestamp of the initial system state.
+	Start int64
+	// CascadeLimit bounds chains of action-triggered firings per external
+	// operation (default 1000).
+	CascadeLimit int
+	// OnFiring, when set, observes every firing as it happens.
+	OnFiring func(Firing)
+	// TrackItems names database items whose historic values the engine
+	// captures in auxiliary relations, queryable with ItemAsOf and
+	// ActionContext.AsOf. Items not listed cost nothing.
+	TrackItems []string
+	// DisableFastPath forces the general constraint-graph evaluator even
+	// for decomposable conditions; the A1 ablation uses it.
+	DisableFastPath bool
+}
+
+// NewEngine creates an engine with an initial state at Config.Start.
+func NewEngine(cfg Config) *Engine {
+	reg := cfg.Registry
+	if reg == nil {
+		reg = query.NewRegistry()
+	}
+	limit := cfg.CascadeLimit
+	if limit <= 0 {
+		limit = 1000
+	}
+	e := &Engine{
+		reg:       reg,
+		hist:      history.New(),
+		db:        history.NewDB(cfg.Initial),
+		now:       cfg.Start,
+		index:     map[string]*rule{},
+		onFiring:  cfg.OnFiring,
+		cascadeTo: limit,
+		noFast:    cfg.DisableFastPath,
+	}
+	if len(cfg.TrackItems) > 0 {
+		e.tracked = make(map[string]*relation.ScalarAux, len(cfg.TrackItems))
+		for _, name := range cfg.TrackItems {
+			e.tracked[name] = relation.NewScalarAux()
+		}
+	}
+	e.hist.MustAppend(history.SystemState{DB: e.db, Events: event.NewSet(), TS: cfg.Start})
+	e.capture(cfg.Start)
+	return e
+}
+
+// capture records the tracked items' current values in their auxiliary
+// relations.
+func (e *Engine) capture(ts int64) {
+	for name, aux := range e.tracked {
+		v, ok := e.db.Get(name)
+		if !ok {
+			v = value.Value{}
+		}
+		// Captures are in commit order; the error path is impossible here.
+		if err := aux.Capture(ts, v); err != nil {
+			panic(fmt.Sprintf("adb: internal: aux capture: %v", err))
+		}
+	}
+}
+
+// ItemAsOf returns the value a tracked item had at time t (Null if the
+// item did not exist then). The second result is false when the item is
+// not tracked or t precedes the engine's start.
+func (e *Engine) ItemAsOf(name string, t int64) (value.Value, bool) {
+	aux, ok := e.tracked[name]
+	if !ok {
+		return value.Value{}, false
+	}
+	return aux.AsOf(t)
+}
+
+// Registry returns the engine's query registry, for registering
+// application queries before adding rules.
+func (e *Engine) Registry() *query.Registry { return e.reg }
+
+// History returns the system history built so far. It must not be
+// modified.
+func (e *Engine) History() *history.History { return e.hist }
+
+// DB returns the current database state.
+func (e *Engine) DB() history.DBState { return e.db }
+
+// Now returns the timestamp of the latest system state.
+func (e *Engine) Now() int64 { return e.now }
+
+// Firings returns every firing recorded so far.
+func (e *Engine) Firings() []Firing { return e.firings }
+
+// EvalSteps returns the total number of evaluator steps performed; the
+// relevance-filtering benchmark (E8) reads this.
+func (e *Engine) EvalSteps() int64 { return e.evalSteps }
+
+// Executions implements ptl.ExecLog over the engine's execution record.
+func (e *Engine) Executions(ruleName string, before int64) []ptl.Execution {
+	var out []ptl.Execution
+	for _, ex := range e.execs {
+		if ex.Rule == ruleName && ex.Time < before {
+			out = append(out, ex)
+		}
+	}
+	return out
+}
+
+// RuleOption configures a rule at registration.
+type RuleOption func(*rule)
+
+// WithScheduling sets the trigger's evaluation scheduling.
+func WithScheduling(s Scheduling) RuleOption {
+	return func(r *rule) { r.sched = s }
+}
+
+// AddTrigger registers a trigger with a PTL condition in concrete syntax.
+// The action may be nil, in which case firings are only recorded.
+func (e *Engine) AddTrigger(name, condition string, action Action, opts ...RuleOption) error {
+	f, err := ptl.Parse(condition)
+	if err != nil {
+		return err
+	}
+	return e.AddTriggerFormula(name, f, action, opts...)
+}
+
+// AddTriggerFormula registers a trigger from an AST condition.
+func (e *Engine) AddTriggerFormula(name string, condition ptl.Formula, action Action, opts ...RuleOption) error {
+	return e.add(name, condition, action, false, opts...)
+}
+
+// AddConstraint registers a temporal integrity constraint: a PTL formula
+// that must be satisfied at every commit point (Section 3). Internally
+// this is the rule "attempts_to_commit(X) and not constraint -> abort(X)":
+// the engine evaluates the negated condition against the tentative commit
+// state and aborts the transaction when it is violated.
+func (e *Engine) AddConstraint(name, constraint string, opts ...RuleOption) error {
+	f, err := ptl.Parse(constraint)
+	if err != nil {
+		return err
+	}
+	return e.AddConstraintFormula(name, f, opts...)
+}
+
+// AddConstraintFormula registers an integrity constraint from an AST.
+func (e *Engine) AddConstraintFormula(name string, constraint ptl.Formula, opts ...RuleOption) error {
+	return e.add(name, &ptl.Not{F: constraint}, nil, true, opts...)
+}
+
+func (e *Engine) add(name string, condition ptl.Formula, action Action, isConstraint bool, opts ...RuleOption) error {
+	if name == "" {
+		return fmt.Errorf("adb: empty rule name")
+	}
+	if _, dup := e.index[name]; dup {
+		return fmt.Errorf("adb: rule %q already registered", name)
+	}
+	info, err := ptl.Check(condition, e.reg)
+	if err != nil {
+		return fmt.Errorf("adb: rule %s: %w", name, err)
+	}
+	if isConstraint && len(info.Free) > 0 {
+		return fmt.Errorf("adb: constraint %s must not have free variables (found %v)", name, info.Free)
+	}
+	var ev core.ConditionEvaluator
+	if e.noFast {
+		ev, err = core.New(info, e.reg, e)
+	} else {
+		// Decomposable, aggregate-free conditions — the subclass the
+		// paper's prototype implemented — get the boolean fast path.
+		ev, err = core.CompileAuto(info, e.reg, e)
+	}
+	if err != nil {
+		return fmt.Errorf("adb: rule %s: %w", name, err)
+	}
+	r := &rule{
+		name:       name,
+		condition:  condition,
+		info:       info,
+		ev:         ev,
+		action:     action,
+		constraint: isConstraint,
+		events:     map[string]bool{},
+		paramOrder: append([]string(nil), info.Free...),
+	}
+	sort.Strings(r.paramOrder)
+	for _, n := range info.Events {
+		r.events[n] = true
+	}
+	ptl.WalkTerms(info.Normalized, func(t ptl.Term) {
+		if c, ok := t.(*ptl.Call); ok && c.Fn != "time" {
+			r.readsDB = true
+		}
+	})
+	for _, o := range opts {
+		o(r)
+	}
+	// A brand-new rule starts observing at the state current when it is
+	// entered: "when the trigger condition f is first entered at time T,
+	// R_x is set to the relation retrieved by q on the database at that
+	// time" (Section 5). Earlier history is invisible to it.
+	r.cursor = e.hist.Len() - 1
+	e.rules = append(e.rules, r)
+	e.index[name] = r
+	return nil
+}
+
+// RuleInfo describes a registered rule for inspection.
+type RuleInfo struct {
+	Name       string
+	Condition  string
+	Constraint bool
+	Scheduling Scheduling
+	Parameters []string
+	Events     []string
+	Temporal   bool
+	// PendingStates is how many history states the rule's evaluator has
+	// not yet processed (nonzero under Relevant/Manual scheduling).
+	PendingStates int
+}
+
+// Rule returns information about a registered rule; ok is false for
+// unknown names.
+func (e *Engine) Rule(name string) (RuleInfo, bool) {
+	r, ok := e.index[name]
+	if !ok {
+		return RuleInfo{}, false
+	}
+	return RuleInfo{
+		Name:          r.name,
+		Condition:     r.condition.String(),
+		Constraint:    r.constraint,
+		Scheduling:    r.sched,
+		Parameters:    append([]string(nil), r.info.Free...),
+		Events:        append([]string(nil), r.info.Events...),
+		Temporal:      r.info.Temporal,
+		PendingStates: e.hist.Len() - r.cursor,
+	}, true
+}
+
+// RuleNames returns the registered rule names in registration order.
+func (e *Engine) RuleNames() []string {
+	out := make([]string, len(e.rules))
+	for i, r := range e.rules {
+		out[i] = r.name
+	}
+	return out
+}
+
+// Emit appends an event-only system state at the given time and runs the
+// temporal component.
+func (e *Engine) Emit(ts int64, events ...event.Event) error {
+	if len(events) == 0 {
+		return fmt.Errorf("adb: Emit needs at least one event")
+	}
+	st := history.SystemState{DB: e.db, Events: event.NewSet(events...), TS: ts}
+	if err := e.hist.Append(st); err != nil {
+		return err
+	}
+	e.now = ts
+	e.resetCascade()
+	return e.sweep()
+}
+
+// resetCascade clears the cascade budget on externally initiated
+// operations; transactions run by actions (re-entrant) keep consuming the
+// budget of the operation that started the cascade.
+func (e *Engine) resetCascade() {
+	if !e.inSweep {
+		e.cascade = 0
+	}
+}
+
+// Txn is an open transaction: buffered updates and events that become a
+// single commit state.
+type Txn struct {
+	e       *Engine
+	id      int64
+	updates map[string]value.Value
+	deletes map[string]bool
+	events  []event.Event
+	done    bool
+}
+
+// Begin opens a transaction. The begin event is recorded with the commit
+// (the model adds system states only when events occur; an explicit begin
+// state can be created with Emit if a condition needs it).
+func (e *Engine) Begin() *Txn {
+	e.nextTxn++
+	return &Txn{e: e, id: e.nextTxn, updates: map[string]value.Value{}, deletes: map[string]bool{}}
+}
+
+// ID returns the transaction id.
+func (t *Txn) ID() int64 { return t.id }
+
+// Set buffers an update of a database item.
+func (t *Txn) Set(item string, v value.Value) *Txn {
+	t.updates[item] = v
+	return t
+}
+
+// Delete buffers the removal of a database item.
+func (t *Txn) Delete(item string) *Txn {
+	t.deletes[item] = true
+	delete(t.updates, item)
+	return t
+}
+
+// Emit buffers events to occur at the commit instant.
+func (t *Txn) Emit(events ...event.Event) *Txn {
+	t.events = append(t.events, events...)
+	return t
+}
+
+// Commit attempts to commit at the given time. Integrity constraints are
+// evaluated against the tentative commit state (the attempts_to_commit
+// event); on violation the transaction aborts: the database is unchanged,
+// a transaction_abort state is appended instead, and a *ConstraintError is
+// returned.
+func (t *Txn) Commit(ts int64) error {
+	if t.done {
+		return fmt.Errorf("adb: transaction %d already finished", t.id)
+	}
+	t.done = true
+	e := t.e
+	txv := value.NewInt(t.id)
+	events := []event.Event{
+		event.New(event.AttemptsToCommit, txv),
+		event.New(event.TransactionCommit, txv),
+	}
+	for _, item := range sortedKeys(t.updates) {
+		events = append(events, event.New(event.UpdateItem, value.NewString(item)))
+	}
+	events = append(events, t.events...)
+	ndb := e.db.WithAll(t.updates)
+	for item := range t.deletes {
+		ndb = ndb.Without(item)
+	}
+	tentative := history.SystemState{
+		DB:     ndb,
+		Events: event.NewSet(events...),
+		TS:     ts,
+	}
+	// Validate against history invariants before constraint work.
+	if last, ok := e.hist.Last(); ok && ts <= last.TS {
+		return fmt.Errorf("adb: commit timestamp %d not after %d", ts, last.TS)
+	}
+	// Evaluate integrity constraints on clones so an abort leaves no trace
+	// in the temporal component.
+	for _, r := range e.rules {
+		if !r.constraint {
+			continue
+		}
+		if err := e.catchUp(r, e.hist.Len()); err != nil {
+			return err
+		}
+		clone := r.ev.CloneEvaluator()
+		res, err := clone.StepResult(tentative)
+		e.evalSteps++
+		if err != nil {
+			return fmt.Errorf("adb: constraint %s: %w", r.name, err)
+		}
+		if res.Fired {
+			abort := history.SystemState{
+				DB:     e.db,
+				Events: event.NewSet(event.New(event.TransactionAbort, txv)),
+				TS:     ts,
+			}
+			if err := e.hist.Append(abort); err != nil {
+				return err
+			}
+			e.now = ts
+			e.resetCascade()
+			if err := e.sweep(); err != nil {
+				return err
+			}
+			return &ConstraintError{Constraint: r.name, Txn: t.id}
+		}
+	}
+	if err := e.hist.Append(tentative); err != nil {
+		return err
+	}
+	e.db = tentative.DB
+	e.now = ts
+	e.capture(ts)
+	e.resetCascade()
+	return e.sweep()
+}
+
+// Abort abandons the transaction, appending a transaction_abort state.
+func (t *Txn) Abort(ts int64) error {
+	if t.done {
+		return fmt.Errorf("adb: transaction %d already finished", t.id)
+	}
+	t.done = true
+	e := t.e
+	st := history.SystemState{
+		DB:     e.db,
+		Events: event.NewSet(event.New(event.TransactionAbort, value.NewInt(t.id))),
+		TS:     ts,
+	}
+	if err := e.hist.Append(st); err != nil {
+		return err
+	}
+	e.now = ts
+	e.resetCascade()
+	return e.sweep()
+}
+
+// Exec runs a one-shot transaction: apply updates and events, commit at
+// the given time.
+func (e *Engine) Exec(ts int64, updates map[string]value.Value, events ...event.Event) error {
+	tx := e.Begin()
+	for k, v := range updates {
+		tx.Set(k, v)
+	}
+	tx.Emit(events...)
+	return tx.Commit(ts)
+}
+
+// execInternal commits an action-initiated transaction at the next tick.
+func (e *Engine) execInternal(updates map[string]value.Value, events []event.Event) error {
+	return e.Exec(e.now+1, updates, events...)
+}
+
+// Flush processes every pending state for every rule (the batched
+// temporal-component invocation) and executes resulting actions.
+func (e *Engine) Flush() error {
+	e.cascade = 0
+	for _, r := range e.rules {
+		if r.constraint {
+			continue
+		}
+		if err := e.catchUp(r, e.hist.Len()); err != nil {
+			return err
+		}
+	}
+	return e.drainActions()
+}
+
+// Compact discards history states that every rule's evaluator has already
+// processed, keeping at least the latest state. This realizes the paper's
+// space claim end to end: "our algorithm determines, based on analysis of
+// the given temporal condition, which information to save, and for how
+// long" — once the incremental evaluators have consumed a state, the
+// engine itself no longer needs it. It returns the number of states
+// discarded. Firing.StateIndex values remain absolute across compactions
+// (see BaseIndex).
+func (e *Engine) Compact() int {
+	min := e.hist.Len() - 1 // always keep the newest state
+	for _, r := range e.rules {
+		if r.cursor < min {
+			min = r.cursor
+		}
+	}
+	if min <= 0 {
+		return 0
+	}
+	trimmed := history.New()
+	for i := min; i < e.hist.Len(); i++ {
+		trimmed.AppendUnchecked(e.hist.At(i))
+	}
+	e.hist = trimmed
+	e.base += min
+	for _, r := range e.rules {
+		r.cursor -= min
+	}
+	// Auxiliary intervals that ended before the retained horizon can no
+	// longer be read by any pending action.
+	horizon := trimmed.At(0).TS
+	for _, aux := range e.tracked {
+		aux.Prune(horizon)
+	}
+	return min
+}
+
+// ExportHistory writes the retained system history as lossless JSON lines
+// (see internal/histio); the export replays through offline tools (the
+// naive evaluator, histio.Read) bit-for-bit.
+func (e *Engine) ExportHistory(w io.Writer) error {
+	return histio.Write(w, e.hist)
+}
+
+// PruneExecutions discards executed-predicate records with execution time
+// before t. Section 7: "only information necessary for future evaluation
+// of conditions will be maintained; all other information will be removed
+// as and when it is not needed" — rules bounding executed's age (e.g.
+// time - T <= 60) never need older records.
+func (e *Engine) PruneExecutions(t int64) int {
+	kept := e.execs[:0]
+	dropped := 0
+	for _, ex := range e.execs {
+		if ex.Time < t {
+			dropped++
+			continue
+		}
+		kept = append(kept, ex)
+	}
+	e.execs = kept
+	return dropped
+}
+
+// BaseIndex returns the absolute index of the first retained history
+// state; History().At(i) corresponds to absolute state BaseIndex()+i.
+func (e *Engine) BaseIndex() int { return e.base }
+
+// sweep runs the temporal component for the newest state according to each
+// rule's scheduling, then executes fired actions.
+func (e *Engine) sweep() error {
+	if e.inSweep {
+		// Re-entrant call from an action-initiated transaction: the outer
+		// drainActions loop picks up the new state.
+		return e.sweepOnce()
+	}
+	e.inSweep = true
+	defer func() { e.inSweep = false }()
+	if err := e.sweepOnce(); err != nil {
+		return err
+	}
+	return e.drainActions()
+}
+
+func (e *Engine) sweepOnce() error {
+	newest := e.hist.Len() - 1
+	st := e.hist.At(newest)
+	for _, r := range e.rules {
+		if r.constraint {
+			// The constraint's own evaluator advances lazily (at commits
+			// and aborts); Txn.Commit catches it up before cloning anyway.
+			if st.Events.CommitCount() > 0 || len(st.Events.ByName(event.TransactionAbort)) > 0 {
+				if err := e.catchUp(r, newest+1); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		switch r.sched {
+		case Eager:
+			if err := e.catchUp(r, newest+1); err != nil {
+				return err
+			}
+		case Relevant:
+			if e.relevant(r, st) {
+				if err := e.catchUp(r, newest+1); err != nil {
+					return err
+				}
+			}
+		case Manual:
+			// Only Flush advances.
+		}
+	}
+	return nil
+}
+
+// relevant implements the Section-8 filter: a state concerns a rule when
+// it carries one of the rule's event symbols, or it is a commit point and
+// the rule reads the database.
+func (e *Engine) relevant(r *rule, st history.SystemState) bool {
+	for _, name := range st.Events.Names() {
+		if r.events[name] {
+			return true
+		}
+	}
+	if r.readsDB && st.Events.CommitCount() > 0 {
+		return true
+	}
+	// Rules with neither events nor database reads (pure time conditions)
+	// are always relevant.
+	if len(r.events) == 0 && !r.readsDB {
+		return true
+	}
+	return false
+}
+
+// catchUp advances a rule's evaluator through pending states up to (but
+// not including) history index end, queueing firings.
+//
+// Non-temporal conditions keep no state between system states, so under
+// Relevant scheduling the skipped (irrelevant) states are disregarded
+// outright, exactly as Section 8 prescribes — only the newest state is
+// evaluated. Temporal conditions must see every state to keep their
+// F_{g,i} formulas correct, so they replay the pending states (batched
+// invocation: firing delayed, never lost).
+func (e *Engine) catchUp(r *rule, end int) error {
+	if !r.info.Temporal && r.sched == Relevant && r.cursor < end-1 {
+		r.cursor = end - 1
+	}
+	for r.cursor < end {
+		st := e.hist.At(r.cursor)
+		res, err := r.ev.StepResult(st)
+		e.evalSteps++
+		if err != nil {
+			return fmt.Errorf("adb: rule %s at state %d: %w", r.name, r.cursor, err)
+		}
+		if res.Fired && !r.constraint {
+			for _, b := range res.Bindings {
+				f := Firing{Rule: r.name, Binding: b, Time: st.TS, StateIndex: e.base + r.cursor}
+				e.firings = append(e.firings, f)
+				if e.onFiring != nil {
+					e.onFiring(f)
+				}
+				e.pending = append(e.pending, f)
+			}
+		}
+		r.cursor++
+	}
+	return nil
+}
+
+// drainActions executes queued actions; actions may commit transactions,
+// which append states and queue further firings (bounded by the cascade
+// limit).
+func (e *Engine) drainActions() error {
+	for len(e.pending) > 0 {
+		f := e.pending[0]
+		e.pending = e.pending[1:]
+		r := e.index[f.Rule]
+		if r == nil || r.action == nil {
+			e.recordExecution(r, f, f.Time)
+			continue
+		}
+		e.cascade++
+		if e.cascade > e.cascadeTo {
+			return fmt.Errorf("adb: action cascade exceeded %d firings (rule %s)", e.cascadeTo, f.Rule)
+		}
+		ctx := &ActionContext{Engine: e, Rule: f.Rule, Binding: f.Binding, FiredAt: f.Time}
+		if err := r.action(ctx); err != nil {
+			return fmt.Errorf("adb: action of %s: %w", f.Rule, err)
+		}
+		e.recordExecution(r, f, e.now)
+	}
+	return nil
+}
+
+// recordExecution appends to the executed-predicate log. The execution
+// time is when the action's effects committed (Section 7: "the action part
+// of the rule was committed by the time t").
+func (e *Engine) recordExecution(r *rule, f Firing, ts int64) {
+	if r == nil {
+		return
+	}
+	params := make([]value.Value, len(r.paramOrder))
+	for i, name := range r.paramOrder {
+		params[i] = f.Binding[name]
+	}
+	e.execs = append(e.execs, ptl.Execution{Rule: f.Rule, Params: params, Time: ts})
+}
+
+func sortedKeys(m map[string]value.Value) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

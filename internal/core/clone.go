@@ -1,0 +1,57 @@
+package core
+
+import (
+	"ptlactive/internal/ptl"
+	"ptlactive/internal/value"
+)
+
+// Clone returns an independent copy of the evaluator sharing no mutable
+// state with the original. Constraint nodes are immutable, so the stored
+// F_{g,i} DAGs are shared structurally; only the maps and aggregate
+// buffers are copied.
+//
+// The engine uses clones to evaluate integrity constraints against a
+// tentative commit state: if the transaction aborts, the clone is
+// discarded and the original evaluator never sees the rolled-back state
+// (Section 8; abort must leave no trace in the temporal component).
+func (e *Evaluator) Clone() *Evaluator {
+	c := &Evaluator{
+		info:      e.info,
+		reg:       e.reg,
+		log:       e.log,
+		sincePrev: make(map[*ptl.Since]*cnode, len(e.sincePrev)),
+		lastPrev:  make(map[*ptl.Lasttime]*cnode, len(e.lastPrev)),
+		aggs:      make(map[*ptl.Agg]*aggState, len(e.aggs)),
+		optimize:  e.optimize,
+		steps:     e.steps,
+	}
+	for k, v := range e.sincePrev {
+		c.sincePrev[k] = v
+	}
+	for k, v := range e.lastPrev {
+		c.lastPrev[k] = v
+	}
+	for k, v := range e.aggs {
+		c.aggs[k] = v.clone()
+	}
+	return c
+}
+
+func (s *aggState) clone() *aggState {
+	c := &aggState{
+		agg:     s.agg,
+		reg:     s.reg,
+		started: s.started,
+		samples: append([]value.Value(nil), s.samples...),
+		times:   append([]int64(nil), s.times...),
+		sum:     s.sum,
+		count:   s.count,
+		cur:     s.cur,
+		has:     s.has,
+	}
+	if s.startEv != nil {
+		c.startEv = s.startEv.Clone()
+	}
+	c.sampEv = s.sampEv.Clone()
+	return c
+}

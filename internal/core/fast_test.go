@@ -1,0 +1,140 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"ptlactive/internal/ptl"
+	"ptlactive/internal/ptlgen"
+)
+
+// TestFastMatchesGeneral: on random decomposable formulas the fast
+// evaluator and the general constraint-graph evaluator agree at every
+// state.
+func TestFastMatchesGeneral(t *testing.T) {
+	reg := ptlgen.Registry()
+	checked := 0
+	for seed := 0; checked < 150 && seed < 3000; seed++ {
+		rng := rand.New(rand.NewSource(int64(20000 + seed)))
+		f := ptlgen.Formula(rng, 1+rng.Intn(4))
+		if !ptl.Decomposable(f) {
+			continue
+		}
+		checked++
+		info, err := ptl.Check(f, reg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		gen, err := New(info, reg, nil)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		fast, err := NewFast(info, reg, nil)
+		if err != nil {
+			t.Fatalf("seed %d: NewFast rejected decomposable formula: %v\n%s", seed, err, f)
+		}
+		h := ptlgen.History(rng, 12)
+		for i := 0; i < h.Len(); i++ {
+			rg, err := gen.Step(h.At(i))
+			if err != nil {
+				t.Fatalf("seed %d: general: %v", seed, err)
+			}
+			rf, err := fast.Step(h.At(i))
+			if err != nil {
+				t.Fatalf("seed %d: fast: %v", seed, err)
+			}
+			if rg.Fired != rf {
+				t.Fatalf("seed %d state %d: general=%t fast=%t\nformula: %s",
+					seed, i, rg.Fired, rf, f)
+			}
+		}
+	}
+	if checked < 50 {
+		t.Fatalf("generator produced too few decomposable formulas: %d", checked)
+	}
+}
+
+func TestFastRejectsNonDecomposable(t *testing.T) {
+	reg := ptlgen.Registry()
+	bad := []string{
+		// Variable crossing a temporal operator.
+		`[x <- item("a")] previously (item("a") = x)`,
+		// Free variable.
+		`previously @e1(X)`,
+	}
+	for _, src := range bad {
+		f, err := ptl.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := CompileFast(f, reg, nil); err == nil {
+			t.Errorf("CompileFast(%q) should fail", src)
+		}
+	}
+	// Aggregates are rejected even though they are "decomposable".
+	f, err := ptl.Parse(`sum(item("a"); time = 0; true) > 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CompileFast(f, reg, nil); err == nil {
+		t.Error("aggregate condition should be rejected by the fast path")
+	}
+	if _, err := NewFast(nil, reg, nil); err == nil {
+		t.Error("nil info should be rejected")
+	}
+}
+
+func TestFastRegistersAndSteps(t *testing.T) {
+	reg := ptlgen.Registry()
+	f, err := ptl.Parse(`(@e0 since @e1(1)) and lasttime @e0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := CompileFast(f, reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Registers() != 2 {
+		t.Fatalf("Registers = %d, want 2", fast.Registers())
+	}
+	h := ptlgen.History(rand.New(rand.NewSource(1)), 5)
+	for i := 0; i < h.Len(); i++ {
+		if _, err := fast.Step(h.At(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fast.Steps() != h.Len() {
+		t.Fatalf("Steps = %d", fast.Steps())
+	}
+}
+
+func TestFastExecutedPredicate(t *testing.T) {
+	reg := ptlgen.Registry()
+	log := &fakeLog{}
+	log.add(ptl.Execution{Rule: "r1", Params: nil, Time: 2})
+	f, err := ptl.Parse(`executed(r1, 2)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := CompileFast(f, reg, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := ptlgen.History(rand.New(rand.NewSource(2)), 6)
+	anyFired := false
+	for i := 0; i < h.Len(); i++ {
+		ok, err := fast.Step(h.At(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			anyFired = true
+			if h.At(i).TS <= 2 {
+				t.Fatalf("executed matched at time %d, not after 2", h.At(i).TS)
+			}
+		}
+	}
+	if !anyFired {
+		t.Fatal("executed predicate never matched")
+	}
+}

@@ -1,0 +1,24 @@
+package ee
+
+import "testing"
+
+// FuzzEEParse: the event-expression parser never panics; parses
+// round-trip.
+func FuzzEEParse(f *testing.F) {
+	for _, s := range []string{`a ; b`, `(a | b)* ; !(c)`, `.* ; a ; .*`, `()`, `!!a`} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := Parse(src)
+		if err != nil {
+			return
+		}
+		back, err := Parse(e.String())
+		if err != nil {
+			t.Fatalf("reparse of %q failed: %v", e, err)
+		}
+		if e.String() != back.String() {
+			t.Fatalf("round trip changed %q -> %q", e, back)
+		}
+	})
+}

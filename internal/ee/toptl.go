@@ -1,0 +1,40 @@
+package ee
+
+import (
+	"fmt"
+
+	"ptlactive/internal/ptl"
+)
+
+// ToPTL translates a gap-ordered event expression (GapSequence shape) into
+// an equivalent PTL past formula:
+//
+//	.* ; a ; .* ; b ; .* ; c ; .*
+//	    ==>  previously (@c and previously (@b and previously @a))
+//
+// The translation witnesses Section 10's comparison: the same ordered-
+// occurrence conditions event expressions state algebraically, PTL states
+// logically — and the PTL evaluator processes them without automaton
+// construction. Expressions outside the gap-ordered subset return an
+// error: full regular expressions exceed PTL (first-order) expressiveness
+// [McNaughton-Papert], which is the price event expressions pay in
+// automaton size.
+func ToPTL(e Expr) (ptl.Formula, error) {
+	syms, ok := GapSequence(e)
+	if !ok {
+		return nil, fmt.Errorf("ee: %s is not a gap-ordered sequence; no PTL translation implemented", e)
+	}
+	// Build inside-out: previously(@a_k and previously(... @a_1))
+	var f ptl.Formula
+	for i, s := range syms {
+		atom := ptl.Ev(s)
+		if i == 0 {
+			f = &ptl.Previously{F: atom, Bound: ptl.Unbounded}
+			continue
+		}
+		f = &ptl.Previously{F: &ptl.And{L: atom, R: f}, Bound: ptl.Unbounded}
+	}
+	// The innermost previously wraps a1 alone; reorder: we built
+	// previously(@ak and previously(@a_{k-1} and ... previously(@a1))).
+	return f, nil
+}

@@ -1,0 +1,103 @@
+package ee
+
+import (
+	"math/rand"
+	"testing"
+
+	"ptlactive/internal/event"
+	"ptlactive/internal/history"
+	"ptlactive/internal/naive"
+	"ptlactive/internal/query"
+)
+
+func TestGapSequence(t *testing.T) {
+	good := map[string][]string{
+		`.* ; a ; .*`:             {"a"},
+		`.* ; a ; .* ; b ; .*`:    {"a", "b"},
+		`.*; x ;.*; y ;.*; z ;.*`: {"x", "y", "z"},
+	}
+	for src, want := range good {
+		e := mustParse(t, src)
+		got, ok := GapSequence(e)
+		if !ok || len(got) != len(want) {
+			t.Fatalf("GapSequence(%q) = %v, %t", src, got, ok)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("GapSequence(%q) = %v", src, got)
+			}
+		}
+	}
+	bad := []string{
+		`a`, `a ; b`, `.* ; a`, `a ; .*`, `.* ; a ; b ; .*`,
+		`.* ; (a|b) ; .*`, `.*`, `.* ; .*`, `!(a) ; .*`,
+	}
+	for _, src := range bad {
+		if _, ok := GapSequence(mustParse(t, src)); ok {
+			t.Errorf("GapSequence(%q) should be rejected", src)
+		}
+	}
+}
+
+// TestToPTLDifferential: the DFA's prefix acceptance equals the naive
+// satisfaction of the translated past formula at every state, on random
+// traces — the Section-10 claim that PTL covers the ordered-occurrence
+// patterns of event expressions.
+func TestToPTLDifferential(t *testing.T) {
+	alpha := NewAlphabet("a", "b", "c", "r")
+	exprs := []string{
+		`.* ; a ; .*`,
+		`.* ; a ; .* ; b ; .*`,
+		`.* ; a ; .* ; b ; .* ; c ; .*`,
+		`.* ; b ; .* ; a ; .*`,
+	}
+	reg := query.NewRegistry()
+	rng := rand.New(rand.NewSource(31))
+	for _, src := range exprs {
+		e := mustParse(t, src)
+		f, err := ToPTL(e)
+		if err != nil {
+			t.Fatalf("ToPTL(%q): %v", src, err)
+		}
+		d, err := Compile(e, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 60; trial++ {
+			n := 1 + rng.Intn(12)
+			names := alpha.Names()
+			b := history.NewBuilder(history.EmptyDB(), 0)
+			m := NewMatcher(d)
+			var accepts []bool
+			for i := 0; i < n; i++ {
+				sym := names[rng.Intn(len(names))]
+				if err := b.Event(int64(i+1), event.New(sym)); err != nil {
+					t.Fatal(err)
+				}
+				m.Step(sym)
+				accepts = append(accepts, m.Accepting())
+			}
+			h := b.History()
+			nv := naive.New(reg, h, nil)
+			// State 0 is the (eventless) initial state; the trace's i-th
+			// event is at state i+1.
+			for i := 0; i < n; i++ {
+				want := accepts[i]
+				got, err := nv.Sat(i+1, f, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("%q trial %d prefix %d: PTL=%t DFA=%t\nformula: %s",
+						src, trial, i+1, got, want, f)
+				}
+			}
+		}
+	}
+}
+
+func TestToPTLRejects(t *testing.T) {
+	if _, err := ToPTL(mustParse(t, `a ; b`)); err == nil {
+		t.Error("non-gap expression should be rejected")
+	}
+}

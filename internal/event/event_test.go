@@ -1,0 +1,115 @@
+package event
+
+import (
+	"reflect"
+	"testing"
+
+	"ptlactive/internal/value"
+)
+
+func TestEventStringAndKey(t *testing.T) {
+	e := New("transaction_begin", value.NewInt(30))
+	if got := e.String(); got != "transaction_begin(30)" {
+		t.Errorf("String() = %q", got)
+	}
+	if New("tick").String() != "tick" {
+		t.Error("zero-arg event string")
+	}
+	a := New("login", value.NewString("x"), value.NewInt(1))
+	b := New("login", value.NewString("x"), value.NewInt(1))
+	c := New("login", value.NewString("x"), value.NewInt(2))
+	if a.Key() != b.Key() || a.Key() == c.Key() {
+		t.Error("key identity wrong")
+	}
+}
+
+func TestEventEqual(t *testing.T) {
+	a := New("e", value.NewInt(1))
+	if !a.Equal(New("e", value.NewFloat(1))) {
+		t.Error("numerically equal args should be equal")
+	}
+	if a.Equal(New("e")) || a.Equal(New("f", value.NewInt(1))) || a.Equal(New("e", value.NewInt(2))) {
+		t.Error("distinct events reported equal")
+	}
+}
+
+func TestSetDeduplication(t *testing.T) {
+	s := NewSet(New("a"), New("a"), New("b", value.NewInt(1)))
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	if s.Add(New("a")) {
+		t.Error("duplicate Add should report false")
+	}
+	if !s.Add(New("c")) {
+		t.Error("fresh Add should report true")
+	}
+	if !s.Contains(New("b", value.NewInt(1))) {
+		t.Error("Contains miss")
+	}
+	if s.Contains(New("b", value.NewInt(2))) {
+		t.Error("Contains false positive")
+	}
+}
+
+func TestSetZeroValueAdd(t *testing.T) {
+	var s Set
+	if !s.Add(New("x")) || s.Len() != 1 {
+		t.Error("Add on zero-value Set should work")
+	}
+}
+
+func TestSetByNameAndNames(t *testing.T) {
+	s := NewSet(
+		New("update", value.NewString("ibm")),
+		New("commit"),
+		New("update", value.NewString("dj")),
+	)
+	ups := s.ByName("update")
+	if len(ups) != 2 {
+		t.Fatalf("ByName = %d events, want 2", len(ups))
+	}
+	if got := s.Names(); !reflect.DeepEqual(got, []string{"commit", "update"}) {
+		t.Errorf("Names() = %v", got)
+	}
+}
+
+func TestSetNilSafety(t *testing.T) {
+	var s *Set
+	if s.Len() != 0 || s.Events() != nil || s.Contains(New("a")) || s.ByName("a") != nil || s.Names() != nil {
+		t.Error("nil Set accessors should be safe zeros")
+	}
+	if s.Clone().Len() != 0 {
+		t.Error("nil Clone should produce empty set")
+	}
+}
+
+func TestCommitCount(t *testing.T) {
+	s := NewSet(New(TransactionCommit, value.NewInt(1)), New("x"))
+	if s.CommitCount() != 1 {
+		t.Errorf("CommitCount = %d", s.CommitCount())
+	}
+	s2 := NewSet(New(TransactionCommit, value.NewInt(1)), New(TransactionCommit, value.NewInt(2)))
+	if s2.CommitCount() != 2 {
+		t.Errorf("CommitCount = %d, want 2", s2.CommitCount())
+	}
+}
+
+func TestSetCloneIndependence(t *testing.T) {
+	s := NewSet(New("a"))
+	c := s.Clone()
+	c.Add(New("b"))
+	if s.Len() != 1 || c.Len() != 2 {
+		t.Error("Clone is not independent")
+	}
+}
+
+func TestSetString(t *testing.T) {
+	if NewSet().String() != "{}" {
+		t.Error("empty set string")
+	}
+	s := NewSet(New("a"), New("b", value.NewInt(1)))
+	if got := s.String(); got != "{a, b(1)}" {
+		t.Errorf("String() = %q", got)
+	}
+}

@@ -1,0 +1,111 @@
+// Package experiments implements the nine reproduction experiments E1-E9
+// of DESIGN.md. Each experiment returns a Table with the same rows that
+// EXPERIMENTS.md records; cmd/benchtables prints them and the root
+// bench_test.go wraps their kernels as Go benchmarks.
+//
+// The paper's evaluation is qualitative (no numbered tables or figures),
+// so each experiment operationalizes one measurable claim; the expected
+// shape is stated in each table's Notes.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Table is one experiment's result.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  string
+}
+
+// String renders the table as aligned text.
+func (t Table) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(&sb, "note: %s\n", t.Notes)
+	}
+	return sb.String()
+}
+
+// Markdown renders the table as a GitHub-flavored markdown table.
+func (t Table) Markdown() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "### %s — %s\n\n", t.ID, t.Title)
+	sb.WriteString("| " + strings.Join(t.Header, " | ") + " |\n")
+	sb.WriteString("|" + strings.Repeat("---|", len(t.Header)) + "\n")
+	for _, row := range t.Rows {
+		sb.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(&sb, "\n%s\n", t.Notes)
+	}
+	return sb.String()
+}
+
+// All runs every experiment. quick shrinks the sweeps for CI-speed runs.
+func All(quick bool) []Table {
+	return []Table{
+		E1IncrementalVsNaive(quick),
+		E2BoundedState(quick),
+		E3AggregateMaintenance(quick),
+		E4FiringThroughput(quick),
+		E5ValidTime(quick),
+		E6OnlineOffline(quick),
+		E7StateBlowup(quick),
+		E7bRelativeTiming(quick),
+		E8RelevanceFiltering(quick),
+		E9TemporalActions(quick),
+		A1DecomposableFastPath(quick),
+		A2FutureProgression(quick),
+	}
+}
+
+// fmtDur renders a per-op duration in microseconds.
+func fmtDur(total time.Duration, ops int) string {
+	if ops == 0 {
+		return "-"
+	}
+	us := float64(total.Microseconds()) / float64(ops)
+	return fmt.Sprintf("%.2f", us)
+}
+
+func fmtMs(total time.Duration) string {
+	return fmt.Sprintf("%.1f", float64(total.Microseconds())/1000)
+}

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRun executes every experiment in quick mode and
+// asserts the shape claims each table's Notes promise, so EXPERIMENTS.md
+// can never silently drift from what the code produces.
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	tables := All(true)
+	if len(tables) != 12 {
+		t.Fatalf("expected 12 tables (E1-E9, E7b, A1, A2), got %d", len(tables))
+	}
+	byID := map[string]Table{}
+	for _, tab := range tables {
+		if len(tab.Rows) == 0 || len(tab.Header) == 0 {
+			t.Errorf("%s: empty table", tab.ID)
+		}
+		for _, row := range tab.Rows {
+			if len(row) != len(tab.Header) {
+				t.Errorf("%s: ragged row %v", tab.ID, row)
+			}
+		}
+		if tab.String() == "" || tab.Markdown() == "" {
+			t.Errorf("%s: renderers broken", tab.ID)
+		}
+		byID[tab.ID] = tab
+	}
+
+	// E2: unoptimized state exceeds optimized at the largest sweep point.
+	e2 := byID["E2"]
+	last := e2.Rows[len(e2.Rows)-1]
+	opt := atoi(t, last[1])
+	noopt := atoi(t, last[2])
+	if noopt <= opt*2 {
+		t.Errorf("E2: expected unoptimized >> optimized, got %d vs %d", noopt, opt)
+	}
+
+	// E5: definite mean delay >= Delta at the largest Delta.
+	e5 := byID["E5"]
+	lastD := e5.Rows[len(e5.Rows)-1]
+	delta := atoi(t, lastD[0])
+	delay := atof(t, lastD[4])
+	if delay < float64(delta) {
+		t.Errorf("E5: definite delay %.1f below Delta %d", delay, delta)
+	}
+
+	// E6: collapsed divergence must be zero (Theorem 2).
+	e6 := byID["E6"]
+	if e6.Rows[0][2] != "0" || e6.Rows[0][3] != "true" {
+		t.Errorf("E6: Theorem 2 row wrong: %v", e6.Rows[0])
+	}
+
+	// E7: DFA states double with k; PTL registers grow by one.
+	e7 := byID["E7"]
+	for i := 1; i < len(e7.Rows); i++ {
+		prev := atoi(t, e7.Rows[i-1][3])
+		cur := atoi(t, e7.Rows[i][3])
+		if cur != 2*prev {
+			t.Errorf("E7: min-DFA states %d -> %d, want doubling", prev, cur)
+		}
+		if atoi(t, e7.Rows[i][4]) != atoi(t, e7.Rows[i-1][4])+1 {
+			t.Errorf("E7: registers not linear: %v", e7.Rows[i])
+		}
+	}
+
+	// E8: relevant steps strictly below eager steps in every row.
+	e8 := byID["E8"]
+	for _, row := range e8.Rows {
+		if atoi(t, row[1]) <= atoi(t, row[3]) {
+			t.Errorf("E8: relevance filtering did not reduce steps: %v", row)
+		}
+	}
+
+	// E9: the temporal action actually bought stock.
+	e9 := byID["E9"]
+	if atoi(t, e9.Rows[0][1]) == 0 {
+		t.Errorf("E9: no buys recorded: %v", e9.Rows[0])
+	}
+}
+
+func atoi(t *testing.T, s string) int {
+	t.Helper()
+	n, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil {
+		t.Fatalf("atoi(%q): %v", s, err)
+	}
+	return n
+}
+
+func atof(t *testing.T, s string) float64 {
+	t.Helper()
+	f, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		t.Fatalf("atof(%q): %v", s, err)
+	}
+	return f
+}
+
+// TestKernelsAgree cross-checks the E1 kernels on a small input: the
+// incremental and naive runners must count the same satisfied states.
+func TestKernelsAgree(t *testing.T) {
+	f := mustFormula(doubledFormula)
+	reg := stockRegistry()
+	h := quickHistory(300)
+	a, err := RunIncremental(f, reg, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunNaive(f, reg, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("incremental %d != naive %d", a, b)
+	}
+}

@@ -1,0 +1,371 @@
+// Package future monitors formulas of the *future* temporal logic — the
+// extension Section 11 of the paper names as future work, referring back
+// to the authors' companion report on future operators (Until, Nexttime)
+// [Sistla & Wolfson 93]. Formulas are interpreted over finite traces: an
+// Until whose witness has not arrived when the trace ends is false, and
+// Nexttime is strong (false at the final state).
+//
+// The monitor uses formula progression: for every state index i it keeps
+// an obligation — the remainder formula that the suffix starting after the
+// current instant must satisfy for the original formula to hold at i. Each
+// new system state rewrites every open obligation:
+//
+//	prog(r until s)  =  prog(s)  or  (prog(r) and (r until s))
+//	prog(nexttime f) =  f
+//
+// with atoms evaluated against the arriving state, so each obligation does
+// O(|formula|) work per state and verdicts are emitted the instant they
+// are determined. Bounded operators anchor their deadline at the
+// obligation's activation instant, exactly like the paper's time-anchored
+// past bounds, and expire to a verdict once the deadline passes.
+//
+// The paper's footnote 3 observes that the BUY-STOCK temporal action "can
+// be specified in future temporal logic"; the package tests reproduce that
+// specification.
+package future
+
+import (
+	"fmt"
+
+	"ptlactive/internal/history"
+	"ptlactive/internal/naive"
+	"ptlactive/internal/ptl"
+	"ptlactive/internal/query"
+	"ptlactive/internal/value"
+)
+
+// Result is one resolved verdict: the formula holds (or not) at the trace
+// index Index.
+type Result struct {
+	// Index is the 0-based state index the verdict is for.
+	Index int
+	// Time is that state's timestamp.
+	Time int64
+	// Holds is the verdict.
+	Holds bool
+}
+
+// obligation tracks one start instant's remainder formula.
+type obligation struct {
+	index int
+	ts    int64
+	f     ptl.Formula
+}
+
+// Monitor incrementally decides a future formula at every trace index.
+type Monitor struct {
+	reg  *query.Registry
+	log  ptl.ExecLog
+	norm ptl.Formula
+
+	open []obligation
+	seen int
+}
+
+// NewMonitor compiles a closed future formula for monitoring. Past
+// operators and aggregates are rejected (combining past and future in one
+// incremental algorithm is exactly the open problem the paper leaves);
+// a nil log means the executed predicate sees no executions.
+func NewMonitor(f ptl.Formula, reg *query.Registry, log ptl.ExecLog) (*Monitor, error) {
+	if log == nil {
+		log = ptl.NoExecutions{}
+	}
+	if fv := ptl.FreeVars(f); len(fv) != 0 {
+		return nil, fmt.Errorf("future: formula has free variables %v; future monitoring supports closed formulas", fv)
+	}
+	var bad error
+	ptl.Walk(f, func(g ptl.Formula) {
+		switch g.(type) {
+		case *ptl.Since, *ptl.Lasttime, *ptl.Previously, *ptl.Throughout:
+			bad = fmt.Errorf("future: past operator %T: combining past and future operators is the paper's open problem; monitor the parts separately", g)
+		}
+	})
+	if bad != nil {
+		return nil, bad
+	}
+	ptl.WalkTerms(f, func(t ptl.Term) {
+		if _, ok := t.(*ptl.Agg); ok && bad == nil {
+			bad = fmt.Errorf("future: temporal aggregates are past-directed; evaluate them with the past engine")
+		}
+	})
+	if bad != nil {
+		return nil, bad
+	}
+	// Validate queries and desugar eventually/always into until.
+	norm := ptl.Desugar(ptl.RenameApart(f))
+	var cerr error
+	ptl.WalkTerms(norm, func(t ptl.Term) {
+		if c, ok := t.(*ptl.Call); ok && cerr == nil {
+			arity, known := reg.Arity(c.Fn)
+			if !known {
+				cerr = fmt.Errorf("future: unknown query function %q", c.Fn)
+			} else if arity >= 0 && len(c.Args) != arity {
+				cerr = fmt.Errorf("future: query %s expects %d arguments, got %d", c.Fn, arity, len(c.Args))
+			}
+		}
+	})
+	if cerr != nil {
+		return nil, cerr
+	}
+	return &Monitor{reg: reg, log: log, norm: norm}, nil
+}
+
+// Compile parses and compiles a future condition.
+func Compile(src string, reg *query.Registry, log ptl.ExecLog) (*Monitor, error) {
+	f, err := ptl.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return NewMonitor(f, reg, log)
+}
+
+// Pending returns the number of trace indices whose verdict is still
+// open.
+func (m *Monitor) Pending() int { return len(m.open) }
+
+// Step feeds the next system state. It opens an obligation for the new
+// index, progresses every open obligation through the state, and returns
+// the verdicts resolved by it (in increasing index order).
+func (m *Monitor) Step(st history.SystemState) ([]Result, error) {
+	m.open = append(m.open, obligation{index: m.seen, ts: st.TS, f: m.norm})
+	m.seen++
+	var out []Result
+	kept := m.open[:0]
+	for _, ob := range m.open {
+		g, err := m.progress(ob.f, st)
+		if err != nil {
+			return nil, err
+		}
+		switch v := g.(type) {
+		case *ptl.BoolConst:
+			out = append(out, Result{Index: ob.index, Time: ob.ts, Holds: v.V})
+		default:
+			ob.f = g
+			kept = append(kept, ob)
+		}
+	}
+	m.open = kept
+	return out, nil
+}
+
+// Finish ends the trace: every remaining obligation is resolved under the
+// empty suffix (pending until and nexttime become false). The monitor can
+// not be stepped afterwards.
+func (m *Monitor) Finish() []Result {
+	var out []Result
+	for _, ob := range m.open {
+		out = append(out, Result{Index: ob.index, Time: ob.ts, Holds: atEnd(ob.f)})
+	}
+	m.open = nil
+	return out
+}
+
+// RunTrace monitors a complete history and returns the verdict for every
+// index.
+func (m *Monitor) RunTrace(h *history.History) (map[int]bool, error) {
+	verdicts := map[int]bool{}
+	for i := 0; i < h.Len(); i++ {
+		rs, err := m.Step(h.At(i))
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range rs {
+			verdicts[r.Index] = r.Holds
+		}
+	}
+	for _, r := range m.Finish() {
+		verdicts[r.Index] = r.Holds
+	}
+	return verdicts, nil
+}
+
+// progress rewrites the remainder through one state.
+func (m *Monitor) progress(f ptl.Formula, st history.SystemState) (ptl.Formula, error) {
+	switch x := f.(type) {
+	case *ptl.BoolConst:
+		return x, nil
+	case *ptl.Cmp, *ptl.EventAtom, *ptl.Member, *ptl.Executed:
+		ok, err := m.evalAtom(f, st)
+		if err != nil {
+			return nil, err
+		}
+		return boolF(ok), nil
+	case *ptl.Not:
+		g, err := m.progress(x.F, st)
+		if err != nil {
+			return nil, err
+		}
+		return notF(g), nil
+	case *ptl.And:
+		l, err := m.progress(x.L, st)
+		if err != nil {
+			return nil, err
+		}
+		r, err := m.progress(x.R, st)
+		if err != nil {
+			return nil, err
+		}
+		return andF(l, r), nil
+	case *ptl.Or:
+		l, err := m.progress(x.L, st)
+		if err != nil {
+			return nil, err
+		}
+		r, err := m.progress(x.R, st)
+		if err != nil {
+			return nil, err
+		}
+		return orF(l, r), nil
+	case *ptl.Until:
+		u := x
+		if x.Bound >= 0 {
+			// Activation: anchor the deadline at this instant by folding
+			// it into the witness formula, then progress unbounded.
+			deadline := st.TS + x.Bound
+			u = &ptl.Until{
+				L:     x.L,
+				R:     &ptl.And{L: x.R, R: ptl.Compare(value.LE, ptl.Time(), ptl.CInt(deadline))},
+				Bound: ptl.Unbounded,
+			}
+		}
+		r, err := m.progress(u.R, st)
+		if err != nil {
+			return nil, err
+		}
+		l, err := m.progress(u.L, st)
+		if err != nil {
+			return nil, err
+		}
+		// Time-bound expiry (the future-logic analogue of the paper's
+		// Section-5 optimization): once the anchored deadline has passed,
+		// the until disjunct can never be satisfied again and folds away,
+		// keeping obligations for bounded formulas from outliving their
+		// windows.
+		if deadlineExpired(u.R, st.TS) {
+			return r, nil
+		}
+		return orF(r, andF(l, u)), nil
+	case *ptl.Nexttime:
+		// Strong next: the remainder must also assert that a next state
+		// exists, or a vacuously-true F (e.g. an always) would wrongly
+		// hold at the final state. `true until true` is that marker: it
+		// progresses to true through any state and resolves to false at
+		// the end of the trace.
+		exists := &ptl.Until{L: ptl.TTrue, R: ptl.TTrue, Bound: ptl.Unbounded}
+		return andF(x.F, exists), nil
+	case *ptl.Assign:
+		// Bind the variable to the query's value at this instant; the
+		// remainder carries the constant.
+		h := history.New()
+		h.AppendUnchecked(st)
+		nv := naive.New(m.reg, h, m.log)
+		v, err := nv.Term(0, x.Q, nil)
+		if err != nil {
+			return nil, err
+		}
+		body := ptl.Substitute(x.Body, map[string]ptl.Term{x.Var: ptl.C(v)})
+		return m.progress(body, st)
+	default:
+		return nil, fmt.Errorf("future: unsupported formula %T in progression", f)
+	}
+}
+
+// evalAtom evaluates a non-temporal atom against one state.
+func (m *Monitor) evalAtom(f ptl.Formula, st history.SystemState) (bool, error) {
+	h := history.New()
+	h.AppendUnchecked(st)
+	nv := naive.New(m.reg, h, m.log)
+	return nv.Sat(0, f, nil)
+}
+
+// deadlineExpired reports whether the witness formula carries an anchored
+// deadline conjunct `time <= c` that the nondecreasing clock has passed.
+func deadlineExpired(r ptl.Formula, now int64) bool {
+	and, ok := r.(*ptl.And)
+	if !ok {
+		return false
+	}
+	cmp, ok := and.R.(*ptl.Cmp)
+	if !ok || cmp.Op != value.LE {
+		return false
+	}
+	call, ok := cmp.L.(*ptl.Call)
+	if !ok || call.Fn != "time" || len(call.Args) != 0 {
+		return false
+	}
+	c, ok := cmp.R.(*ptl.Const)
+	if !ok || !c.V.IsNumeric() {
+		return false
+	}
+	return float64(now) > c.V.AsFloat()
+}
+
+// atEnd resolves a remainder under the empty suffix.
+func atEnd(f ptl.Formula) bool {
+	switch x := f.(type) {
+	case *ptl.BoolConst:
+		return x.V
+	case *ptl.Not:
+		return !atEnd(x.F)
+	case *ptl.And:
+		return atEnd(x.L) && atEnd(x.R)
+	case *ptl.Or:
+		return atEnd(x.L) || atEnd(x.R)
+	case *ptl.Until, *ptl.Nexttime:
+		return false
+	default:
+		// Atoms cannot survive progression; treat defensively as false.
+		return false
+	}
+}
+
+// boolF, notF, andF, orF are folding constructors over ptl formulas.
+func boolF(b bool) ptl.Formula {
+	if b {
+		return ptl.TTrue
+	}
+	return ptl.TFalse
+}
+
+func notF(f ptl.Formula) ptl.Formula {
+	switch x := f.(type) {
+	case *ptl.BoolConst:
+		return boolF(!x.V)
+	case *ptl.Not:
+		return x.F
+	default:
+		return &ptl.Not{F: f}
+	}
+}
+
+func andF(l, r ptl.Formula) ptl.Formula {
+	if b, ok := l.(*ptl.BoolConst); ok {
+		if b.V {
+			return r
+		}
+		return ptl.TFalse
+	}
+	if b, ok := r.(*ptl.BoolConst); ok {
+		if b.V {
+			return l
+		}
+		return ptl.TFalse
+	}
+	return &ptl.And{L: l, R: r}
+}
+
+func orF(l, r ptl.Formula) ptl.Formula {
+	if b, ok := l.(*ptl.BoolConst); ok {
+		if b.V {
+			return ptl.TTrue
+		}
+		return r
+	}
+	if b, ok := r.(*ptl.BoolConst); ok {
+		if b.V {
+			return ptl.TTrue
+		}
+		return l
+	}
+	return &ptl.Or{L: l, R: r}
+}

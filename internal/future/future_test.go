@@ -1,0 +1,324 @@
+package future
+
+import (
+	"math/rand"
+	"testing"
+
+	"ptlactive/internal/event"
+	"ptlactive/internal/history"
+	"ptlactive/internal/naive"
+	"ptlactive/internal/ptl"
+	"ptlactive/internal/ptlgen"
+	"ptlactive/internal/query"
+	"ptlactive/internal/value"
+)
+
+func mustParse(t *testing.T, src string) ptl.Formula {
+	t.Helper()
+	f, err := ptl.Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return f
+}
+
+// histA builds a history where item a takes the given values at times
+// 0,1,2,... via commits, with optional events per index.
+func histA(t *testing.T, vals []int64, events map[int][]event.Event) *history.History {
+	t.Helper()
+	db := history.EmptyDB().With("a", value.NewInt(vals[0]))
+	b := history.NewBuilder(db, 0)
+	for i, v := range vals[1:] {
+		var extra []event.Event
+		if events != nil {
+			extra = events[i+1]
+		}
+		if err := b.Commit(int64(i+1), int64(i+1), map[string]value.Value{"a": value.NewInt(v)}, extra...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.History()
+}
+
+func TestBasicFutureOperators(t *testing.T) {
+	h := histA(t, []int64{1, 5, 2, 7}, nil)
+	reg := query.NewRegistry()
+	type tc struct {
+		src  string
+		want []bool
+	}
+	cases := []tc{
+		{`nexttime (item("a") = 5)`, []bool{true, false, false, false}},
+		{`eventually (item("a") = 7)`, []bool{true, true, true, true}},
+		{`eventually (item("a") = 9)`, []bool{false, false, false, false}},
+		{`always (item("a") > 0)`, []bool{true, true, true, true}},
+		{`always (item("a") > 1)`, []bool{false, true, true, true}},
+		{`(item("a") < 6) until (item("a") = 7)`, []bool{true, true, true, true}},
+		{`(item("a") < 5) until (item("a") = 7)`, []bool{false, false, true, true}},
+		// Bounded: witness must arrive within 1 time unit.
+		{`eventually <= 1 (item("a") = 2)`, []bool{false, true, true, false}},
+		{`always <= 1 (item("a") > 1)`, []bool{false, true, true, true}},
+	}
+	for _, c := range cases {
+		m, err := Compile(c.src, reg, nil)
+		if err != nil {
+			t.Fatalf("%q: %v", c.src, err)
+		}
+		got, err := m.RunTrace(h)
+		if err != nil {
+			t.Fatalf("%q: %v", c.src, err)
+		}
+		for i, want := range c.want {
+			if got[i] != want {
+				t.Errorf("%q at %d = %t, want %t", c.src, i, got[i], want)
+			}
+		}
+		if m.Pending() != 0 {
+			t.Errorf("%q: %d obligations left after Finish", c.src, m.Pending())
+		}
+	}
+}
+
+// TestProgressionMatchesNaive: the progression monitor agrees with the
+// finite-trace semantics of the naive evaluator on random future formulas.
+func TestProgressionMatchesNaive(t *testing.T) {
+	reg := ptlgen.Registry()
+	iters := 250
+	if testing.Short() {
+		iters = 50
+	}
+	for seed := 0; seed < iters; seed++ {
+		rng := rand.New(rand.NewSource(int64(30000 + seed)))
+		f := genFuture(rng, 1+rng.Intn(4))
+		h := ptlgen.History(rng, 12)
+		m, err := NewMonitor(f, reg, nil)
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, f)
+		}
+		got, err := m.RunTrace(h)
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, f)
+		}
+		nv := naive.New(reg, h, nil)
+		for i := 0; i < h.Len(); i++ {
+			want, err := nv.Sat(i, f, nil)
+			if err != nil {
+				t.Fatalf("seed %d: naive: %v\n%s", seed, err, f)
+			}
+			if got[i] != want {
+				t.Fatalf("seed %d index %d: progression=%t naive=%t\nformula: %s",
+					seed, i, got[i], want, f)
+			}
+		}
+	}
+}
+
+// genFuture generates a random closed future formula (atoms as in ptlgen,
+// future operators only).
+func genFuture(rng *rand.Rand, depth int) ptl.Formula {
+	atom := func() ptl.Formula {
+		switch rng.Intn(5) {
+		case 0:
+			return ptl.Ev("e0")
+		case 1:
+			return ptl.Ev("e1", ptl.CInt(int64(rng.Intn(3))))
+		default:
+			ops := []value.CmpOp{value.EQ, value.LT, value.GE}
+			return ptl.Compare(ops[rng.Intn(len(ops))],
+				ptl.Q("item", ptl.CStr(ptlgen.Items[rng.Intn(len(ptlgen.Items))])),
+				ptl.CInt(int64(rng.Intn(10))))
+		}
+	}
+	var gen func(d int) ptl.Formula
+	gen = func(d int) ptl.Formula {
+		if d <= 0 {
+			return atom()
+		}
+		switch rng.Intn(8) {
+		case 0:
+			return &ptl.Not{F: gen(d - 1)}
+		case 1:
+			return &ptl.And{L: gen(d - 1), R: gen(d - 1)}
+		case 2:
+			return &ptl.Or{L: gen(d - 1), R: gen(d - 1)}
+		case 3:
+			return &ptl.Until{L: gen(d - 1), R: gen(d - 1), Bound: futBound(rng)}
+		case 4:
+			return &ptl.Nexttime{F: gen(d - 1)}
+		case 5:
+			return &ptl.Eventually{F: gen(d - 1), Bound: futBound(rng)}
+		case 6:
+			return &ptl.Always{F: gen(d - 1), Bound: futBound(rng)}
+		default:
+			return atom()
+		}
+	}
+	return gen(depth)
+}
+
+func futBound(rng *rand.Rand) int64 {
+	if rng.Intn(2) == 0 {
+		return ptl.Unbounded
+	}
+	return int64(1 + rng.Intn(8))
+}
+
+// TestBuyStockFutureSpec reproduces the paper's footnote 3: the BUY-STOCK
+// temporal action as a future-logic specification — "whenever the price
+// drops below 60, it recovers above 60 within 30 units".
+func TestBuyStockFutureSpec(t *testing.T) {
+	reg := query.NewRegistry()
+	m, err := Compile(
+		`item("price") >= 60 or eventually <= 30 (item("price") >= 60)`, reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := history.EmptyDB().With("price", value.NewFloat(100))
+	b := history.NewBuilder(db, 0)
+	prices := map[int64]float64{10: 55, 20: 58, 35: 70, 90: 50}
+	ts := []int64{10, 20, 35, 90}
+	for i, tp := range ts {
+		if err := b.Commit(tp, int64(i+1), map[string]value.Value{"price": value.NewFloat(prices[tp])}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := m.RunTrace(b.History())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// index 0 (t=0, 100): holds. index 1 (t=10, 55): recovers at t=35
+	// within 30 -> holds. index 2 (t=20, 58): recovers at 35 -> holds.
+	// index 3 (t=35, 70): holds. index 4 (t=90, 50): never recovers.
+	want := []bool{true, true, true, true, false}
+	for i, w := range want {
+		if got[i] != w {
+			t.Errorf("index %d = %t, want %t", i, got[i], w)
+		}
+	}
+}
+
+func TestMonitorRejections(t *testing.T) {
+	reg := query.NewRegistry()
+	bad := map[string]string{
+		`previously @a`:                   "past operator",
+		`@a since @b`:                     "past operator",
+		`eventually @e(X)`:                "free variables",
+		`sum(1; true; true) > 0`:          "aggregates",
+		`eventually (nosuch() > 0)`:       "unknown query",
+		`eventually (item("a", "b") > 0)`: "expects 1 arguments",
+	}
+	for src, wantSub := range bad {
+		_, err := Compile(src, reg, nil)
+		if err == nil {
+			t.Errorf("Compile(%q) should fail", src)
+			continue
+		}
+		if !contains(err.Error(), wantSub) {
+			t.Errorf("Compile(%q) error %q missing %q", src, err, wantSub)
+		}
+	}
+	if _, err := Compile(`until until`, reg, nil); err == nil {
+		t.Error("syntax error should propagate")
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(sub) == 0 || (len(s) >= len(sub) && indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestVerdictTiming: verdicts arrive the instant they are determined, not
+// at the end of the trace.
+func TestVerdictTiming(t *testing.T) {
+	reg := query.NewRegistry()
+	m, err := Compile(`eventually (item("a") = 3)`, reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := histA(t, []int64{1, 2, 3, 4}, nil)
+	var timeline [][]Result
+	for i := 0; i < h.Len(); i++ {
+		rs, err := m.Step(h.At(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		timeline = append(timeline, rs)
+	}
+	// At index 2 (a=3) every pending obligation (0,1,2) resolves true.
+	if len(timeline[2]) != 3 {
+		t.Fatalf("verdicts at step 2 = %v", timeline[2])
+	}
+	for _, r := range timeline[2] {
+		if !r.Holds {
+			t.Fatalf("verdict %v should hold", r)
+		}
+	}
+	// Index 3 stays pending (a never again 3) until Finish.
+	if len(timeline[3]) != 0 {
+		t.Fatalf("verdicts at step 3 = %v", timeline[3])
+	}
+	fin := m.Finish()
+	if len(fin) != 1 || fin[0].Index != 3 || fin[0].Holds {
+		t.Fatalf("Finish = %v", fin)
+	}
+}
+
+// TestAssignmentInFuture: assignments bind at the obligation's instant —
+// "the price eventually doubles from its value now".
+func TestAssignmentInFuture(t *testing.T) {
+	reg := query.NewRegistry()
+	m, err := Compile(`[x <- item("a")] eventually (item("a") >= 2 * x)`, reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := histA(t, []int64{10, 15, 18, 25}, nil)
+	got, err := m.RunTrace(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{true, false, false, false} // 25 >= 2*10 only
+	for i, w := range want {
+		if got[i] != w {
+			t.Errorf("index %d = %t, want %t", i, got[i], w)
+		}
+	}
+}
+
+// TestBoundedObligationsExpire: obligations of bounded formulas resolve
+// within their window instead of surviving to the end of the trace.
+func TestBoundedObligationsExpire(t *testing.T) {
+	reg := query.NewRegistry()
+	m, err := Compile(`eventually <= 5 (item("a") = 999)`, reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]int64, 200)
+	h := histA(t, vals, nil)
+	pendingPeak := 0
+	for i := 0; i < h.Len(); i++ {
+		if _, err := m.Step(h.At(i)); err != nil {
+			t.Fatal(err)
+		}
+		if p := m.Pending(); p > pendingPeak {
+			pendingPeak = p
+		}
+	}
+	// The window is 5 time units = 6 states on this unit-spaced trace; a
+	// small constant, not the trace length.
+	if pendingPeak > 8 {
+		t.Fatalf("pending obligations peaked at %d; bounded windows should expire", pendingPeak)
+	}
+	// All 200 obligations already resolved false before Finish... except
+	// those whose window is still open.
+	if got := len(m.Finish()); got > 8 {
+		t.Fatalf("%d obligations survived to Finish", got)
+	}
+}

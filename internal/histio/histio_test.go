@@ -1,0 +1,159 @@
+package histio
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ptlactive/internal/naive"
+	"ptlactive/internal/ptlgen"
+	"ptlactive/internal/value"
+)
+
+func TestValueRoundTrip(t *testing.T) {
+	vals := []value.Value{
+		{},
+		value.NewBool(true),
+		value.NewBool(false),
+		value.NewInt(-42),
+		value.NewFloat(2.5),
+		value.NewFloat(0),
+		value.NewString("a \"quoted\" string\nwith newline"),
+		value.NewString(""),
+		value.NewTuple(value.NewInt(1), value.NewString("x"), value.NewTuple(value.NewBool(true))),
+		value.NewRelation(nil),
+		value.NewRelation([][]value.Value{
+			{value.NewString("IBM"), value.NewFloat(72.5)},
+			{value.NewString("DJ"), value.NewFloat(3900)},
+		}),
+	}
+	for _, v := range vals {
+		raw, err := EncodeValue(v)
+		if err != nil {
+			t.Fatalf("encode %v: %v", v, err)
+		}
+		back, err := DecodeValue(raw)
+		if err != nil {
+			t.Fatalf("decode %s: %v", raw, err)
+		}
+		if !v.Equal(back) || v.Kind() != back.Kind() {
+			t.Errorf("round trip changed %v (%s) -> %v (%s)", v, v.Kind(), back, back.Kind())
+		}
+	}
+}
+
+func TestValueIntFloatPreserved(t *testing.T) {
+	// The tagged encoding must keep Int 2 distinct from Float 2.
+	i, _ := EncodeValue(value.NewInt(2))
+	f, _ := EncodeValue(value.NewFloat(2))
+	vi, err := DecodeValue(i)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vf, err := DecodeValue(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vi.Kind() != value.Int || vf.Kind() != value.Float {
+		t.Fatalf("kinds lost: %s %s", vi.Kind(), vf.Kind())
+	}
+}
+
+func TestDecodeValueErrors(t *testing.T) {
+	bad := []string{
+		`3`, `"s"`, `{}`, `{"int": 1, "str": "x"}`, `{"zzz": 1}`,
+		`{"int": "notanint"}`, `{"tuple": 3}`, `{"rel": [3]}`,
+		`{"tuple": [{"zzz": 1}]}`, `{"rel": [[{"zzz": 1}]]}`,
+		`not json`, `{"bool": 3}`, `{"float": "x"}`, `{"str": 1}`,
+	}
+	for _, s := range bad {
+		if _, err := DecodeValue(json.RawMessage(s)); err == nil {
+			t.Errorf("DecodeValue(%s) should fail", s)
+		}
+	}
+}
+
+func TestHistoryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	h := ptlgen.History(rng, 60)
+	var buf bytes.Buffer
+	if err := Write(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != h.Len() {
+		t.Fatalf("Len %d != %d", back.Len(), h.Len())
+	}
+	for i := 0; i < h.Len(); i++ {
+		a, b := h.At(i), back.At(i)
+		if a.TS != b.TS {
+			t.Fatalf("state %d: ts %d != %d", i, a.TS, b.TS)
+		}
+		if !a.DB.Equal(b.DB) {
+			t.Fatalf("state %d: db %s != %s", i, a.DB, b.DB)
+		}
+		if a.Events.String() != b.Events.String() {
+			t.Fatalf("state %d: events %s != %s", i, a.Events, b.Events)
+		}
+	}
+}
+
+// TestRoundTripPreservesSemantics: formulas evaluate identically on the
+// original and the re-read history — export is fit for offline analysis.
+func TestRoundTripPreservesSemantics(t *testing.T) {
+	reg := ptlgen.Registry()
+	rng := rand.New(rand.NewSource(22))
+	h := ptlgen.History(rng, 25)
+	var buf bytes.Buffer
+	if err := Write(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for it := 0; it < 40; it++ {
+		f := ptlgen.Formula(rng, 1+rng.Intn(3))
+		na := naive.New(reg, h, nil)
+		nb := naive.New(reg, back, nil)
+		for i := 0; i < h.Len(); i++ {
+			a, err := na.Sat(i, f, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := nb.Sat(i, f, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != b {
+				t.Fatalf("semantics changed at state %d for %s", i, f)
+			}
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	bad := []string{
+		`not json`,
+		`{"time": 1, "db": {"a": {"zzz": 1}}}`,
+		`{"time": 1, "events": [[]]}`,
+		`{"time": 1, "events": [[3]]}`,
+		`{"time": 1, "events": [["e", {"zzz": 1}]]}`,
+		"{\"time\": 5, \"db\": {}}\n{\"time\": 5, \"db\": {}}",
+	}
+	for _, s := range bad {
+		if _, err := Read(strings.NewReader(s)); err == nil {
+			t.Errorf("Read(%q) should fail", s)
+		}
+	}
+	// Blank lines are skipped.
+	h, err := Read(strings.NewReader("\n{\"time\": 1, \"db\": {}}\n\n"))
+	if err != nil || h.Len() != 1 {
+		t.Fatalf("blank-line handling: %v len=%d", err, h.Len())
+	}
+}

@@ -1,0 +1,319 @@
+// Package history implements the transaction-time system model of
+// Section 2: database states, system states (S, E) with timestamps, and
+// system histories with the paper's invariants — at most one transaction
+// commit per state, database state changes only at commits, strictly
+// increasing timestamps.
+package history
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ptlactive/internal/event"
+	"ptlactive/internal/value"
+)
+
+// TimeItem is the reserved data item holding each state's timestamp
+// (Section 2: "the value of this time stamp is given by a data-item called
+// time").
+const TimeItem = "time"
+
+// DBState is an immutable mapping from database item names to values.
+// Mutating operations return a new state; unchanged states are shared
+// between consecutive system states, matching the model where the database
+// only changes at commit points.
+type DBState struct {
+	items map[string]value.Value
+}
+
+// EmptyDB returns the empty database state.
+func EmptyDB() DBState { return DBState{} }
+
+// NewDB builds a state from an item map (copied).
+func NewDB(items map[string]value.Value) DBState {
+	m := make(map[string]value.Value, len(items))
+	for k, v := range items {
+		m[k] = v
+	}
+	return DBState{items: m}
+}
+
+// Get returns the value of an item; ok is false if the item is absent.
+func (d DBState) Get(name string) (value.Value, bool) {
+	v, ok := d.items[name]
+	return v, ok
+}
+
+// With returns a new state with one item set.
+func (d DBState) With(name string, v value.Value) DBState {
+	m := make(map[string]value.Value, len(d.items)+1)
+	for k, w := range d.items {
+		m[k] = w
+	}
+	m[name] = v
+	return DBState{items: m}
+}
+
+// WithAll returns a new state with all the given updates applied.
+func (d DBState) WithAll(updates map[string]value.Value) DBState {
+	if len(updates) == 0 {
+		return d
+	}
+	m := make(map[string]value.Value, len(d.items)+len(updates))
+	for k, w := range d.items {
+		m[k] = w
+	}
+	for k, w := range updates {
+		m[k] = w
+	}
+	return DBState{items: m}
+}
+
+// Without returns a new state with an item removed.
+func (d DBState) Without(name string) DBState {
+	m := make(map[string]value.Value, len(d.items))
+	for k, w := range d.items {
+		if k != name {
+			m[k] = w
+		}
+	}
+	return DBState{items: m}
+}
+
+// Items returns the sorted item names.
+func (d DBState) Items() []string {
+	names := make([]string, 0, len(d.items))
+	for k := range d.items {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Len returns the number of items.
+func (d DBState) Len() int { return len(d.items) }
+
+// Equal reports whether two states map identical items to equal values.
+func (d DBState) Equal(o DBState) bool {
+	if len(d.items) != len(o.items) {
+		return false
+	}
+	for k, v := range d.items {
+		w, ok := o.items[k]
+		if !ok || !v.Equal(w) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the state deterministically.
+func (d DBState) String() string {
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for i, k := range d.Items() {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s=%s", k, d.items[k])
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+// SystemState is the pair (S, E) with its timestamp: a snapshot of the
+// database plus the set of events occurring at that instant.
+type SystemState struct {
+	// DB is the database state S.
+	DB DBState
+	// Events is the event set E.
+	Events *event.Set
+	// TS is the global-clock timestamp of the state.
+	TS int64
+}
+
+// Time returns the state's timestamp as a Value, i.e. the value of the
+// reserved "time" data item.
+func (s SystemState) Time() value.Value { return value.NewInt(s.TS) }
+
+// GetItem looks up a database item, resolving the reserved "time" item to
+// the state's timestamp.
+func (s SystemState) GetItem(name string) (value.Value, bool) {
+	if name == TimeItem {
+		return s.Time(), true
+	}
+	return s.DB.Get(name)
+}
+
+// String renders the state compactly.
+func (s SystemState) String() string {
+	return fmt.Sprintf("@%d %s %s", s.TS, s.DB, s.Events)
+}
+
+// History is a finite sequence of system states. Append enforces the
+// model's invariants.
+type History struct {
+	states []SystemState
+}
+
+// New returns an empty history.
+func New() *History { return &History{} }
+
+// Len returns the number of states.
+func (h *History) Len() int { return len(h.states) }
+
+// At returns state i (0-based).
+func (h *History) At(i int) SystemState { return h.states[i] }
+
+// Last returns the most recent state; ok is false when the history is
+// empty.
+func (h *History) Last() (SystemState, bool) {
+	if len(h.states) == 0 {
+		return SystemState{}, false
+	}
+	return h.states[len(h.states)-1], true
+}
+
+// States returns the backing slice; it must not be mutated.
+func (h *History) States() []SystemState { return h.states }
+
+// Append adds a new system state, enforcing:
+//   - strictly increasing timestamps (Section 2: simultaneous events share
+//     a single state, so distinct states have distinct times);
+//   - at most one transaction_commit event per state;
+//   - the database state may differ from its predecessor only when the
+//     event set contains a transaction_commit.
+func (h *History) Append(s SystemState) error {
+	if prev, ok := h.Last(); ok {
+		if s.TS <= prev.TS {
+			return fmt.Errorf("history: timestamp %d not after previous %d", s.TS, prev.TS)
+		}
+		if s.Events.CommitCount() == 0 && !s.DB.Equal(prev.DB) {
+			return fmt.Errorf("history: database changed at %d without a transaction_commit event", s.TS)
+		}
+	}
+	if n := s.Events.CommitCount(); n > 1 {
+		return fmt.Errorf("history: %d simultaneous transaction commits at %d", n, s.TS)
+	}
+	h.states = append(h.states, s)
+	return nil
+}
+
+// AppendUnchecked appends a state enforcing only strictly increasing
+// timestamps. The valid-time model (internal/vtime) uses it: there the
+// database legitimately changes at update instants rather than only at
+// commits, so the transaction-time invariant of Append does not apply.
+func (h *History) AppendUnchecked(s SystemState) {
+	if prev, ok := h.Last(); ok && s.TS <= prev.TS {
+		panic(fmt.Sprintf("history: timestamp %d not after previous %d", s.TS, prev.TS))
+	}
+	h.states = append(h.states, s)
+}
+
+// MustAppend is Append that panics on error; for tests and generators
+// whose inputs are valid by construction.
+func (h *History) MustAppend(s SystemState) {
+	if err := h.Append(s); err != nil {
+		panic(err)
+	}
+}
+
+// CommitPoints returns the indices of states whose event set contains a
+// transaction_commit (Section 8: "a commit point in a history h is a state
+// that contains the commit transaction event").
+func (h *History) CommitPoints() []int {
+	var out []int
+	for i, s := range h.states {
+		if s.Events.CommitCount() > 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Prefix returns a view of the first n states. The returned history shares
+// storage with h and must not be appended to while h is in use.
+func (h *History) Prefix(n int) *History {
+	if n < 0 || n > len(h.states) {
+		panic(fmt.Sprintf("history: prefix %d out of range 0..%d", n, len(h.states)))
+	}
+	return &History{states: h.states[:n:n]}
+}
+
+// PrefixAtTime returns the longest prefix whose states all have
+// timestamps <= t.
+func (h *History) PrefixAtTime(t int64) *History {
+	n := sort.Search(len(h.states), func(i int) bool { return h.states[i].TS > t })
+	return h.Prefix(n)
+}
+
+// Clone returns an independent copy (states are value types and shared).
+func (h *History) Clone() *History {
+	c := &History{states: make([]SystemState, len(h.states))}
+	copy(c.states, h.states)
+	return c
+}
+
+// String renders the history one state per line.
+func (h *History) String() string {
+	var sb strings.Builder
+	for i, s := range h.states {
+		fmt.Fprintf(&sb, "%4d: %s\n", i, s)
+	}
+	return sb.String()
+}
+
+// Builder incrementally constructs a valid history from update/commit
+// operations; it is the convenience layer used by tests, examples and the
+// workload generators. The active-database engine in internal/adb builds
+// its histories through a Builder too.
+type Builder struct {
+	h       *History
+	db      DBState
+	pending *event.Set
+	now     int64
+}
+
+// NewBuilder starts a builder with an initial database state. The first
+// state is appended at time t0 with an empty event set.
+func NewBuilder(db DBState, t0 int64) *Builder {
+	b := &Builder{h: New(), db: db, now: t0}
+	b.h.MustAppend(SystemState{DB: db, Events: event.NewSet(), TS: t0})
+	return b
+}
+
+// Now returns the timestamp of the latest state.
+func (b *Builder) Now() int64 { return b.now }
+
+// DB returns the current database state.
+func (b *Builder) DB() DBState { return b.db }
+
+// History returns the history built so far.
+func (b *Builder) History() *History { return b.h }
+
+// Event appends a new state at time t containing the given events and an
+// unchanged database.
+func (b *Builder) Event(t int64, events ...event.Event) error {
+	s := SystemState{DB: b.db, Events: event.NewSet(events...), TS: t}
+	if err := b.h.Append(s); err != nil {
+		return err
+	}
+	b.now = t
+	return nil
+}
+
+// Commit appends a commit state at time t: the event set contains
+// transaction_commit(txn) plus extra events, and the database reflects
+// exactly the transaction's updates.
+func (b *Builder) Commit(t int64, txn int64, updates map[string]value.Value, extra ...event.Event) error {
+	events := append([]event.Event{event.New(event.TransactionCommit, value.NewInt(txn))}, extra...)
+	ndb := b.db.WithAll(updates)
+	s := SystemState{DB: ndb, Events: event.NewSet(events...), TS: t}
+	if err := b.h.Append(s); err != nil {
+		return err
+	}
+	b.db = ndb
+	b.now = t
+	return nil
+}

@@ -1,0 +1,200 @@
+package history
+
+import (
+	"testing"
+
+	"ptlactive/internal/event"
+	"ptlactive/internal/value"
+)
+
+func TestDBStateImmutability(t *testing.T) {
+	d0 := EmptyDB()
+	d1 := d0.With("price", value.NewFloat(10))
+	if _, ok := d0.Get("price"); ok {
+		t.Fatal("With mutated the original state")
+	}
+	v, ok := d1.Get("price")
+	if !ok || v.AsFloat() != 10 {
+		t.Fatal("With lost the update")
+	}
+	d2 := d1.WithAll(map[string]value.Value{"price": value.NewFloat(20), "dj": value.NewInt(3900)})
+	if v, _ := d1.Get("price"); v.AsFloat() != 10 {
+		t.Fatal("WithAll mutated the original")
+	}
+	if v, _ := d2.Get("price"); v.AsFloat() != 20 {
+		t.Fatal("WithAll lost update")
+	}
+	if d2.WithAll(nil).Len() != d2.Len() {
+		t.Fatal("WithAll(nil) should be identity")
+	}
+	d3 := d2.Without("dj")
+	if _, ok := d3.Get("dj"); ok || d2.Len() != 2 {
+		t.Fatal("Without wrong")
+	}
+}
+
+func TestDBStateEqualItemsString(t *testing.T) {
+	a := NewDB(map[string]value.Value{"x": value.NewInt(1), "y": value.NewInt(2)})
+	b := EmptyDB().With("y", value.NewInt(2)).With("x", value.NewInt(1))
+	if !a.Equal(b) {
+		t.Fatal("equal states not Equal")
+	}
+	if a.Equal(b.With("x", value.NewInt(3))) || a.Equal(EmptyDB()) {
+		t.Fatal("unequal states Equal")
+	}
+	if got := a.Items(); len(got) != 2 || got[0] != "x" || got[1] != "y" {
+		t.Fatalf("Items = %v", got)
+	}
+	if a.String() != "[x=1, y=2]" {
+		t.Errorf("String = %q", a.String())
+	}
+}
+
+func TestSystemStateTimeItem(t *testing.T) {
+	s := SystemState{DB: EmptyDB().With("a", value.NewInt(5)), Events: event.NewSet(), TS: 42}
+	v, ok := s.GetItem(TimeItem)
+	if !ok || v.AsInt() != 42 {
+		t.Fatal("time item should resolve to the timestamp")
+	}
+	v, ok = s.GetItem("a")
+	if !ok || v.AsInt() != 5 {
+		t.Fatal("regular item lookup failed")
+	}
+	if _, ok := s.GetItem("zzz"); ok {
+		t.Fatal("missing item should miss")
+	}
+}
+
+func commitEv(txn int64) event.Event {
+	return event.New(event.TransactionCommit, value.NewInt(txn))
+}
+
+func TestHistoryInvariants(t *testing.T) {
+	h := New()
+	db := EmptyDB().With("x", value.NewInt(1))
+	if err := h.Append(SystemState{DB: db, Events: event.NewSet(), TS: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Non-increasing timestamp rejected.
+	if err := h.Append(SystemState{DB: db, Events: event.NewSet(), TS: 1}); err == nil {
+		t.Error("equal timestamp should be rejected")
+	}
+	// DB change without commit rejected.
+	if err := h.Append(SystemState{DB: db.With("x", value.NewInt(2)), Events: event.NewSet(), TS: 2}); err == nil {
+		t.Error("db change without commit should be rejected")
+	}
+	// Two simultaneous commits rejected.
+	two := event.NewSet(commitEv(1), commitEv(2))
+	if err := h.Append(SystemState{DB: db, Events: two, TS: 2}); err == nil {
+		t.Error("two commits in one state should be rejected")
+	}
+	// Proper commit accepted.
+	if err := h.Append(SystemState{DB: db.With("x", value.NewInt(2)), Events: event.NewSet(commitEv(1)), TS: 2}); err != nil {
+		t.Errorf("valid commit rejected: %v", err)
+	}
+	if h.Len() != 2 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+}
+
+func TestHistoryAccessors(t *testing.T) {
+	h := New()
+	if _, ok := h.Last(); ok {
+		t.Fatal("Last on empty history")
+	}
+	h.MustAppend(SystemState{DB: EmptyDB(), Events: event.NewSet(), TS: 1})
+	h.MustAppend(SystemState{DB: EmptyDB(), Events: event.NewSet(commitEv(1)), TS: 3})
+	h.MustAppend(SystemState{DB: EmptyDB(), Events: event.NewSet(), TS: 7})
+	last, ok := h.Last()
+	if !ok || last.TS != 7 {
+		t.Fatal("Last wrong")
+	}
+	if h.At(1).TS != 3 || len(h.States()) != 3 {
+		t.Fatal("At/States wrong")
+	}
+	if cps := h.CommitPoints(); len(cps) != 1 || cps[0] != 1 {
+		t.Fatalf("CommitPoints = %v", cps)
+	}
+	if p := h.Prefix(2); p.Len() != 2 || p.At(1).TS != 3 {
+		t.Fatal("Prefix wrong")
+	}
+	if p := h.PrefixAtTime(3); p.Len() != 2 {
+		t.Fatalf("PrefixAtTime(3).Len = %d", p.Len())
+	}
+	if p := h.PrefixAtTime(0); p.Len() != 0 {
+		t.Fatal("PrefixAtTime before start should be empty")
+	}
+	if p := h.PrefixAtTime(100); p.Len() != 3 {
+		t.Fatal("PrefixAtTime after end should be full")
+	}
+	c := h.Clone()
+	c.MustAppend(SystemState{DB: EmptyDB(), Events: event.NewSet(), TS: 9})
+	if h.Len() != 3 || c.Len() != 4 {
+		t.Fatal("Clone not independent")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Prefix out of range should panic")
+		}
+	}()
+	h.Prefix(99)
+}
+
+func TestMustAppendPanics(t *testing.T) {
+	h := New()
+	h.MustAppend(SystemState{DB: EmptyDB(), Events: event.NewSet(), TS: 5})
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAppend should panic on invalid state")
+		}
+	}()
+	h.MustAppend(SystemState{DB: EmptyDB(), Events: event.NewSet(), TS: 5})
+}
+
+func TestBuilder(t *testing.T) {
+	b := NewBuilder(EmptyDB().With("price", value.NewFloat(10)), 0)
+	if b.Now() != 0 || b.History().Len() != 1 {
+		t.Fatal("builder init wrong")
+	}
+	if err := b.Event(1, event.New("tick")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Commit(2, 7, map[string]value.Value{"price": value.NewFloat(20)}, event.New("update_stocks")); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := b.DB().Get("price"); v.AsFloat() != 20 {
+		t.Fatal("builder db not updated")
+	}
+	h := b.History()
+	if h.Len() != 3 {
+		t.Fatalf("history Len = %d", h.Len())
+	}
+	st := h.At(2)
+	if !st.Events.Contains(event.New("update_stocks")) || st.Events.CommitCount() != 1 {
+		t.Fatal("commit state events wrong")
+	}
+	if v, _ := st.DB.Get("price"); v.AsFloat() != 20 {
+		t.Fatal("commit state db wrong")
+	}
+	// Out-of-order event propagates the error.
+	if err := b.Event(1); err == nil {
+		t.Error("out-of-order event should error")
+	}
+	if err := b.Commit(1, 8, nil); err != nil {
+		// The failing commit must not corrupt the builder db.
+		if v, _ := b.DB().Get("price"); v.AsFloat() != 20 {
+			t.Error("failed commit corrupted builder state")
+		}
+	} else {
+		t.Error("out-of-order commit should error")
+	}
+}
+
+func TestHistoryString(t *testing.T) {
+	b := NewBuilder(EmptyDB(), 0)
+	_ = b.Event(1, event.New("tick"))
+	s := b.History().String()
+	if s == "" {
+		t.Fatal("String should be nonempty")
+	}
+}

@@ -1,0 +1,144 @@
+package ptl
+
+import (
+	"fmt"
+
+	"ptlactive/internal/value"
+)
+
+// Desugar rewrites derived operators into the basic ones (Section 4.1:
+// "other temporal operators ... can be expressed in terms of the basic
+// operators"):
+//
+//	previously f            == true since f
+//	throughout f            == not previously not f
+//	g since<=d h            == [t <- time] (g since (h and time >= t - d))
+//	previously<=d f         == [t <- time] previously (f and time >= t - d)
+//	throughout<=d f         == not previously<=d not f
+//
+// The bounded forms introduce fresh time-anchored variables ($b0, $b1, ...)
+// exactly as in the paper's worked IBM example, which is what enables the
+// time-bound optimization to discard dead clauses. The result contains only
+// BoolConst, Cmp, EventAtom, Executed, Member, Not, And, Or, unbounded
+// Since, Lasttime, Assign and Agg terms.
+func Desugar(f Formula) Formula {
+	d := &desugarer{used: map[string]struct{}{}}
+	for _, v := range BoundVars(f) {
+		d.used[v] = struct{}{}
+	}
+	for _, v := range FreeVars(f) {
+		d.used[v] = struct{}{}
+	}
+	return d.formula(f)
+}
+
+type desugarer struct {
+	used map[string]struct{}
+	n    int
+}
+
+func (d *desugarer) fresh() string {
+	for {
+		cand := fmt.Sprintf("$b%d", d.n)
+		d.n++
+		if _, clash := d.used[cand]; !clash {
+			d.used[cand] = struct{}{}
+			return cand
+		}
+	}
+}
+
+// within builds `time >= t - bound` for the fresh anchor variable t.
+func within(t string, bnd int64) Formula {
+	return &Cmp{Op: value.GE, L: Time(), R: &Arith{Op: value.Sub, L: V(t), R: CInt(bnd)}}
+}
+
+func (d *desugarer) formula(f Formula) Formula {
+	switch x := f.(type) {
+	case *BoolConst:
+		return x
+	case *Cmp:
+		return &Cmp{Op: x.Op, L: d.term(x.L), R: d.term(x.R)}
+	case *EventAtom:
+		args := make([]Term, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = d.term(a)
+		}
+		return &EventAtom{Name: x.Name, Args: args}
+	case *Executed:
+		args := make([]Term, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = d.term(a)
+		}
+		return &Executed{Rule: x.Rule, Args: args, TimeArg: d.term(x.TimeArg)}
+	case *Member:
+		elems := make([]Term, len(x.Elems))
+		for i, e := range x.Elems {
+			elems[i] = d.term(e)
+		}
+		return &Member{Elems: elems, Rel: d.term(x.Rel)}
+	case *Not:
+		return &Not{F: d.formula(x.F)}
+	case *And:
+		return &And{L: d.formula(x.L), R: d.formula(x.R)}
+	case *Or:
+		return &Or{L: d.formula(x.L), R: d.formula(x.R)}
+	case *Lasttime:
+		return &Lasttime{F: d.formula(x.F)}
+	case *Since:
+		l, r := d.formula(x.L), d.formula(x.R)
+		if x.Bound < 0 {
+			return &Since{L: l, R: r, Bound: Unbounded}
+		}
+		t := d.fresh()
+		return &Assign{Var: t, Q: Time(),
+			Body: &Since{L: l, R: &And{L: r, R: within(t, x.Bound)}, Bound: Unbounded}}
+	case *Previously:
+		inner := d.formula(x.F)
+		if x.Bound < 0 {
+			return &Since{L: TTrue, R: inner, Bound: Unbounded}
+		}
+		t := d.fresh()
+		return &Assign{Var: t, Q: Time(),
+			Body: &Since{L: TTrue, R: &And{L: inner, R: within(t, x.Bound)}, Bound: Unbounded}}
+	case *Throughout:
+		return &Not{F: d.formula(&Previously{F: &Not{F: x.F}, Bound: x.Bound})}
+	case *Until:
+		return &Until{L: d.formula(x.L), R: d.formula(x.R), Bound: x.Bound}
+	case *Nexttime:
+		return &Nexttime{F: d.formula(x.F)}
+	case *Eventually:
+		return &Until{L: TTrue, R: d.formula(x.F), Bound: x.Bound}
+	case *Always:
+		return &Not{F: &Until{L: TTrue, R: d.formula(&Not{F: x.F}), Bound: x.Bound}}
+	case *Assign:
+		return &Assign{Var: x.Var, Q: d.term(x.Q), Body: d.formula(x.Body)}
+	default:
+		return f
+	}
+}
+
+func (d *desugarer) term(t Term) Term {
+	switch x := t.(type) {
+	case *Const, *Var:
+		return t
+	case *Call:
+		args := make([]Term, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = d.term(a)
+		}
+		return &Call{Fn: x.Fn, Args: args}
+	case *Arith:
+		return &Arith{Op: x.Op, L: d.term(x.L), R: d.term(x.R)}
+	case *Neg:
+		return &Neg{X: d.term(x.X)}
+	case *Agg:
+		out := &Agg{Fn: x.Fn, Q: d.term(x.Q), Sample: d.formula(x.Sample), Window: x.Window}
+		if x.Start != nil {
+			out.Start = d.formula(x.Start)
+		}
+		return out
+	default:
+		return t
+	}
+}

@@ -1,0 +1,28 @@
+package ptl
+
+import "ptlactive/internal/value"
+
+// Execution records one rule execution for the executed predicate
+// (Section 7): the rule fired with the given parameter list and its action
+// committed by the given time.
+type Execution struct {
+	Rule   string
+	Params []value.Value
+	Time   int64
+}
+
+// ExecLog supplies recorded rule executions to the evaluators. The
+// predicate executed(r, x, t) consults this log; the engine in
+// internal/adb maintains it as an auxiliary relation.
+type ExecLog interface {
+	// Executions returns the recorded executions of the named rule with
+	// execution time strictly before the given instant, in any order.
+	Executions(rule string, before int64) []Execution
+}
+
+// NoExecutions is an ExecLog with no recorded executions; evaluators use
+// it when no engine is attached.
+type NoExecutions struct{}
+
+// Executions always returns nil.
+func (NoExecutions) Executions(rule string, before int64) []Execution { return nil }

@@ -1,0 +1,268 @@
+package ptl
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+	"unicode/utf8"
+)
+
+// tokKind enumerates token kinds of the concrete syntax.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokFloat
+	tokString
+	tokLParen
+	tokRParen
+	tokLBracket
+	tokRBracket
+	tokComma
+	tokSemi
+	tokAt
+	tokArrow // <-
+	tokPlus
+	tokMinus
+	tokStar
+	tokSlash
+	tokEQ // =
+	tokNE // !=
+	tokLT
+	tokLE
+	tokGT
+	tokGE
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokInt:
+		return "integer"
+	case tokFloat:
+		return "float"
+	case tokString:
+		return "string"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokLBracket:
+		return "'['"
+	case tokRBracket:
+		return "']'"
+	case tokComma:
+		return "','"
+	case tokSemi:
+		return "';'"
+	case tokAt:
+		return "'@'"
+	case tokArrow:
+		return "'<-'"
+	case tokPlus:
+		return "'+'"
+	case tokMinus:
+		return "'-'"
+	case tokStar:
+		return "'*'"
+	case tokSlash:
+		return "'/'"
+	case tokEQ:
+		return "'='"
+	case tokNE:
+		return "'!='"
+	case tokLT:
+		return "'<'"
+	case tokLE:
+		return "'<='"
+	case tokGT:
+		return "'>'"
+	case tokGE:
+		return "'>='"
+	default:
+		return fmt.Sprintf("token(%d)", int(k))
+	}
+}
+
+// token is one lexeme with its source position (byte offset).
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+// lex tokenizes the input. It returns a token slice ending with tokEOF or
+// a positioned error.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(src)
+	emit := func(k tokKind, text string, pos int) {
+		toks = append(toks, token{kind: k, text: text, pos: pos})
+	}
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '#': // comment to end of line
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '(':
+			emit(tokLParen, "(", i)
+			i++
+		case c == ')':
+			emit(tokRParen, ")", i)
+			i++
+		case c == '[':
+			emit(tokLBracket, "[", i)
+			i++
+		case c == ']':
+			emit(tokRBracket, "]", i)
+			i++
+		case c == ',':
+			emit(tokComma, ",", i)
+			i++
+		case c == ';':
+			emit(tokSemi, ";", i)
+			i++
+		case c == '@':
+			emit(tokAt, "@", i)
+			i++
+		case c == '+':
+			emit(tokPlus, "+", i)
+			i++
+		case c == '*':
+			emit(tokStar, "*", i)
+			i++
+		case c == '/':
+			emit(tokSlash, "/", i)
+			i++
+		case c == '-':
+			emit(tokMinus, "-", i)
+			i++
+		case c == '=':
+			emit(tokEQ, "=", i)
+			i++
+		case c == '!':
+			if i+1 < n && src[i+1] == '=' {
+				emit(tokNE, "!=", i)
+				i += 2
+			} else {
+				return nil, fmt.Errorf("ptl: offset %d: unexpected '!' (use != or not)", i)
+			}
+		case c == '<':
+			switch {
+			case i+1 < n && src[i+1] == '-':
+				emit(tokArrow, "<-", i)
+				i += 2
+			case i+1 < n && src[i+1] == '=':
+				emit(tokLE, "<=", i)
+				i += 2
+			default:
+				emit(tokLT, "<", i)
+				i++
+			}
+		case c == '>':
+			if i+1 < n && src[i+1] == '=' {
+				emit(tokGE, ">=", i)
+				i += 2
+			} else {
+				emit(tokGT, ">", i)
+				i++
+			}
+		case c == '"':
+			// Scan to the unescaped closing quote, then decode with
+			// strconv.Unquote so every escape the printer (strconv.Quote)
+			// can emit is accepted.
+			start := i
+			i++
+			closed := false
+			for i < n {
+				if src[i] == '\\' && i+1 < n {
+					i += 2
+					continue
+				}
+				if src[i] == '"' {
+					closed = true
+					i++
+					break
+				}
+				if src[i] == '\n' {
+					break
+				}
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("ptl: offset %d: unterminated string", start)
+			}
+			text, err := strconv.Unquote(src[start:i])
+			if err != nil {
+				return nil, fmt.Errorf("ptl: offset %d: bad string literal: %v", start, err)
+			}
+			emit(tokString, text, start)
+		case c >= '0' && c <= '9':
+			start := i
+			for i < n && src[i] >= '0' && src[i] <= '9' {
+				i++
+			}
+			isFloat := false
+			if i+1 < n && src[i] == '.' && src[i+1] >= '0' && src[i+1] <= '9' {
+				isFloat = true
+				i++
+				for i < n && src[i] >= '0' && src[i] <= '9' {
+					i++
+				}
+			}
+			if i < n && (src[i] == 'e' || src[i] == 'E') {
+				j := i + 1
+				if j < n && (src[j] == '+' || src[j] == '-') {
+					j++
+				}
+				if j < n && src[j] >= '0' && src[j] <= '9' {
+					isFloat = true
+					i = j
+					for i < n && src[i] >= '0' && src[i] <= '9' {
+						i++
+					}
+				}
+			}
+			if isFloat {
+				emit(tokFloat, src[start:i], start)
+			} else {
+				emit(tokInt, src[start:i], start)
+			}
+		default:
+			r, size := utf8.DecodeRuneInString(src[i:])
+			if !isIdentStart(r) {
+				return nil, fmt.Errorf("ptl: offset %d: unexpected character %q", i, string(r))
+			}
+			start := i
+			i += size
+			for i < n {
+				r, size := utf8.DecodeRuneInString(src[i:])
+				if !isIdentPart(r) {
+					break
+				}
+				i += size
+			}
+			emit(tokIdent, src[start:i], start)
+		}
+	}
+	emit(tokEOF, "", n)
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || r == '$' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || r == '$' || r == '#' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

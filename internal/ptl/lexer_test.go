@@ -1,0 +1,126 @@
+package ptl
+
+import "testing"
+
+func kinds(t *testing.T, src string) []tokKind {
+	t.Helper()
+	toks, err := lex(src)
+	if err != nil {
+		t.Fatalf("lex(%q): %v", src, err)
+	}
+	out := make([]tokKind, len(toks))
+	for i, tk := range toks {
+		out[i] = tk.kind
+	}
+	return out
+}
+
+func TestLexTokens(t *testing.T) {
+	got := kinds(t, `[x <- time] @e(1, 2.5) and x <= -3 != "s" ; mod`)
+	want := []tokKind{
+		tokLBracket, tokIdent, tokArrow, tokIdent, tokRBracket,
+		tokAt, tokIdent, tokLParen, tokInt, tokComma, tokFloat, tokRParen,
+		tokIdent, tokIdent, tokLE, tokMinus, tokInt, tokNE, tokString,
+		tokSemi, tokIdent, tokEOF,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("token count %d, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	got := kinds(t, `< <= <- > >= = != + - * /`)
+	want := []tokKind{tokLT, tokLE, tokArrow, tokGT, tokGE, tokEQ, tokNE,
+		tokPlus, tokMinus, tokStar, tokSlash, tokEOF}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks, err := lex(`42 3.14 1e3 2E-2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKinds := []tokKind{tokInt, tokFloat, tokFloat, tokFloat, tokEOF}
+	wantText := []string{"42", "3.14", "1e3", "2E-2", ""}
+	for i := range wantKinds {
+		if toks[i].kind != wantKinds[i] || toks[i].text != wantText[i] {
+			t.Fatalf("token %d = %s %q", i, toks[i].kind, toks[i].text)
+		}
+	}
+	// 7.x is int then error on '.'.
+	if _, err := lex(`7.`); err == nil {
+		t.Error("trailing dot should fail to lex")
+	}
+	// 1e without digits is an int followed by an identifier.
+	toks, err = lex(`1e`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].kind != tokInt || toks[1].kind != tokIdent {
+		t.Fatalf("1e lexed as %v", toks)
+	}
+}
+
+func TestLexStrings(t *testing.T) {
+	toks, err := lex(`"a\"b" "tab\t" "nl\n" "back\\"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{`a"b`, "tab\t", "nl\n", `back\`}
+	for i, w := range want {
+		if toks[i].kind != tokString || toks[i].text != w {
+			t.Fatalf("string %d = %q", i, toks[i].text)
+		}
+	}
+	for _, bad := range []string{`"open`, `"bad\q"`, `!x`, "\x01"} {
+		if _, err := lex(bad); err == nil {
+			t.Errorf("lex(%q) should fail", bad)
+		}
+	}
+}
+
+func TestLexCommentsAndPositions(t *testing.T) {
+	toks, err := lex("a # rest of line\nb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 3 || toks[0].text != "a" || toks[1].text != "b" {
+		t.Fatalf("tokens = %v", toks)
+	}
+	if toks[1].pos <= toks[0].pos {
+		t.Fatal("positions not increasing")
+	}
+}
+
+func TestLexIdentifiers(t *testing.T) {
+	toks, err := lex(`_x $b0 x#1 übér x9`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"_x", "$b0", "x#1", "übér", "x9"}
+	for i, w := range want {
+		if toks[i].kind != tokIdent || toks[i].text != w {
+			t.Fatalf("ident %d = %q, want %q", i, toks[i].text, w)
+		}
+	}
+}
+
+func TestTokKindStrings(t *testing.T) {
+	for k := tokEOF; k <= tokGE; k++ {
+		if k.String() == "" {
+			t.Fatalf("empty string for kind %d", int(k))
+		}
+	}
+	if tokKind(99).String() == "" {
+		t.Fatal("unknown kind should still render")
+	}
+}

@@ -1,0 +1,168 @@
+// Package query is the query layer between the logic and the database: PTL
+// function symbols that denote database queries (Section 4.1, e.g.
+// OVERPRICED or price(IBM)) resolve against a Registry of named Go
+// functions evaluated on a system state. The logic stays independent of the
+// data model, exactly as the paper requires: any query language can be
+// plugged in by registering functions.
+package query
+
+import (
+	"fmt"
+	"sort"
+
+	"ptlactive/internal/history"
+	"ptlactive/internal/relation"
+	"ptlactive/internal/value"
+)
+
+// Func is a registered query: given the current system state and actual
+// parameters, it returns a scalar or relation value.
+type Func func(st history.SystemState, args []value.Value) (value.Value, error)
+
+// Registry maps function symbols to query implementations. The reserved
+// symbol "item" (arity 1) reads a database item by name and is always
+// present; "time" (arity 0) reads the state timestamp.
+type Registry struct {
+	funcs map[string]entry
+}
+
+type entry struct {
+	fn    Func
+	arity int // -1 means variadic
+}
+
+// NewRegistry returns a registry with the built-in symbols installed.
+func NewRegistry() *Registry {
+	r := &Registry{funcs: make(map[string]entry)}
+	r.mustRegister("item", 1, func(st history.SystemState, args []value.Value) (value.Value, error) {
+		if args[0].Kind() != value.String {
+			return value.Value{}, fmt.Errorf("query: item() wants a string name, got %s", args[0].Kind())
+		}
+		name := args[0].AsString()
+		v, ok := st.GetItem(name)
+		if !ok {
+			return value.Value{}, fmt.Errorf("query: unknown database item %q", name)
+		}
+		return v, nil
+	})
+	r.mustRegister("time", 0, func(st history.SystemState, args []value.Value) (value.Value, error) {
+		return st.Time(), nil
+	})
+	return r
+}
+
+// Register installs a query function with a fixed arity (use -1 for
+// variadic). Re-registering a name is an error; the built-ins cannot be
+// replaced.
+func (r *Registry) Register(name string, arity int, fn Func) error {
+	if name == "" {
+		return fmt.Errorf("query: empty function name")
+	}
+	if _, dup := r.funcs[name]; dup {
+		return fmt.Errorf("query: function %q already registered", name)
+	}
+	if fn == nil {
+		return fmt.Errorf("query: nil function for %q", name)
+	}
+	r.funcs[name] = entry{fn: fn, arity: arity}
+	return nil
+}
+
+func (r *Registry) mustRegister(name string, arity int, fn Func) {
+	if err := r.Register(name, arity, fn); err != nil {
+		panic(err)
+	}
+}
+
+// Has reports whether a symbol is registered.
+func (r *Registry) Has(name string) bool {
+	_, ok := r.funcs[name]
+	return ok
+}
+
+// Arity returns the declared arity of a symbol (-1 for variadic); the
+// second result is false for unknown symbols.
+func (r *Registry) Arity(name string) (int, bool) {
+	e, ok := r.funcs[name]
+	return e.arity, ok
+}
+
+// Names returns the sorted registered symbols.
+func (r *Registry) Names() []string {
+	out := make([]string, 0, len(r.funcs))
+	for k := range r.funcs {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Eval evaluates a registered query on a system state.
+func (r *Registry) Eval(name string, st history.SystemState, args []value.Value) (value.Value, error) {
+	e, ok := r.funcs[name]
+	if !ok {
+		return value.Value{}, fmt.Errorf("query: unknown function %q", name)
+	}
+	if e.arity >= 0 && len(args) != e.arity {
+		return value.Value{}, fmt.Errorf("query: %s expects %d arguments, got %d", name, e.arity, len(args))
+	}
+	return e.fn(st, args)
+}
+
+// RegisterItemField installs a convenience query name(key) that treats
+// database item `itemName` as a relation, looks up the row whose column
+// `keyCol` equals the argument, and returns that row's `valCol`. This is
+// the shape of the paper's price(IBM) over a STOCK-FOR-SALE-style
+// relation.
+func (r *Registry) RegisterItemField(name, itemName string, schema *relation.Schema, keyCol, valCol string) error {
+	ki := schema.ColumnIndex(keyCol)
+	vi := schema.ColumnIndex(valCol)
+	if ki < 0 || vi < 0 {
+		return fmt.Errorf("query: item field columns %q/%q not in schema %s", keyCol, valCol, schema)
+	}
+	return r.Register(name, 1, func(st history.SystemState, args []value.Value) (value.Value, error) {
+		iv, ok := st.GetItem(itemName)
+		if !ok {
+			return value.Value{}, fmt.Errorf("query: %s: unknown database item %q", name, itemName)
+		}
+		if iv.Kind() != value.Relation {
+			return value.Value{}, fmt.Errorf("query: %s: item %q is %s, want relation", name, itemName, iv.Kind())
+		}
+		for _, row := range iv.Rows() {
+			if row[ki].Equal(args[0]) {
+				return row[vi], nil
+			}
+		}
+		return value.Value{}, fmt.Errorf("query: %s: no row with %s = %s", name, keyCol, args[0])
+	})
+}
+
+// RegisterSelect installs a relational query name() over the database item
+// `itemName` that returns the rows satisfying pred, projected onto the
+// named columns. This mirrors the paper's RETRIEVE ... WHERE ... example
+// (OVERPRICED).
+func (r *Registry) RegisterSelect(name, itemName string, schema *relation.Schema, pred func(row []value.Value) bool, projectCols ...string) error {
+	for _, c := range projectCols {
+		if schema.ColumnIndex(c) < 0 {
+			return fmt.Errorf("query: select projection column %q not in schema %s", c, schema)
+		}
+	}
+	return r.Register(name, 0, func(st history.SystemState, args []value.Value) (value.Value, error) {
+		iv, ok := st.GetItem(itemName)
+		if !ok {
+			return value.Value{}, fmt.Errorf("query: %s: unknown database item %q", name, itemName)
+		}
+		rel, err := relation.FromValue(schema, iv)
+		if err != nil {
+			return value.Value{}, fmt.Errorf("query: %s: %v", name, err)
+		}
+		sel := rel.Select(pred)
+		if len(projectCols) > 0 {
+			sel, err = sel.Project(projectCols...)
+			if err != nil {
+				return value.Value{}, fmt.Errorf("query: %s: %v", name, err)
+			}
+		}
+		return sel.Value(), nil
+	})
+}

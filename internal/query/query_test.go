@@ -1,0 +1,178 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"ptlactive/internal/event"
+	"ptlactive/internal/history"
+	"ptlactive/internal/relation"
+	"ptlactive/internal/value"
+)
+
+func state(items map[string]value.Value, ts int64) history.SystemState {
+	return history.SystemState{DB: history.NewDB(items), Events: event.NewSet(), TS: ts}
+}
+
+func TestBuiltins(t *testing.T) {
+	r := NewRegistry()
+	st := state(map[string]value.Value{"dj": value.NewInt(3900)}, 42)
+
+	v, err := r.Eval("item", st, []value.Value{value.NewString("dj")})
+	if err != nil || v.AsInt() != 3900 {
+		t.Fatalf("item(dj) = %v, %v", v, err)
+	}
+	v, err = r.Eval("time", st, nil)
+	if err != nil || v.AsInt() != 42 {
+		t.Fatalf("time() = %v, %v", v, err)
+	}
+	// item resolves the reserved "time" data item too.
+	v, err = r.Eval("item", st, []value.Value{value.NewString("time")})
+	if err != nil || v.AsInt() != 42 {
+		t.Fatalf("item(time) = %v, %v", v, err)
+	}
+	if _, err := r.Eval("item", st, []value.Value{value.NewString("missing")}); err == nil {
+		t.Error("missing item should error")
+	}
+	if _, err := r.Eval("item", st, []value.Value{value.NewInt(1)}); err == nil {
+		t.Error("non-string item name should error")
+	}
+	if _, err := r.Eval("item", st, nil); err == nil {
+		t.Error("wrong arity should error")
+	}
+	if _, err := r.Eval("nope", st, nil); err == nil {
+		t.Error("unknown function should error")
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register("", 0, nil); err == nil {
+		t.Error("empty name should error")
+	}
+	if err := r.Register("f", 0, nil); err == nil {
+		t.Error("nil function should error")
+	}
+	ok := func(st history.SystemState, args []value.Value) (value.Value, error) {
+		return value.True, nil
+	}
+	if err := r.Register("f", 0, ok); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register("f", 0, ok); err == nil {
+		t.Error("duplicate registration should error")
+	}
+	if err := r.Register("item", 1, ok); err == nil {
+		t.Error("built-in must not be replaceable")
+	}
+	if !r.Has("f") || r.Has("zzz") {
+		t.Error("Has wrong")
+	}
+	if a, ok := r.Arity("item"); !ok || a != 1 {
+		t.Error("Arity(item) wrong")
+	}
+	if _, ok := r.Arity("zzz"); ok {
+		t.Error("Arity of unknown should miss")
+	}
+	names := r.Names()
+	if len(names) < 3 || names[0] > names[len(names)-1] {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestVariadic(t *testing.T) {
+	r := NewRegistry()
+	_ = r.Register("count", -1, func(st history.SystemState, args []value.Value) (value.Value, error) {
+		return value.NewInt(int64(len(args))), nil
+	})
+	st := state(nil, 0)
+	for n := 0; n < 4; n++ {
+		args := make([]value.Value, n)
+		for i := range args {
+			args[i] = value.NewInt(int64(i))
+		}
+		v, err := r.Eval("count", st, args)
+		if err != nil || v.AsInt() != int64(n) {
+			t.Fatalf("count with %d args = %v, %v", n, v, err)
+		}
+	}
+}
+
+func stocksSchema() *relation.Schema {
+	return relation.MustSchema(
+		relation.Column{Name: "name", Kind: value.String},
+		relation.Column{Name: "price", Kind: value.Float},
+		relation.Column{Name: "company", Kind: value.String},
+		relation.Column{Name: "category", Kind: value.String},
+	)
+}
+
+func stocksItem() value.Value {
+	return value.NewRelation([][]value.Value{
+		{value.NewString("IBM"), value.NewFloat(72), value.NewString("IBM Corp"), value.NewString("tech")},
+		{value.NewString("XYZ"), value.NewFloat(310), value.NewString("XYZ Inc"), value.NewString("tech")},
+		{value.NewString("OIL"), value.NewFloat(305), value.NewString("Oil Co"), value.NewString("energy")},
+	})
+}
+
+func TestRegisterItemField(t *testing.T) {
+	r := NewRegistry()
+	if err := r.RegisterItemField("price", "stock_for_sale", stocksSchema(), "name", "price"); err != nil {
+		t.Fatal(err)
+	}
+	st := state(map[string]value.Value{"stock_for_sale": stocksItem()}, 1)
+	v, err := r.Eval("price", st, []value.Value{value.NewString("IBM")})
+	if err != nil || v.AsFloat() != 72 {
+		t.Fatalf("price(IBM) = %v, %v", v, err)
+	}
+	if _, err := r.Eval("price", st, []value.Value{value.NewString("NONE")}); err == nil {
+		t.Error("missing key should error")
+	}
+	// Missing item and non-relation item.
+	if _, err := r.Eval("price", state(nil, 1), []value.Value{value.NewString("IBM")}); err == nil {
+		t.Error("missing item should error")
+	}
+	bad := state(map[string]value.Value{"stock_for_sale": value.NewInt(1)}, 1)
+	if _, err := r.Eval("price", bad, []value.Value{value.NewString("IBM")}); err == nil {
+		t.Error("scalar item should error")
+	}
+	// Column validation at registration time.
+	if err := r.RegisterItemField("bad", "stock_for_sale", stocksSchema(), "nope", "price"); err == nil {
+		t.Error("unknown key column should error")
+	}
+}
+
+// TestRegisterSelect reproduces the paper's OVERPRICED query:
+// RETRIEVE (STOCK-FOR-SALE.name) WHERE STOCK-FOR-SALE.price >= 300.
+func TestRegisterSelect(t *testing.T) {
+	r := NewRegistry()
+	err := r.RegisterSelect("overpriced", "stock_for_sale", stocksSchema(),
+		func(row []value.Value) bool { return row[1].AsFloat() >= 300 }, "name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := state(map[string]value.Value{"stock_for_sale": stocksItem()}, 1)
+	v, err := r.Eval("overpriced", st, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Kind() != value.Relation || v.NumRows() != 2 {
+		t.Fatalf("overpriced = %v", v)
+	}
+	names := map[string]bool{}
+	for _, row := range v.Rows() {
+		names[row[0].AsString()] = true
+	}
+	if !names["XYZ"] || !names["OIL"] || names["IBM"] {
+		t.Errorf("overpriced names = %v", names)
+	}
+	// Projection column validation.
+	if err := r.RegisterSelect("bad", "x", stocksSchema(), nil, "nope"); err == nil ||
+		!strings.Contains(err.Error(), "projection") {
+		t.Error("unknown projection column should error")
+	}
+	// Missing item errors at eval.
+	if _, err := r.Eval("overpriced", state(nil, 1), nil); err == nil {
+		t.Error("missing item should error at eval")
+	}
+}

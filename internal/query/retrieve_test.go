@@ -1,0 +1,129 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"ptlactive/internal/value"
+)
+
+// TestRetrieveOverpriced is the paper's Section-4.1 query verbatim (modulo
+// identifier punctuation): retrieve the names of stocks priced >= 300.
+func TestRetrieveOverpriced(t *testing.T) {
+	reg := NewRegistry()
+	err := reg.RegisterRetrieve("overpriced",
+		`RETRIEVE (stock_for_sale.name) WHERE stock_for_sale.price >= 300`,
+		stocksSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := state(map[string]value.Value{"stock_for_sale": stocksItem()}, 1)
+	v, err := reg.Eval("overpriced", st, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, row := range v.Rows() {
+		names[row[0].AsString()] = true
+	}
+	if !names["XYZ"] || !names["OIL"] || names["IBM"] || len(names) != 2 {
+		t.Fatalf("overpriced = %v", names)
+	}
+}
+
+func TestRetrieveWhereForms(t *testing.T) {
+	reg := NewRegistry()
+	st := state(map[string]value.Value{"s": stocksItem()}, 1)
+	cases := map[string]int{
+		`RETRIEVE (s.name)`:                                                3,
+		`RETRIEVE (s.name) WHERE s.category = "tech"`:                      2,
+		`RETRIEVE (s.name) WHERE s.category = "tech" AND s.price < 100`:    1,
+		`RETRIEVE (s.name) WHERE s.category = "energy" OR s.price < 100`:   2,
+		`RETRIEVE (s.name) WHERE NOT s.category = "tech"`:                  1,
+		`RETRIEVE (s.name) WHERE (s.price >= 300 AND s.category = "tech")`: 1,
+		`RETRIEVE (s.name, s.price) WHERE s.name != "IBM"`:                 2,
+		`RETRIEVE (s.name) WHERE s.company = s.company`:                    3,
+		`RETRIEVE (s.name) WHERE s.price > 304.5 AND s.price <= 310`:       2,
+		`retrieve (s.name) where s.price = 72`:                             1,
+	}
+	for src, want := range cases {
+		name := "q" + strings.ReplaceAll(strings.ReplaceAll(src, " ", ""), "\"", "")
+		if err := reg.RegisterRetrieve(name, src, stocksSchema()); err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		v, err := reg.Eval(name, st, nil)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		if v.NumRows() != want {
+			t.Errorf("%q = %d rows, want %d\n%v", src, v.NumRows(), want, v)
+		}
+	}
+}
+
+func TestRetrieveErrors(t *testing.T) {
+	reg := NewRegistry()
+	bad := []string{
+		``,
+		`SELECT (s.name)`,
+		`RETRIEVE s.name`,
+		`RETRIEVE (s.nope)`,
+		`RETRIEVE (s.name) WHERE s.price`,
+		`RETRIEVE (s.name) WHERE s.price >= `,
+		`RETRIEVE (s.name) WHERE t.price >= 300`,
+		`RETRIEVE (s.name, t.price)`,
+		`RETRIEVE (s.name) WHERE s.price >= 300 trailing`,
+		`RETRIEVE (s.name) WHERE (s.price >= 300`,
+		`RETRIEVE (s.name) WHERE s.price >= 30.0.0`,
+		`RETRIEVE (s.`,
+		`RETRIEVE (`,
+	}
+	for i, src := range bad {
+		if err := reg.RegisterRetrieve("bad"+strings.Repeat("x", i), src, stocksSchema()); err == nil {
+			t.Errorf("RegisterRetrieve(%q) should fail", src)
+		}
+	}
+}
+
+func TestRetrieveRuntimeErrors(t *testing.T) {
+	reg := NewRegistry()
+	err := reg.RegisterRetrieve("q", `RETRIEVE (s.name) WHERE s.price >= 300`, stocksSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Missing item.
+	if _, err := reg.Eval("q", state(nil, 1), nil); err == nil {
+		t.Error("missing item should error")
+	}
+	// Item with wrong shape.
+	badState := state(map[string]value.Value{"s": value.NewInt(3)}, 1)
+	if _, err := reg.Eval("q", badState, nil); err == nil {
+		t.Error("scalar item should error")
+	}
+	// Cross-kind ordering inside WHERE surfaces as an error.
+	err = reg.RegisterRetrieve("q2", `RETRIEVE (s.name) WHERE s.name > 3`, stocksSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	okState := state(map[string]value.Value{"s": stocksItem()}, 1)
+	if _, err := reg.Eval("q2", okState, nil); err == nil {
+		t.Error("string > int should error at evaluation")
+	}
+}
+
+// TestRetrieveInsideCondition wires a RETRIEVE query into a PTL-style use:
+// the engine-level usage goes through membership, exercised in core and
+// adb; here we check relation output composes with FromValue consumers.
+func TestRetrieveBoolLiterals(t *testing.T) {
+	reg := NewRegistry()
+	schema := stocksSchema()
+	err := reg.RegisterRetrieve("q", `RETRIEVE (s.name) WHERE true AND NOT false`, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := state(map[string]value.Value{"s": stocksItem()}, 1)
+	v, err := reg.Eval("q", st, nil)
+	if err != nil || v.NumRows() != 3 {
+		t.Fatalf("rows=%d err=%v", v.NumRows(), err)
+	}
+}

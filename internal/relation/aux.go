@@ -1,0 +1,176 @@
+package relation
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ptlactive/internal/value"
+)
+
+// TEndMax is the open T_end of a currently valid interval, the paper's
+// "MAX" sentinel.
+const TEndMax = int64(math.MaxInt64)
+
+// Aux is an auxiliary relation as described in Section 5: it captures the
+// values of a query q over time. For a k-ary query it holds k+2 attributes;
+// the last two, T_start and T_end, delimit the half-open interval
+// [T_start, T_end) of timestamps during which the tuple belonged to the
+// query's value. Scalar queries are captured as 1-ary relations.
+//
+// Aux supports exactly the two operations the algorithm needs:
+// Capture(t, rows) — record the query value observed at time t — and
+// AsOf(t) — retrieve the value the query had at time t by a selection on
+// the interval columns followed by a projection that drops them.
+type Aux struct {
+	schema *Schema // schema of the captured query (without interval columns)
+	rows   []auxRow
+	// open maps tuple key -> index of the currently open row, if any.
+	open map[string]int
+	// lastCapture is the timestamp of the latest Capture; captures must be
+	// in nondecreasing time order in the transaction-time model.
+	lastCapture int64
+	captured    bool
+}
+
+type auxRow struct {
+	tuple  []value.Value
+	tstart int64
+	tend   int64 // TEndMax while open
+}
+
+// NewAux creates an auxiliary relation for a query with the given schema.
+func NewAux(schema *Schema) *Aux {
+	return &Aux{schema: schema, open: make(map[string]int)}
+}
+
+// Schema returns the captured query's schema (without interval columns).
+func (a *Aux) Schema() *Schema { return a.schema }
+
+// Len returns the total number of interval rows retained (open + closed).
+// This is the state-size metric benched in E2.
+func (a *Aux) Len() int { return len(a.rows) }
+
+// Capture records that the query's value at time t is exactly rows.
+// Tuples that appear open and are no longer in rows get T_end = t; tuples
+// not currently open get a new interval [t, MAX). Capture times must be
+// nondecreasing.
+func (a *Aux) Capture(t int64, rows [][]value.Value) error {
+	if a.captured && t < a.lastCapture {
+		return fmt.Errorf("relation: aux capture at %d before previous capture at %d", t, a.lastCapture)
+	}
+	a.captured = true
+	a.lastCapture = t
+	now := make(map[string][]value.Value, len(rows))
+	for _, row := range rows {
+		if err := a.schema.checkTuple(row); err != nil {
+			return err
+		}
+		now[rowKey(row)] = row
+	}
+	// Close intervals of tuples that disappeared.
+	for k, i := range a.open {
+		if _, still := now[k]; !still {
+			a.rows[i].tend = t
+			delete(a.open, k)
+		}
+	}
+	// Open intervals for new tuples.
+	for k, row := range now {
+		if _, already := a.open[k]; already {
+			continue
+		}
+		cp := make([]value.Value, len(row))
+		copy(cp, row)
+		a.open[k] = len(a.rows)
+		a.rows = append(a.rows, auxRow{tuple: cp, tstart: t, tend: TEndMax})
+	}
+	return nil
+}
+
+// AsOf returns the query value at time t: all tuples whose interval
+// contains t. The result is a fresh relation over the query schema (the
+// paper's "selection followed by a projection").
+func (a *Aux) AsOf(t int64) *Relation {
+	out := New(a.schema)
+	for _, r := range a.rows {
+		if r.tstart <= t && t < r.tend {
+			// Validated at capture; ignore the impossible duplicate error.
+			_ = out.Insert(r.tuple)
+		}
+	}
+	return out
+}
+
+// Prune discards every interval that ended at or before the watermark t.
+// The incremental algorithm calls this once the time-bound optimization
+// proves no condition can refer back before t, which is what keeps state
+// bounded for bounded operators.
+func (a *Aux) Prune(t int64) int {
+	kept := a.rows[:0]
+	dropped := 0
+	for _, r := range a.rows {
+		if r.tend <= t {
+			dropped++
+			continue
+		}
+		kept = append(kept, r)
+	}
+	a.rows = kept
+	// Rebuild the open index since positions moved.
+	for k := range a.open {
+		delete(a.open, k)
+	}
+	for i, r := range a.rows {
+		if r.tend == TEndMax {
+			a.open[rowKey(r.tuple)] = i
+		}
+	}
+	return dropped
+}
+
+// Intervals returns (tstart, tend) pairs for a given tuple, sorted by
+// start; used by tests and the inspection CLI.
+func (a *Aux) Intervals(row []value.Value) [][2]int64 {
+	k := rowKey(row)
+	var out [][2]int64
+	for _, r := range a.rows {
+		if rowKey(r.tuple) == k {
+			out = append(out, [2]int64{r.tstart, r.tend})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// ScalarAux captures a scalar-valued query over time. It is the common
+// case for bindings like [x <- price(IBM)]: one value per instant.
+type ScalarAux struct {
+	aux *Aux
+}
+
+// NewScalarAux creates a scalar auxiliary relation.
+func NewScalarAux() *ScalarAux {
+	return &ScalarAux{aux: NewAux(MustSchema(Column{Name: "v"}))}
+}
+
+// Capture records the scalar value at time t.
+func (s *ScalarAux) Capture(t int64, v value.Value) error {
+	return s.aux.Capture(t, [][]value.Value{{v}})
+}
+
+// AsOf returns the scalar value at time t. ok is false when t predates the
+// first capture.
+func (s *ScalarAux) AsOf(t int64) (value.Value, bool) {
+	r := s.aux.AsOf(t)
+	if r.Len() == 0 {
+		return value.Value{}, false
+	}
+	return r.Rows()[0][0], true
+}
+
+// Len returns the number of retained interval rows.
+func (s *ScalarAux) Len() int { return s.aux.Len() }
+
+// Prune discards intervals ending at or before t.
+func (s *ScalarAux) Prune(t int64) int { return s.aux.Prune(t) }

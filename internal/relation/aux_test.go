@@ -1,0 +1,171 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ptlactive/internal/value"
+)
+
+func TestAuxCaptureAsOf(t *testing.T) {
+	a := NewAux(stockSchema())
+	_ = a.Capture(1, [][]value.Value{row("ibm", 10)})
+	_ = a.Capture(2, [][]value.Value{row("ibm", 15)})
+	_ = a.Capture(5, [][]value.Value{row("ibm", 18), row("xyz", 100)})
+	_ = a.Capture(8, [][]value.Value{row("xyz", 100)})
+
+	type q struct {
+		t    int64
+		want [][]value.Value
+	}
+	cases := []q{
+		{0, nil},
+		{1, [][]value.Value{row("ibm", 10)}},
+		{3, [][]value.Value{row("ibm", 15)}}, // interval [2,5) covers 3
+		{5, [][]value.Value{row("ibm", 18), row("xyz", 100)}},
+		{7, [][]value.Value{row("ibm", 18), row("xyz", 100)}},
+		{8, [][]value.Value{row("xyz", 100)}},
+		{100, [][]value.Value{row("xyz", 100)}}, // open interval
+	}
+	for _, c := range cases {
+		got := a.AsOf(c.t)
+		want, _ := FromRows(stockSchema(), c.want)
+		if !got.Equal(want) {
+			t.Errorf("AsOf(%d) = %v, want %v", c.t, got, want)
+		}
+	}
+}
+
+func TestAuxCaptureOrderEnforced(t *testing.T) {
+	a := NewAux(stockSchema())
+	if err := a.Capture(5, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Capture(3, nil); err == nil {
+		t.Error("out-of-order capture should error")
+	}
+	if err := a.Capture(5, [][]value.Value{row("a", 1)}); err != nil {
+		t.Errorf("equal-time capture should be allowed: %v", err)
+	}
+	if err := a.Capture(6, [][]value.Value{{value.NewInt(1), value.NewInt(2)}}); err == nil {
+		t.Error("schema-violating capture should error")
+	}
+}
+
+func TestAuxIntervals(t *testing.T) {
+	a := NewAux(stockSchema())
+	_ = a.Capture(1, [][]value.Value{row("ibm", 10)})
+	_ = a.Capture(3, nil)
+	_ = a.Capture(5, [][]value.Value{row("ibm", 10)})
+	ivals := a.Intervals(row("ibm", 10))
+	if len(ivals) != 2 || ivals[0] != [2]int64{1, 3} || ivals[1] != [2]int64{5, TEndMax} {
+		t.Errorf("Intervals = %v", ivals)
+	}
+	if a.Len() != 2 {
+		t.Errorf("Len = %d, want 2", a.Len())
+	}
+}
+
+func TestAuxPrune(t *testing.T) {
+	a := NewAux(stockSchema())
+	_ = a.Capture(1, [][]value.Value{row("a", 1)})
+	_ = a.Capture(2, [][]value.Value{row("b", 2)}) // closes a at 2
+	_ = a.Capture(3, [][]value.Value{row("c", 3)}) // closes b at 3
+	if dropped := a.Prune(2); dropped != 1 {
+		t.Fatalf("Prune(2) dropped %d, want 1 (interval of a ended at 2)", dropped)
+	}
+	// Open row of c must survive and still be tracked: a new capture that
+	// keeps c must not duplicate it.
+	_ = a.Capture(4, [][]value.Value{row("c", 3)})
+	if got := a.AsOf(4); got.Len() != 1 {
+		t.Errorf("AsOf(4) after prune = %v", got)
+	}
+	if len(a.Intervals(row("c", 3))) != 1 {
+		t.Error("prune duplicated the open interval")
+	}
+	// Pruned history is gone.
+	if got := a.AsOf(1); got.Len() != 0 {
+		t.Errorf("AsOf(1) after prune should be empty, got %v", got)
+	}
+}
+
+func TestScalarAux(t *testing.T) {
+	s := NewScalarAux()
+	if _, ok := s.AsOf(0); ok {
+		t.Error("AsOf before first capture should miss")
+	}
+	_ = s.Capture(1, value.NewFloat(10))
+	_ = s.Capture(2, value.NewFloat(15))
+	_ = s.Capture(5, value.NewFloat(18))
+	v, ok := s.AsOf(3)
+	if !ok || v.AsFloat() != 15 {
+		t.Errorf("AsOf(3) = %v %t", v, ok)
+	}
+	v, ok = s.AsOf(9)
+	if !ok || v.AsFloat() != 18 {
+		t.Errorf("AsOf(9) = %v %t", v, ok)
+	}
+	if s.Len() != 3 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if s.Prune(2) != 1 {
+		t.Error("Prune should drop the first interval")
+	}
+}
+
+// Property: AsOf(t) returns exactly the rows of the capture in effect at t
+// (DESIGN.md §5: "auxiliary relation as-of retrieval == value recorded at
+// capture time").
+func TestAuxAsOfMatchesCaptures(t *testing.T) {
+	schema := MustSchema(Column{Name: "v", Kind: value.Int})
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := NewAux(schema)
+		type capture struct {
+			t    int64
+			rows map[int64]struct{}
+		}
+		var caps []capture
+		now := int64(0)
+		for i := 0; i < 30; i++ {
+			now += int64(rng.Intn(3) + 1)
+			rows := make(map[int64]struct{})
+			var rr [][]value.Value
+			for j := 0; j < rng.Intn(4); j++ {
+				v := int64(rng.Intn(5))
+				if _, dup := rows[v]; dup {
+					continue
+				}
+				rows[v] = struct{}{}
+				rr = append(rr, []value.Value{value.NewInt(v)})
+			}
+			if err := a.Capture(now, rr); err != nil {
+				return false
+			}
+			caps = append(caps, capture{t: now, rows: rows})
+		}
+		// Check every timestamp from 0..now+2 against the reference.
+		for q := int64(0); q <= now+2; q++ {
+			var want map[int64]struct{}
+			for _, c := range caps {
+				if c.t <= q {
+					want = c.rows
+				}
+			}
+			got := a.AsOf(q)
+			if len(want) != got.Len() {
+				return false
+			}
+			for v := range want {
+				if !got.Contains([]value.Value{value.NewInt(v)}) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,291 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ptlactive/internal/value"
+)
+
+func stockSchema() *Schema {
+	return MustSchema(
+		Column{Name: "name", Kind: value.String},
+		Column{Name: "price", Kind: value.Float},
+	)
+}
+
+func row(name string, price float64) []value.Value {
+	return []value.Value{value.NewString(name), value.NewFloat(price)}
+}
+
+func TestSchemaValidation(t *testing.T) {
+	if _, err := NewSchema(Column{Name: "a"}, Column{Name: "a"}); err == nil {
+		t.Error("duplicate column should error")
+	}
+	if _, err := NewSchema(Column{Name: ""}); err == nil {
+		t.Error("empty column name should error")
+	}
+	s := stockSchema()
+	if s.Arity() != 2 || s.ColumnIndex("price") != 1 || s.ColumnIndex("zzz") != -1 {
+		t.Error("schema accessors wrong")
+	}
+	if s.String() != "(name string, price float)" {
+		t.Errorf("schema String = %q", s.String())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustSchema should panic on error")
+		}
+	}()
+	MustSchema(Column{Name: ""})
+}
+
+func TestInsertTypeChecking(t *testing.T) {
+	r := New(stockSchema())
+	if err := r.Insert(row("ibm", 72)); err != nil {
+		t.Fatal(err)
+	}
+	// Numeric interchange allowed.
+	if err := r.Insert([]value.Value{value.NewString("dj"), value.NewInt(3900)}); err != nil {
+		t.Fatalf("int into float column should be allowed: %v", err)
+	}
+	if err := r.Insert([]value.Value{value.NewInt(1), value.NewFloat(2)}); err == nil {
+		t.Error("string column should reject int")
+	}
+	if err := r.Insert(row("x", 1)[:1]); err == nil {
+		t.Error("wrong arity should error")
+	}
+	// Any-kind column accepts everything.
+	anyr := New(MustSchema(Column{Name: "v"}))
+	for _, v := range []value.Value{value.NewInt(1), value.NewString("s"), value.NewBool(true)} {
+		if err := anyr.Insert([]value.Value{v}); err != nil {
+			t.Errorf("any column rejected %v: %v", v, err)
+		}
+	}
+}
+
+func TestSetSemantics(t *testing.T) {
+	r := New(stockSchema())
+	for i := 0; i < 3; i++ {
+		if err := r.Insert(row("ibm", 72)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (set semantics)", r.Len())
+	}
+	if !r.Contains(row("ibm", 72)) || r.Contains(row("ibm", 73)) {
+		t.Error("Contains wrong")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	r := New(stockSchema())
+	_ = r.Insert(row("a", 1))
+	_ = r.Insert(row("b", 2))
+	_ = r.Insert(row("c", 3))
+	if !r.Delete(row("b", 2)) {
+		t.Fatal("Delete should succeed")
+	}
+	if r.Delete(row("b", 2)) {
+		t.Fatal("second Delete should fail")
+	}
+	if r.Len() != 2 || !r.Contains(row("a", 1)) || !r.Contains(row("c", 3)) {
+		t.Error("Delete corrupted relation")
+	}
+	// Swap-delete must keep the key index valid.
+	if !r.Delete(row("a", 1)) || !r.Contains(row("c", 3)) || r.Len() != 1 {
+		t.Error("Delete of non-last row broke the index")
+	}
+}
+
+func TestSelectProject(t *testing.T) {
+	r := New(stockSchema())
+	_ = r.Insert(row("ibm", 72))
+	_ = r.Insert(row("ibm2", 310))
+	_ = r.Insert(row("xyz", 305))
+	over := r.Select(func(tu []value.Value) bool { return tu[1].AsFloat() >= 300 })
+	if over.Len() != 2 {
+		t.Fatalf("overpriced Len = %d", over.Len())
+	}
+	names, err := over.Project("name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names.Len() != 2 || names.Schema().Arity() != 1 {
+		t.Error("project wrong")
+	}
+	if _, err := r.Project("nope"); err == nil {
+		t.Error("project on unknown column should error")
+	}
+	// Projection merges duplicates.
+	prices, err := r.Project("price")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = r.Insert(row("dup", 72))
+	prices2, _ := r.Project("price")
+	if prices2.Len() != prices.Len() {
+		t.Error("projection should deduplicate")
+	}
+}
+
+func TestUnionDiffIntersect(t *testing.T) {
+	a := New(stockSchema())
+	_ = a.Insert(row("a", 1))
+	_ = a.Insert(row("b", 2))
+	b := New(stockSchema())
+	_ = b.Insert(row("b", 2))
+	_ = b.Insert(row("c", 3))
+
+	u, err := a.Union(b)
+	if err != nil || u.Len() != 3 {
+		t.Fatalf("union: %v len %d", err, u.Len())
+	}
+	d, err := a.Diff(b)
+	if err != nil || d.Len() != 1 || !d.Contains(row("a", 1)) {
+		t.Fatalf("diff wrong: %v", d)
+	}
+	x, err := a.Intersect(b)
+	if err != nil || x.Len() != 1 || !x.Contains(row("b", 2)) {
+		t.Fatalf("intersect wrong: %v", x)
+	}
+	other := New(MustSchema(Column{Name: "z", Kind: value.Int}))
+	if _, err := a.Union(other); err == nil {
+		t.Error("union schema mismatch should error")
+	}
+	if _, err := a.Diff(other); err == nil {
+		t.Error("diff schema mismatch should error")
+	}
+	if _, err := a.Intersect(other); err == nil {
+		t.Error("intersect schema mismatch should error")
+	}
+}
+
+func TestJoin(t *testing.T) {
+	stocks := New(stockSchema())
+	_ = stocks.Insert(row("ibm", 72))
+	_ = stocks.Insert(row("xyz", 305))
+	sectors := New(MustSchema(
+		Column{Name: "name", Kind: value.String},
+		Column{Name: "sector", Kind: value.String},
+	))
+	_ = sectors.Insert([]value.Value{value.NewString("ibm"), value.NewString("tech")})
+	_ = sectors.Insert([]value.Value{value.NewString("abc"), value.NewString("energy")})
+
+	j, err := stocks.Join(sectors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 1 || j.Schema().Arity() != 3 {
+		t.Fatalf("join = %v", j)
+	}
+	got := j.Rows()[0]
+	if got[0].AsString() != "ibm" || got[2].AsString() != "tech" {
+		t.Errorf("join row = %v", got)
+	}
+	// Join with no shared columns is a cross product.
+	nums := New(MustSchema(Column{Name: "n", Kind: value.Int}))
+	_ = nums.Insert([]value.Value{value.NewInt(1)})
+	_ = nums.Insert([]value.Value{value.NewInt(2)})
+	cross, err := stocks.Join(nums)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cross.Len() != 4 {
+		t.Errorf("cross product Len = %d, want 4", cross.Len())
+	}
+}
+
+func TestEqualAndString(t *testing.T) {
+	a := New(stockSchema())
+	_ = a.Insert(row("a", 1))
+	_ = a.Insert(row("b", 2))
+	b := New(stockSchema())
+	_ = b.Insert(row("b", 2))
+	_ = b.Insert(row("a", 1))
+	if !a.Equal(b) {
+		t.Error("insertion order should not affect Equal")
+	}
+	_ = b.Insert(row("c", 3))
+	if a.Equal(b) {
+		t.Error("different cardinality equal")
+	}
+	if a.String() != b.String() && a.Equal(b) {
+		t.Error("String must be deterministic for equal relations")
+	}
+}
+
+func TestValueRoundTrip(t *testing.T) {
+	a := New(stockSchema())
+	_ = a.Insert(row("a", 1))
+	_ = a.Insert(row("b", 2))
+	v := a.Value()
+	back, err := FromValue(stockSchema(), v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(back) {
+		t.Error("Value/FromValue round trip failed")
+	}
+	if _, err := FromValue(stockSchema(), value.NewInt(1)); err == nil {
+		t.Error("FromValue of scalar should error")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := New(stockSchema())
+	_ = a.Insert(row("a", 1))
+	c := a.Clone()
+	_ = c.Insert(row("b", 2))
+	if a.Len() != 1 || c.Len() != 2 {
+		t.Error("Clone not independent")
+	}
+}
+
+// Relational algebra laws on random relations (DESIGN.md §5).
+func TestAlgebraLaws(t *testing.T) {
+	schema := MustSchema(Column{Name: "x", Kind: value.Int}, Column{Name: "y", Kind: value.Int})
+	gen := func(seed int64) *Relation {
+		rng := rand.New(rand.NewSource(seed))
+		r := New(schema)
+		for i := 0; i < rng.Intn(20); i++ {
+			_ = r.Insert([]value.Value{value.NewInt(int64(rng.Intn(5))), value.NewInt(int64(rng.Intn(5)))})
+		}
+		return r
+	}
+	pred := func(tu []value.Value) bool { return tu[0].AsInt() < 3 }
+
+	prop := func(s1, s2 int64) bool {
+		a, b := gen(s1), gen(s2)
+		// Selection distributes over union.
+		u, _ := a.Union(b)
+		left := u.Select(pred)
+		sa, sb := a.Select(pred), b.Select(pred)
+		right, _ := sa.Union(sb)
+		if !left.Equal(right) {
+			return false
+		}
+		// Union is commutative; intersection via diff law: a ∩ b == a \ (a \ b).
+		u2, _ := b.Union(a)
+		if !u.Equal(u2) {
+			return false
+		}
+		d1, _ := a.Diff(b)
+		d2, _ := a.Diff(d1)
+		x, _ := a.Intersect(b)
+		if !x.Equal(d2) {
+			return false
+		}
+		// Join with self on full schema is identity.
+		j, err := a.Join(a)
+		if err != nil || !j.Equal(a) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,121 @@
+package vtime
+
+import (
+	"fmt"
+	"sort"
+
+	"ptlactive/internal/event"
+	"ptlactive/internal/naive"
+	"ptlactive/internal/ptl"
+	"ptlactive/internal/query"
+)
+
+// ViolationError reports a transaction aborted by the Section-9.3
+// enforcement procedure.
+type ViolationError struct {
+	Constraint string
+	Txn        int64
+	At         int64 // the commit point where the violation was detected
+}
+
+// Error describes the violation.
+func (e *ViolationError) Error() string {
+	return fmt.Sprintf("vtime: transaction %d aborted: constraint %s violated at commit point %d",
+		e.Txn, e.Constraint, e.At)
+}
+
+// EnforceCommit implements the enforcement procedure of Section 9.3: on a
+// commit attempt, evaluate every temporal integrity constraint "at commit
+// points in the history, starting with the one immediately following the
+// earliest update of the current transaction, and ending with the
+// committing transaction. If the condition is violated at any one of these
+// points, then the transaction attempting to commit is aborted."
+//
+// On success the transaction commits at ts. On violation it aborts at ts
+// and a *ViolationError identifies the constraint and the violated commit
+// point. As the paper notes, this procedure enforces both online and
+// offline satisfaction of the resulting history, at the price of possibly
+// aborting transactions that offline satisfaction alone would have
+// allowed.
+func (s *Store) EnforceCommit(txn, ts int64, reg *query.Registry, constraints map[string]ptl.Formula) error {
+	rec, ok := s.txns[txn]
+	if !ok {
+		return fmt.Errorf("vtime: unknown transaction %d", txn)
+	}
+	if rec.status != Pending {
+		return fmt.Errorf("vtime: transaction %d is not pending", txn)
+	}
+	// Evaluate on a scratch copy that has the transaction committed, so a
+	// rejected attempt leaves no trace.
+	scratch := s.clone()
+	if err := scratch.Commit(txn, ts); err != nil {
+		return err
+	}
+	// The earliest update of the committing transaction; with no updates,
+	// only the new commit point itself is checked.
+	earliest := ts
+	for _, u := range rec.updates {
+		if u.Valid < earliest {
+			earliest = u.Valid
+		}
+	}
+	var points []int64
+	for _, cp := range scratch.CommitPoints() {
+		if cp >= earliest {
+			points = append(points, cp)
+		}
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i] < points[j] })
+	h := scratch.CommittedAt(ts)
+	names := make([]string, 0, len(constraints))
+	for name := range constraints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, cp := range points {
+		prefix := h.PrefixAtTime(cp)
+		if prefix.Len() == 0 {
+			continue
+		}
+		ev := naive.New(reg, prefix, nil)
+		for _, name := range names {
+			okc, err := ev.SatLast(constraints[name], nil)
+			if err != nil {
+				return fmt.Errorf("vtime: constraint %s: %w", name, err)
+			}
+			if !okc {
+				if err := s.Abort(txn, ts); err != nil {
+					return err
+				}
+				return &ViolationError{Constraint: name, Txn: txn, At: cp}
+			}
+		}
+	}
+	return s.Commit(txn, ts)
+}
+
+// clone returns an independent copy of the store (states and transaction
+// records are copied; values are immutable and shared).
+func (s *Store) clone() *Store {
+	c := &Store{
+		base:  s.base,
+		txns:  make(map[int64]*txnRec, len(s.txns)),
+		order: append([]int64(nil), s.order...),
+		now:   s.now,
+		delta: s.delta,
+	}
+	c.states = make([]vstate, len(s.states))
+	for i, st := range s.states {
+		c.states[i] = vstate{
+			ts:      st.ts,
+			updates: append([]Update(nil), st.updates...),
+			events:  append([]event.Event(nil), st.events...),
+		}
+	}
+	for id, rec := range s.txns {
+		cp := *rec
+		cp.updates = append([]Update(nil), rec.updates...)
+		c.txns[id] = &cp
+	}
+	return c
+}

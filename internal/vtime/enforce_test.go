@@ -1,0 +1,130 @@
+package vtime
+
+import (
+	"errors"
+	"testing"
+
+	"ptlactive/internal/history"
+	"ptlactive/internal/ptl"
+	"ptlactive/internal/query"
+	"ptlactive/internal/value"
+)
+
+// TestEnforceCommitAcceptsAndRejects: the Section-9.3 procedure commits
+// clean transactions and aborts violating ones, leaving no trace of the
+// rejected attempt.
+func TestEnforceCommitAcceptsAndRejects(t *testing.T) {
+	base := history.EmptyDB().With("a", value.NewInt(5))
+	s := NewStore(base, 0, 100)
+	reg := query.NewRegistry()
+	constraints := map[string]ptl.Formula{
+		"nonneg": mustParse(t, `item("a") >= 0`),
+	}
+	_ = s.Begin(1)
+	_ = s.Post(1, "a", value.NewInt(3), 1, 1)
+	if err := s.EnforceCommit(1, 2, reg, constraints); err != nil {
+		t.Fatalf("clean commit rejected: %v", err)
+	}
+	_ = s.Begin(2)
+	_ = s.Post(2, "a", value.NewInt(-1), 3, 3)
+	err := s.EnforceCommit(2, 4, reg, constraints)
+	if err == nil {
+		t.Fatal("violating commit accepted")
+	}
+	var ve *ViolationError
+	if !errors.As(err, &ve) || ve.Constraint != "nonneg" || ve.Txn != 2 {
+		t.Fatalf("error = %v", err)
+	}
+	// The violating update is invisible (its transaction aborted).
+	h := s.CommittedAt(Infinity)
+	last, _ := h.Last()
+	if v, _ := last.DB.Get("a"); v.AsInt() != 3 {
+		t.Fatalf("aborted update leaked: a = %v", v)
+	}
+	// The store remains usable.
+	_ = s.Begin(3)
+	_ = s.Post(3, "a", value.NewInt(7), 5, 5)
+	if err := s.EnforceCommit(3, 6, reg, constraints); err != nil {
+		t.Fatalf("post-abort commit rejected: %v", err)
+	}
+}
+
+// TestEnforceCommitRetroactiveViolation: a retroactive update can violate
+// the constraint at an EARLIER commit point; the procedure must detect it
+// there ("starting with the one immediately following the earliest update
+// of the current transaction").
+func TestEnforceCommitRetroactiveViolation(t *testing.T) {
+	base := history.EmptyDB().With("a", value.NewInt(0)).With("b", value.NewInt(0))
+	s := NewStore(base, 0, 100)
+	reg := query.NewRegistry()
+	// Constraint: b never exceeds a (evaluated over the valid-time
+	// history).
+	constraints := map[string]ptl.Formula{
+		"b_le_a": mustParse(t, `item("b") <= item("a")`),
+	}
+	// T1 sets a=5 at valid 10, commits at 11. OK (b=0 <= a=5).
+	_ = s.Begin(1)
+	_ = s.Post(1, "a", value.NewInt(5), 10, 10)
+	if err := s.EnforceCommit(1, 11, reg, constraints); err != nil {
+		t.Fatal(err)
+	}
+	// T2 sets b=3 at valid 12, commits at 13. OK.
+	_ = s.Begin(2)
+	_ = s.Post(2, "b", value.NewInt(3), 12, 12)
+	if err := s.EnforceCommit(2, 13, reg, constraints); err != nil {
+		t.Fatal(err)
+	}
+	// T3 retroactively sets a=1 at valid 9 — making b(3) > a(1) at the
+	// commit point 13 (whose prefix now has a=1 overwritten by a=5 at
+	// 10... a=5 still holds at 12). The violation would appear only for
+	// valid instants >= 12 if a dropped then. So instead: retroactively
+	// set a=2 at valid 12 (same instant as b=3): prefix at 13 ends with
+	// a=2, b=3 -> violated.
+	_ = s.Begin(3)
+	_ = s.Post(3, "a", value.NewInt(2), 12, 14)
+	err := s.EnforceCommit(3, 15, reg, constraints)
+	var ve *ViolationError
+	if !errors.As(err, &ve) {
+		t.Fatalf("retroactive violation not detected: %v", err)
+	}
+	if ve.At != 13 && ve.At != 15 {
+		t.Fatalf("violation detected at %d, expected an affected commit point", ve.At)
+	}
+}
+
+func TestEnforceCommitLifecycleErrors(t *testing.T) {
+	s := NewStore(history.EmptyDB(), 0, Unlimited)
+	reg := query.NewRegistry()
+	if err := s.EnforceCommit(9, 1, reg, nil); err == nil {
+		t.Error("unknown transaction should fail")
+	}
+	_ = s.Begin(1)
+	if err := s.EnforceCommit(1, 1, reg, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.EnforceCommit(1, 2, reg, nil); err == nil {
+		t.Error("double commit should fail")
+	}
+}
+
+// TestCloneIsolation: mutating a clone must not affect the original.
+func TestCloneIsolation(t *testing.T) {
+	base := history.EmptyDB().With("a", value.NewInt(0))
+	s := NewStore(base, 0, Unlimited)
+	_ = s.Begin(1)
+	_ = s.Post(1, "a", value.NewInt(5), 1, 1)
+	c := s.clone()
+	if err := c.Commit(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.CommitPoints()) != 0 {
+		t.Fatal("clone commit leaked into the original")
+	}
+	if len(c.CommitPoints()) != 1 {
+		t.Fatal("clone commit lost")
+	}
+	// Original can still commit independently.
+	if err := s.Commit(1, 3); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,183 @@
+package vtime
+
+import (
+	"fmt"
+
+	"ptlactive/internal/core"
+	"ptlactive/internal/history"
+	"ptlactive/internal/naive"
+	"ptlactive/internal/ptl"
+	"ptlactive/internal/query"
+)
+
+// Mode selects how a valid-time trigger treats tentative values
+// (Section 9.2).
+type Mode int
+
+const (
+	// Tentative triggers act on tentative values: after every change the
+	// monitor re-evaluates from the oldest state affected by the change,
+	// so retroactive updates can produce firings for past instants.
+	Tentative Mode = iota
+	// Definite triggers act only on definite values: states strictly more
+	// than Delta (the maximum delay) old, which can no longer change.
+	// Firing is inherently delayed by more than Delta.
+	Definite
+)
+
+// Firing is a valid-time trigger firing at a (valid) instant.
+type Firing struct {
+	Time     int64
+	Bindings []core.Binding
+}
+
+// Monitor evaluates one PTL condition over a Store's committed history in
+// tentative or definite mode. Internally it keeps the incremental
+// evaluator plus one checkpoint clone per processed state, so a
+// retroactive change replays only the suffix from the change onward — the
+// paper's "incrementally performs the evaluation algorithm for each state
+// starting with the oldest system state that was updated by the
+// transaction".
+type Monitor struct {
+	store *Store
+	mode  Mode
+	reg   *query.Registry
+	info  *ptl.Info
+
+	// view is the committed history the evaluator has processed, and
+	// checkpoints[i] is the evaluator state after processing view state i.
+	view        *history.History
+	checkpoints []*core.Evaluator
+	fresh       func() (*core.Evaluator, error)
+
+	// fired tracks instants already reported, so re-evaluation after a
+	// retroactive change reports only new firings.
+	fired map[int64]bool
+	// evalSteps counts evaluator steps for the E5 benchmark.
+	evalSteps int
+}
+
+// NewMonitor compiles a condition for valid-time monitoring. Definite
+// mode requires the store to have a nonnegative maximum delay.
+func NewMonitor(store *Store, reg *query.Registry, condition ptl.Formula, mode Mode) (*Monitor, error) {
+	if mode == Definite && store.Delta() < 0 {
+		return nil, fmt.Errorf("vtime: definite monitoring needs a maximum delay")
+	}
+	info, err := ptl.Check(condition, reg)
+	if err != nil {
+		return nil, err
+	}
+	m := &Monitor{
+		store: store,
+		mode:  mode,
+		reg:   reg,
+		info:  info,
+		view:  history.New(),
+		fired: map[int64]bool{},
+	}
+	m.fresh = func() (*core.Evaluator, error) {
+		return core.New(info, reg, nil)
+	}
+	return m, nil
+}
+
+// EvalSteps returns the number of evaluator steps performed so far.
+func (m *Monitor) EvalSteps() int { return m.evalSteps }
+
+// Poll re-synchronizes the monitor with the store and returns the new
+// firings. Call it after posting updates, commits or aborts.
+func (m *Monitor) Poll() ([]Firing, error) {
+	horizon := m.store.Now()
+	if m.mode == Definite {
+		// An instant v is definite once no future commit can change it.
+		// Commits may still occur at the current instant, and a commit at
+		// time tc may change instants back to tc - Delta; so v is final
+		// exactly when v < now - Delta, strictly.
+		horizon = m.store.Now() - m.store.Delta() - 1
+	}
+	target := m.store.CommittedAt(m.store.Now()).PrefixAtTime(horizon)
+
+	// Find the longest common prefix of the old view and the target: both
+	// timestamps and state content must agree.
+	keep := 0
+	for keep < m.view.Len() && keep < target.Len() {
+		a, b := m.view.At(keep), target.At(keep)
+		if a.TS != b.TS || !a.DB.Equal(b.DB) || a.Events.String() != b.Events.String() {
+			break
+		}
+		keep++
+	}
+	// Restore the checkpoint at the divergence point and replay.
+	var ev *core.Evaluator
+	var err error
+	if keep == 0 {
+		ev, err = m.fresh()
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		ev = m.checkpoints[keep-1].Clone()
+	}
+	m.checkpoints = m.checkpoints[:keep]
+	var out []Firing
+	for i := keep; i < target.Len(); i++ {
+		st := target.At(i)
+		res, err := ev.Step(st)
+		m.evalSteps++
+		if err != nil {
+			return nil, err
+		}
+		m.checkpoints = append(m.checkpoints, ev.Clone())
+		if res.Fired && !m.fired[st.TS] {
+			m.fired[st.TS] = true
+			out = append(out, Firing{Time: st.TS, Bindings: res.Bindings})
+		}
+	}
+	m.view = target.Clone()
+	return out, nil
+}
+
+// OnlineSatisfied reports whether the temporal integrity constraint c is
+// online-satisfied in the store's (complete) history: at every commit
+// point t, c holds at the end of the committed history at time t
+// (Section 9.3). Only updates of transactions committed by t are visible.
+func OnlineSatisfied(s *Store, reg *query.Registry, c ptl.Formula) (bool, error) {
+	for _, t := range s.CommitPoints() {
+		h := s.CommittedAt(t)
+		if h.Len() == 0 {
+			continue
+		}
+		ev := naive.New(reg, h, nil)
+		ok, err := ev.SatLast(c, nil)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// OfflineSatisfied reports whether c is offline-satisfied: with h0 the
+// committed history at time infinity (every committed update visible,
+// including those committing after t), c holds at every commit point's
+// prefix of h0.
+func OfflineSatisfied(s *Store, reg *query.Registry, c ptl.Formula) (bool, error) {
+	h0 := s.CommittedAt(Infinity)
+	for _, t := range s.CommitPoints() {
+		prefix := h0.PrefixAtTime(t)
+		if prefix.Len() == 0 {
+			continue
+		}
+		ev := naive.New(reg, prefix, nil)
+		ok, err := ev.SatLast(c, nil)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}

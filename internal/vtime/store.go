@@ -1,0 +1,371 @@
+// Package vtime implements the valid-time system model of Section 9: a
+// history whose database changes occur at the *valid time* of each update,
+// which may precede the (transaction) time at which the update is posted
+// and committed. It provides committed histories at a time t, collapsed
+// committed histories (Theorem 2), tentative and definite trigger
+// monitors with maximum delay Delta (Section 9.2), and the online/offline
+// satisfaction notions for temporal integrity constraints (Section 9.3).
+package vtime
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ptlactive/internal/event"
+	"ptlactive/internal/history"
+	"ptlactive/internal/value"
+)
+
+// TxnStatus tracks a transaction's lifecycle.
+type TxnStatus int
+
+const (
+	// Pending transactions have begun and not yet resolved.
+	Pending TxnStatus = iota
+	// Committed transactions contribute their updates to committed
+	// histories.
+	Committed
+	// Aborted transactions are ignored entirely ("it does not make sense
+	// to fire a trigger based on updates that will be aborted").
+	Aborted
+)
+
+// Update is a single retroactive database write: item := v at valid time
+// Valid, issued by transaction Txn.
+type Update struct {
+	Txn   int64
+	Item  string
+	V     value.Value
+	Valid int64
+}
+
+// txnRec tracks one transaction.
+type txnRec struct {
+	id      int64
+	status  TxnStatus
+	commit  int64 // commit (transaction) time when committed
+	updates []Update
+}
+
+// vstate is one instant on the valid-time axis: the updates taking effect
+// there and the events occurring there.
+type vstate struct {
+	ts      int64
+	updates []Update
+	events  []event.Event
+}
+
+// Store is the valid-time history: update effects are placed at their
+// valid times, commit/abort events at their transaction times.
+type Store struct {
+	base   history.DBState
+	states []vstate // ordered by ts, strictly increasing
+	txns   map[int64]*txnRec
+	order  []int64 // txn ids in begin order
+	now    int64   // latest transaction-time instant seen
+	delta  int64   // maximum delay; updates must satisfy valid >= post-delta
+}
+
+// NewStore creates a store over an initial database state. delta is the
+// maximum delay Delta of Section 9.2: every update's valid time must be
+// within delta of the time it is posted. A negative delta disables the
+// check (no definite values ever).
+func NewStore(initial history.DBState, start, delta int64) *Store {
+	s := &Store{base: initial, txns: map[int64]*txnRec{}, now: start, delta: delta}
+	s.states = append(s.states, vstate{ts: start})
+	return s
+}
+
+// Now returns the latest transaction-time instant.
+func (s *Store) Now() int64 { return s.now }
+
+// Delta returns the maximum delay.
+func (s *Store) Delta() int64 { return s.delta }
+
+// Begin starts transaction id at the current time. Ids must be unique.
+func (s *Store) Begin(id int64) error {
+	if _, dup := s.txns[id]; dup {
+		return fmt.Errorf("vtime: transaction %d already exists", id)
+	}
+	s.txns[id] = &txnRec{id: id, status: Pending}
+	s.order = append(s.order, id)
+	return nil
+}
+
+// Post records an update by a pending transaction: item := v valid at
+// time valid, posted at (current) time post. The maximum-delay invariant
+// post - valid <= delta is enforced; valid times in the future of the
+// posting time are rejected.
+func (s *Store) Post(txn int64, item string, v value.Value, valid, post int64) error {
+	rec, ok := s.txns[txn]
+	if !ok {
+		return fmt.Errorf("vtime: unknown transaction %d", txn)
+	}
+	if rec.status != Pending {
+		return fmt.Errorf("vtime: transaction %d is not pending", txn)
+	}
+	if post < s.now {
+		return fmt.Errorf("vtime: posting time %d before current time %d", post, s.now)
+	}
+	if valid > post {
+		return fmt.Errorf("vtime: valid time %d after posting time %d", valid, post)
+	}
+	if s.delta >= 0 && post-valid > s.delta {
+		return fmt.Errorf("vtime: retroactive change of %d exceeds maximum delay %d", post-valid, s.delta)
+	}
+	u := Update{Txn: txn, Item: item, V: v, Valid: valid}
+	rec.updates = append(rec.updates, u)
+	st := s.stateAt(valid)
+	st.updates = append(st.updates, u)
+	st.events = append(st.events, event.New(event.UpdateItem, value.NewString(item), value.NewInt(txn)))
+	s.now = post
+	return nil
+}
+
+// stateAt returns the state with the given valid timestamp, splicing a new
+// one into order if absent ("otherwise a new system state is added to the
+// history with time-stamp v").
+func (s *Store) stateAt(ts int64) *vstate {
+	i := sort.Search(len(s.states), func(i int) bool { return s.states[i].ts >= ts })
+	if i < len(s.states) && s.states[i].ts == ts {
+		return &s.states[i]
+	}
+	s.states = append(s.states, vstate{})
+	copy(s.states[i+1:], s.states[i:])
+	s.states[i] = vstate{ts: ts}
+	return &s.states[i]
+}
+
+// Commit commits a transaction at time ts. No two transactions may commit
+// at the same instant (Section 2's invariant carries over).
+func (s *Store) Commit(txn, ts int64) error {
+	rec, ok := s.txns[txn]
+	if !ok {
+		return fmt.Errorf("vtime: unknown transaction %d", txn)
+	}
+	if rec.status != Pending {
+		return fmt.Errorf("vtime: transaction %d is not pending", txn)
+	}
+	if ts < s.now {
+		return fmt.Errorf("vtime: commit time %d before current time %d", ts, s.now)
+	}
+	for _, o := range s.txns {
+		if o.status == Committed && o.commit == ts {
+			return fmt.Errorf("vtime: transaction %d already commits at %d", o.id, ts)
+		}
+	}
+	// The maximum-delay bound must hold at commitment: a committed value
+	// becomes definite Delta after its commit, so the commit itself may
+	// not change the history more than Delta back (otherwise "definite"
+	// states could still change — exactly the retraction the property test
+	// TestDefiniteNeverRetracts guards against).
+	if s.delta >= 0 {
+		for _, u := range rec.updates {
+			if ts-u.Valid > s.delta {
+				return fmt.Errorf("vtime: commit at %d would retroactively change valid time %d, exceeding maximum delay %d",
+					ts, u.Valid, s.delta)
+			}
+		}
+	}
+	rec.status = Committed
+	rec.commit = ts
+	st := s.stateAt(ts)
+	st.events = append(st.events, event.New(event.TransactionCommit, value.NewInt(txn)))
+	s.now = ts
+	return nil
+}
+
+// Abort aborts a pending transaction at time ts; its updates are
+// permanently excluded from committed histories.
+func (s *Store) Abort(txn, ts int64) error {
+	rec, ok := s.txns[txn]
+	if !ok {
+		return fmt.Errorf("vtime: unknown transaction %d", txn)
+	}
+	if rec.status != Pending {
+		return fmt.Errorf("vtime: transaction %d is not pending", txn)
+	}
+	rec.status = Aborted
+	st := s.stateAt(ts)
+	st.events = append(st.events, event.New(event.TransactionAbort, value.NewInt(txn)))
+	if ts > s.now {
+		s.now = ts
+	}
+	return nil
+}
+
+// Complete reports whether every started transaction is committed or
+// aborted (the paper's "complete history").
+func (s *Store) Complete() bool {
+	for _, rec := range s.txns {
+		if rec.status == Pending {
+			return false
+		}
+	}
+	return true
+}
+
+// CommitPoints returns the commit times in increasing order.
+func (s *Store) CommitPoints() []int64 {
+	var out []int64
+	for _, id := range s.order {
+		if rec := s.txns[id]; rec.status == Committed {
+			out = append(out, rec.commit)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Infinity is a time later than every other, for committed histories "at
+// time infinity".
+const Infinity = int64(math.MaxInt64)
+
+// Unlimited disables the maximum-delay check.
+const Unlimited = int64(-1)
+
+// committedIn reports whether the update's transaction has a commit event
+// within a prefix ending at time t.
+func (s *Store) committedIn(u Update, t int64) bool {
+	rec := s.txns[u.Txn]
+	return rec != nil && rec.status == Committed && rec.commit <= t
+}
+
+// CommittedAt materializes the committed system history at time t
+// (Section 9.1): the prefix of states with timestamps <= t, with the
+// effects of updates uncommitted in that prefix eliminated. Database
+// changes take effect at valid times.
+func (s *Store) CommittedAt(t int64) *history.History {
+	h := history.New()
+	db := s.base
+	for _, st := range s.states {
+		if st.ts > t {
+			break
+		}
+		var evs []event.Event
+		changed := map[string]value.Value{}
+		for _, u := range st.updates {
+			if s.committedIn(u, t) {
+				changed[u.Item] = u.V
+			}
+		}
+		for _, ev := range st.events {
+			// Strip update events of uncommitted transactions and commit
+			// events beyond t (none, since st.ts <= t).
+			if ev.Name == event.UpdateItem && len(ev.Args) == 2 {
+				txn := ev.Args[1].AsInt()
+				if !s.committedIn(Update{Txn: txn}, t) {
+					continue
+				}
+			}
+			if ev.Name == event.TransactionAbort {
+				continue // aborted transactions are ignored entirely
+			}
+			evs = append(evs, ev)
+		}
+		db = db.WithAll(changed)
+		// In the valid-time model the database changes at update instants,
+		// so the history invariant "changes only at commits" does not
+		// apply; build states directly.
+		h2 := history.SystemState{DB: db, Events: event.NewSet(evs...), TS: st.ts}
+		appendLoose(h, h2)
+	}
+	return h
+}
+
+// Collapsed returns the collapsed committed history (Section 9.3): the
+// committed system history at infinity with every database change moved
+// from its update (valid) time to its transaction's commit time — i.e.
+// the transaction-time view of the same execution. Theorem 2 states that
+// online and offline satisfaction coincide on this history.
+func (s *Store) Collapsed() *history.History {
+	// Gather commit times and sort states by ts as usual; each state's db
+	// reflects all updates of transactions committed at or before it.
+	type commitInfo struct {
+		ts  int64
+		rec *txnRec
+	}
+	var commits []commitInfo
+	for _, id := range s.order {
+		rec := s.txns[id]
+		if rec.status == Committed {
+			commits = append(commits, commitInfo{ts: rec.commit, rec: rec})
+		}
+	}
+	sort.Slice(commits, func(i, j int) bool { return commits[i].ts < commits[j].ts })
+
+	h := history.New()
+	db := s.base
+	ci := 0
+	for _, st := range s.states {
+		var evs []event.Event
+		for _, ev := range st.events {
+			if ev.Name == event.TransactionAbort {
+				continue
+			}
+			if ev.Name == event.UpdateItem && len(ev.Args) == 2 {
+				txn := ev.Args[1].AsInt()
+				if rec := s.txns[txn]; rec == nil || rec.status != Committed {
+					continue
+				}
+			}
+			evs = append(evs, ev)
+		}
+		for ci < len(commits) && commits[ci].ts <= st.ts {
+			changed := map[string]value.Value{}
+			// Later valid times win within one transaction.
+			ups := append([]Update(nil), commits[ci].rec.updates...)
+			sort.SliceStable(ups, func(i, j int) bool { return ups[i].Valid < ups[j].Valid })
+			for _, u := range ups {
+				changed[u.Item] = u.V
+			}
+			db = db.WithAll(changed)
+			ci++
+		}
+		appendLoose(h, history.SystemState{DB: db, Events: event.NewSet(evs...), TS: st.ts})
+	}
+	return h
+}
+
+// CollapsedStore rebuilds the store's execution in the transaction-time
+// view: every committed transaction's updates are re-posted with valid
+// time equal to the commit time. Theorem 2 is checked by comparing online
+// and offline satisfaction on the result.
+func (s *Store) CollapsedStore() *Store {
+	out := NewStore(s.base, s.states[0].ts, Unlimited)
+	type commitInfo struct {
+		ts  int64
+		rec *txnRec
+	}
+	var commits []commitInfo
+	for _, id := range s.order {
+		rec := s.txns[id]
+		if rec.status == Committed {
+			commits = append(commits, commitInfo{ts: rec.commit, rec: rec})
+		}
+	}
+	sort.Slice(commits, func(i, j int) bool { return commits[i].ts < commits[j].ts })
+	for _, c := range commits {
+		if err := out.Begin(c.rec.id); err != nil {
+			panic(err)
+		}
+		ups := append([]Update(nil), c.rec.updates...)
+		sort.SliceStable(ups, func(i, j int) bool { return ups[i].Valid < ups[j].Valid })
+		for _, u := range ups {
+			if err := out.Post(c.rec.id, u.Item, u.V, c.ts, c.ts); err != nil {
+				panic(err)
+			}
+		}
+		if err := out.Commit(c.rec.id, c.ts); err != nil {
+			panic(err)
+		}
+	}
+	return out
+}
+
+// appendLoose appends without the transaction-time invariants (valid-time
+// histories legitimately change the database between commits).
+func appendLoose(h *history.History, st history.SystemState) {
+	h.AppendUnchecked(st)
+}

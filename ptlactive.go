@@ -1,0 +1,339 @@
+// Package ptlactive is a reproduction of Sistla & Wolfson, "Temporal
+// Conditions and Integrity Constraints in Active Database Systems"
+// (SIGMOD 1995): an active-database rule system whose rule conditions are
+// Past Temporal Logic (PTL) formulas, evaluated by the paper's incremental
+// algorithm.
+//
+// The package re-exports the public surface of the internal modules:
+//
+//   - the PTL language: Parse, Formula, the condition checker;
+//   - the incremental condition evaluator (Evaluator) for embedding into
+//     other systems;
+//   - the active database engine (Engine): triggers, temporal integrity
+//     constraints, transactions, the executed predicate, temporal actions;
+//   - aggregate rule rewriting (RewriteAggregates, InstallIndexed);
+//   - the valid-time model (ValidStore, ValidMonitor, online/offline
+//     constraint satisfaction).
+//
+// Quickstart (the paper's running example — IBM doubled within 10 time
+// units):
+//
+//	eng := ptlactive.NewEngine(ptlactive.Config{
+//	    Initial: map[string]ptlactive.Value{"ibm": ptlactive.Float(10)},
+//	})
+//	_ = eng.AddTrigger("doubled",
+//	    `[t <- time] [x <- item("ibm")]
+//	         previously (item("ibm") <= 0.5 * x and time >= t - 10)`,
+//	    func(ctx *ptlactive.ActionContext) error {
+//	        fmt.Println("IBM doubled at", ctx.FiredAt)
+//	        return nil
+//	    })
+//	_ = eng.Exec(8, map[string]ptlactive.Value{"ibm": ptlactive.Float(25)})
+//
+// See the examples/ directory for runnable programs and DESIGN.md for the
+// mapping from the paper's sections to modules.
+package ptlactive
+
+import (
+	"io"
+
+	"ptlactive/internal/adb"
+	"ptlactive/internal/agg"
+	"ptlactive/internal/core"
+	"ptlactive/internal/event"
+	"ptlactive/internal/future"
+	"ptlactive/internal/histio"
+	"ptlactive/internal/history"
+	"ptlactive/internal/naive"
+	"ptlactive/internal/ptl"
+	"ptlactive/internal/query"
+	"ptlactive/internal/relation"
+	"ptlactive/internal/value"
+	"ptlactive/internal/vtime"
+)
+
+// ---- Values ----
+
+// Value is the dynamic value type of database items, event parameters and
+// rule bindings.
+type Value = value.Value
+
+// Int builds an integer value.
+func Int(i int64) Value { return value.NewInt(i) }
+
+// Float builds a float value.
+func Float(f float64) Value { return value.NewFloat(f) }
+
+// Str builds a string value.
+func Str(s string) Value { return value.NewString(s) }
+
+// Bool builds a boolean value.
+func Bool(b bool) Value { return value.NewBool(b) }
+
+// Relation builds a relation value from rows.
+func Relation(rows [][]Value) Value { return value.NewRelation(rows) }
+
+// Tuple builds a tuple value.
+func Tuple(elems ...Value) Value { return value.NewTuple(elems...) }
+
+// ---- Events ----
+
+// Event is a parameterized event occurrence.
+type Event = event.Event
+
+// NewEvent constructs an event occurrence.
+func NewEvent(name string, args ...Value) Event { return event.New(name, args...) }
+
+// EventSet is the set of events occurring at one instant.
+type EventSet = event.Set
+
+// NewEventSet builds an event set (duplicates dropped).
+func NewEventSet(events ...Event) *EventSet { return event.NewSet(events...) }
+
+// Standard event symbols emitted by the engine.
+const (
+	TransactionBegin  = event.TransactionBegin
+	TransactionCommit = event.TransactionCommit
+	TransactionAbort  = event.TransactionAbort
+	AttemptsToCommit  = event.AttemptsToCommit
+	UpdateItem        = event.UpdateItem
+)
+
+// ---- The language ----
+
+// Formula is a PTL condition.
+type Formula = ptl.Formula
+
+// ParseCondition parses a PTL condition in concrete syntax; see the
+// grammar in internal/ptl.
+func ParseCondition(src string) (Formula, error) { return ptl.Parse(src) }
+
+// CheckCondition validates a condition against a query registry and
+// returns its static information (free variables, referenced events,
+// normalized form).
+func CheckCondition(f Formula, reg *Registry) (*ConditionInfo, error) {
+	return ptl.Check(f, reg)
+}
+
+// ConditionInfo is the result of checking a condition.
+type ConditionInfo = ptl.Info
+
+// Decomposable reports whether the condition falls in the subclass the
+// paper's Sybase prototype implemented.
+func Decomposable(f Formula) bool { return ptl.Decomposable(f) }
+
+// ---- Queries ----
+
+// Registry maps PTL function symbols to query implementations.
+type Registry = query.Registry
+
+// SystemState is one instant of a system history: database state, event
+// set and timestamp.
+type SystemState = history.SystemState
+
+// History is a sequence of system states.
+type History = history.History
+
+// DBState is an immutable database state.
+type DBState = history.DBState
+
+// NewRegistry returns a registry with the built-in symbols (item, time).
+func NewRegistry() *Registry { return query.NewRegistry() }
+
+// Schema describes the columns of a relation-valued database item, used
+// when registering RETRIEVE queries and relational helpers.
+type Schema = relation.Schema
+
+// Column is one attribute of a Schema.
+type Column = relation.Column
+
+// NewSchema builds a schema; column names must be unique.
+func NewSchema(cols ...Column) (*Schema, error) { return relation.NewSchema(cols...) }
+
+// MustSchema is NewSchema that panics on error.
+func MustSchema(cols ...Column) *Schema { return relation.MustSchema(cols...) }
+
+// ---- Incremental evaluation (the paper's Section-5 algorithm) ----
+
+// Evaluator incrementally evaluates one condition over a stream of system
+// states; embed it when the full Engine is not needed.
+type Evaluator = core.Evaluator
+
+// EvalResult is the outcome of one evaluation step.
+type EvalResult = core.Result
+
+// Binding is one satisfying assignment of a condition's parameters.
+type Binding = core.Binding
+
+// CompileCondition checks a condition and builds its incremental
+// evaluator. log may be nil.
+func CompileCondition(f Formula, reg *Registry, log ExecLog) (*Evaluator, error) {
+	return core.Compile(f, reg, log)
+}
+
+// ExecLog supplies recorded rule executions for the executed predicate.
+type ExecLog = ptl.ExecLog
+
+// NaiveEvaluator is the direct (whole-history) reference semantics; it is
+// exported for differential testing and benchmarking against the
+// incremental algorithm.
+type NaiveEvaluator = naive.Evaluator
+
+// NewNaiveEvaluator builds a reference evaluator over a history.
+func NewNaiveEvaluator(reg *Registry, h *History, log ExecLog) *NaiveEvaluator {
+	return naive.New(reg, h, log)
+}
+
+// ---- The active database engine ----
+
+// Engine is the active database: items, rules, transactions and the
+// temporal component.
+type Engine = adb.Engine
+
+// Config configures an Engine.
+type Config = adb.Config
+
+// Txn is an open transaction.
+type Txn = adb.Txn
+
+// ActionContext is passed to trigger actions.
+type ActionContext = adb.ActionContext
+
+// Action is a trigger's action part.
+type Action = adb.Action
+
+// Firing records one rule firing.
+type Firing = adb.Firing
+
+// Scheduling selects when trigger conditions are evaluated (Section 8).
+type Scheduling = adb.Scheduling
+
+// Scheduling modes.
+const (
+	Eager    = adb.Eager
+	Relevant = adb.Relevant
+	Manual   = adb.Manual
+)
+
+// RuleOption configures a rule at registration.
+type RuleOption = adb.RuleOption
+
+// WithScheduling sets a trigger's scheduling mode.
+func WithScheduling(s Scheduling) RuleOption { return adb.WithScheduling(s) }
+
+// ErrConstraintViolation reports a transaction aborted by a temporal
+// integrity constraint; use errors.Is.
+var ErrConstraintViolation = adb.ErrConstraintViolation
+
+// ConstraintError carries the violated constraint's name.
+type ConstraintError = adb.ConstraintError
+
+// NewEngine creates an engine.
+func NewEngine(cfg Config) *Engine { return adb.NewEngine(cfg) }
+
+// ---- Temporal aggregates by rule rewriting (Section 6.1.1) ----
+
+// RewriteAggregates registers a trigger whose condition's aggregates are
+// processed by the paper's rule rewriting (fresh items plus reset and
+// accumulate rules) instead of direct evaluation.
+func RewriteAggregates(eng *Engine, name, condition string, action Action, opts ...RuleOption) error {
+	return agg.Rewrite(eng, name, condition, action, opts...)
+}
+
+// IndexedAggregate describes an indexed aggregate family F(x) for
+// aggregates with a free variable.
+type IndexedAggregate = agg.IndexedSpec
+
+// InstallIndexedAggregate installs the maintenance rules for an indexed
+// aggregate family, consumed through membership conditions.
+func InstallIndexedAggregate(eng *Engine, spec IndexedAggregate) error {
+	return agg.InstallIndexed(eng, spec)
+}
+
+// Aggregate function names.
+const (
+	AggSum   = ptl.AggSum
+	AggCount = ptl.AggCount
+	AggAvg   = ptl.AggAvg
+	AggMin   = ptl.AggMin
+	AggMax   = ptl.AggMax
+)
+
+// ---- Valid time (Section 9) ----
+
+// ValidStore is the valid-time history store: retroactive updates,
+// committed histories, collapsed histories.
+type ValidStore = vtime.Store
+
+// NewValidStore creates a valid-time store with maximum delay delta
+// (UnlimitedDelay disables the bound; definite monitoring then becomes
+// unavailable).
+func NewValidStore(initial DBState, start, delta int64) *ValidStore {
+	return vtime.NewStore(initial, start, delta)
+}
+
+// UnlimitedDelay disables the maximum-delay bound.
+const UnlimitedDelay = vtime.Unlimited
+
+// ValidMonitor evaluates a condition over a valid-time store.
+type ValidMonitor = vtime.Monitor
+
+// Valid-time monitoring modes.
+const (
+	Tentative = vtime.Tentative
+	Definite  = vtime.Definite
+)
+
+// NewValidMonitor compiles a condition for tentative or definite
+// monitoring over a valid-time store.
+func NewValidMonitor(s *ValidStore, reg *Registry, condition Formula, mode vtime.Mode) (*ValidMonitor, error) {
+	return vtime.NewMonitor(s, reg, condition, mode)
+}
+
+// OnlineSatisfied reports online satisfaction of a temporal integrity
+// constraint over a valid-time store (Section 9.3).
+func OnlineSatisfied(s *ValidStore, reg *Registry, c Formula) (bool, error) {
+	return vtime.OnlineSatisfied(s, reg, c)
+}
+
+// OfflineSatisfied reports offline satisfaction (Section 9.3).
+func OfflineSatisfied(s *ValidStore, reg *Registry, c Formula) (bool, error) {
+	return vtime.OfflineSatisfied(s, reg, c)
+}
+
+// ValidViolationError reports a transaction aborted by the Section-9.3
+// valid-time enforcement procedure.
+type ValidViolationError = vtime.ViolationError
+
+// ---- Future temporal logic (the paper's Section-11 future work) ----
+
+// FutureMonitor decides closed future-logic conditions (until, nexttime,
+// eventually, always) over finite traces by formula progression, emitting
+// a verdict for every trace index the instant it is determined.
+type FutureMonitor = future.Monitor
+
+// FutureResult is one resolved verdict of a FutureMonitor.
+type FutureResult = future.Result
+
+// CompileFuture parses and compiles a future condition for monitoring.
+func CompileFuture(src string, reg *Registry, log ExecLog) (*FutureMonitor, error) {
+	return future.Compile(src, reg, log)
+}
+
+// NewFutureMonitor compiles a parsed future condition.
+func NewFutureMonitor(f Formula, reg *Registry, log ExecLog) (*FutureMonitor, error) {
+	return future.NewMonitor(f, reg, log)
+}
+
+// WriteHistory serializes a history as lossless JSON lines (one state per
+// line, kind-tagged values); ReadHistory parses it back.
+func WriteHistory(w io.Writer, h *History) error { return histio.Write(w, h) }
+
+// ReadHistory parses a history written by WriteHistory.
+func ReadHistory(r io.Reader) (*History, error) { return histio.Read(r) }
+
+// NewDB builds an initial database state from an item map.
+func NewDB(items map[string]Value) DBState { return history.NewDB(items) }
+
+// EmptyDB returns the empty database state.
+func EmptyDB() DBState { return history.EmptyDB() }
