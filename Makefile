@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test bench race vet verify tables
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# verify is the full pre-merge tier: static checks plus the whole suite
+# under the race detector (the concurrent engine makes -race load-bearing,
+# not optional).
+verify: vet race
+
+tables:
+	$(GO) run ./cmd/benchtables

@@ -9,6 +9,7 @@ package ptlactive_test
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"ptlactive"
@@ -168,6 +169,24 @@ func BenchmarkE8RelevanceFiltering(b *testing.B) {
 			var steps int64
 			for i := 0; i < b.N; i++ {
 				s, _ := experiments.RelevanceRun(100, 500, mode.sched)
+				steps = s
+			}
+			b.ReportMetric(float64(steps), "eval-steps")
+		})
+	}
+}
+
+// BenchmarkE8ParallelSweep measures the parallel temporal component on a
+// wide rule set (R=1000 eager rules, the regime where the per-state sweep
+// dominates): Workers=1 is the sequential baseline, Workers=GOMAXPROCS
+// shards the sweep across the pool. Firings are byte-identical either way.
+func BenchmarkE8ParallelSweep(b *testing.B) {
+	const rules, states = 1000, 200
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var steps int64
+			for i := 0; i < b.N; i++ {
+				s, _ := experiments.RelevanceRunWorkers(rules, states, adb.Eager, workers)
 				steps = s
 			}
 			b.ReportMetric(float64(steps), "eval-steps")

@@ -21,11 +21,16 @@
 //	commit 2 ibm=15
 //	commit 8 ibm=25
 //	show firings
+//
+// The -workers flag sizes the engine's worker pool for parallel rule
+// evaluation (0 = all cores, 1 = sequential); firings are identical at
+// every setting.
 package main
 
 import (
 	"bufio"
 	"errors"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -35,16 +40,18 @@ import (
 )
 
 func main() {
+	workers := flag.Int("workers", 0, "worker pool size for rule evaluation (0 = all cores, 1 = sequential)")
+	flag.Parse()
 	in := os.Stdin
-	if len(os.Args) > 1 {
-		fh, err := os.Open(os.Args[1])
+	if flag.NArg() > 0 {
+		fh, err := os.Open(flag.Arg(0))
 		if err != nil {
 			fatal(err)
 		}
 		defer fh.Close()
 		in = fh
 	}
-	sh := &shell{initial: map[string]ptlactive.Value{}}
+	sh := &shell{initial: map[string]ptlactive.Value{}, workers: *workers}
 	sc := bufio.NewScanner(in)
 	lineNo := 0
 	for sc.Scan() {
@@ -65,6 +72,7 @@ func main() {
 
 type shell struct {
 	initial map[string]ptlactive.Value
+	workers int
 	eng     *ptlactive.Engine
 }
 
@@ -74,6 +82,7 @@ func (s *shell) engine() *ptlactive.Engine {
 	if s.eng == nil {
 		s.eng = ptlactive.NewEngine(ptlactive.Config{
 			Initial: s.initial,
+			Workers: s.workers,
 			OnFiring: func(f ptlactive.Firing) {
 				if len(f.Binding) > 0 {
 					fmt.Printf("FIRE %s at %d %v\n", f.Rule, f.Time, f.Binding)

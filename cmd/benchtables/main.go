@@ -7,6 +7,7 @@
 //	go run ./cmd/benchtables -quick
 //	go run ./cmd/benchtables -markdown  # paste into EXPERIMENTS.md
 //	go run ./cmd/benchtables -only E1,E7
+//	go run ./cmd/benchtables -only E8 -workers 4
 package main
 
 import (
@@ -21,7 +22,12 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced sweeps")
 	markdown := flag.Bool("markdown", false, "emit markdown tables")
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. E1,E7)")
+	workers := flag.Int("workers", 0, "worker pool for the parallel E8 columns (0 = all cores)")
 	flag.Parse()
+
+	if *workers > 0 {
+		experiments.DefaultWorkers = *workers
+	}
 
 	want := map[string]bool{}
 	for _, id := range strings.Split(*only, ",") {

@@ -9,7 +9,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"ptlactive/internal/core"
 	"ptlactive/internal/event"
@@ -123,9 +126,24 @@ type rule struct {
 // rule conditions incrementally.
 //
 // All engine methods take explicit timestamps where a new system state is
-// created; timestamps must be strictly increasing. The engine is not safe
-// for concurrent use.
+// created; timestamps must be strictly increasing.
+//
+// Concurrency model: mutating operations (Emit, transactions, Flush,
+// rule registration, Compact, PruneExecutions) must come from a single
+// goroutine at a time, but the reader accessors — Firings, ItemAsOf,
+// Rule, RuleNames, EvalSteps, Executions, Now, DB, BaseIndex — are safe
+// to call from any goroutine concurrently with that mutator. Internally
+// the temporal component shards rule evaluation across Config.Workers
+// goroutines; firings and constraint violations are merged back in rule
+// registration order, so observable behavior is independent of the
+// worker count (see DESIGN.md, "Concurrency model").
 type Engine struct {
+	// mu guards the observable shared state: history length, database,
+	// clock, firings, the step counter, the execution log and the rule
+	// table. Mutators write under mu.Lock in short windows (never across
+	// rule evaluation or user callbacks); reader accessors take mu.RLock.
+	mu sync.RWMutex
+
 	reg   *query.Registry
 	hist  *history.History
 	db    history.DBState
@@ -142,6 +160,9 @@ type Engine struct {
 	cascade   int
 	cascadeTo int
 
+	// workers bounds the pool evaluating independent rules concurrently.
+	workers int
+
 	// base is the absolute index of hist's first state; Compact advances
 	// it as fully-processed prefix states are discarded.
 	base int
@@ -150,8 +171,11 @@ type Engine struct {
 	// Config.TrackItems: each captures the item's value over time with
 	// [T_start, T_end) validity intervals, so delayed actions (Relevant or
 	// Manual scheduling, batching) can read values as of their firing
-	// instant rather than the current instant.
-	tracked map[string]*relation.ScalarAux
+	// instant rather than the current instant. trackedNames fixes the
+	// capture order (map iteration order reached the aux relations and the
+	// internal-error path otherwise).
+	tracked      map[string]*relation.ScalarAux
+	trackedNames []string
 
 	// stats for the E8 benchmark.
 	evalSteps int64
@@ -178,6 +202,12 @@ type Config struct {
 	// DisableFastPath forces the general constraint-graph evaluator even
 	// for decomposable conditions; the A1 ablation uses it.
 	DisableFastPath bool
+	// Workers bounds the worker pool the temporal component uses to
+	// evaluate independent rules concurrently during sweeps, flushes and
+	// constraint checks. 0 means GOMAXPROCS; 1 forces fully sequential
+	// evaluation. Firings, violations and errors are merged in rule
+	// registration order, so results do not depend on this setting.
+	Workers int
 }
 
 // NewEngine creates an engine with an initial state at Config.Start.
@@ -190,6 +220,10 @@ func NewEngine(cfg Config) *Engine {
 	if limit <= 0 {
 		limit = 1000
 	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	e := &Engine{
 		reg:       reg,
 		hist:      history.New(),
@@ -198,13 +232,19 @@ func NewEngine(cfg Config) *Engine {
 		index:     map[string]*rule{},
 		onFiring:  cfg.OnFiring,
 		cascadeTo: limit,
+		workers:   workers,
 		noFast:    cfg.DisableFastPath,
 	}
 	if len(cfg.TrackItems) > 0 {
 		e.tracked = make(map[string]*relation.ScalarAux, len(cfg.TrackItems))
 		for _, name := range cfg.TrackItems {
+			if _, dup := e.tracked[name]; dup {
+				continue
+			}
 			e.tracked[name] = relation.NewScalarAux()
+			e.trackedNames = append(e.trackedNames, name)
 		}
+		sort.Strings(e.trackedNames)
 	}
 	e.hist.MustAppend(history.SystemState{DB: e.db, Events: event.NewSet(), TS: cfg.Start})
 	e.capture(cfg.Start)
@@ -212,23 +252,26 @@ func NewEngine(cfg Config) *Engine {
 }
 
 // capture records the tracked items' current values in their auxiliary
-// relations.
+// relations, in sorted item order so the capture sequence (and any
+// internal-error report) is deterministic.
 func (e *Engine) capture(ts int64) {
-	for name, aux := range e.tracked {
+	for _, name := range e.trackedNames {
 		v, ok := e.db.Get(name)
 		if !ok {
 			v = value.Value{}
 		}
 		// Captures are in commit order; the error path is impossible here.
-		if err := aux.Capture(ts, v); err != nil {
-			panic(fmt.Sprintf("adb: internal: aux capture: %v", err))
+		if err := e.tracked[name].Capture(ts, v); err != nil {
+			panic(fmt.Sprintf("adb: internal: aux capture %s: %v", name, err))
 		}
 	}
 }
 
 // ItemAsOf returns the value a tracked item had at time t (Null if the
 // item did not exist then). The second result is false when the item is
-// not tracked or t precedes the engine's start.
+// not tracked or t precedes the engine's start. Safe for concurrent use
+// (the tracked table is immutable after NewEngine and each auxiliary
+// relation synchronizes its own readers against captures).
 func (e *Engine) ItemAsOf(name string, t int64) (value.Value, bool) {
 	aux, ok := e.tracked[name]
 	if !ok {
@@ -242,24 +285,55 @@ func (e *Engine) ItemAsOf(name string, t int64) (value.Value, bool) {
 func (e *Engine) Registry() *query.Registry { return e.reg }
 
 // History returns the system history built so far. It must not be
-// modified.
-func (e *Engine) History() *history.History { return e.hist }
+// modified, and unlike the snapshot accessors it must not be iterated
+// concurrently with engine mutations (the mutator appends to it).
+func (e *Engine) History() *history.History {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.hist
+}
 
-// DB returns the current database state.
-func (e *Engine) DB() history.DBState { return e.db }
+// DB returns the current database state (an immutable snapshot). Safe for
+// concurrent use.
+func (e *Engine) DB() history.DBState {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.db
+}
 
-// Now returns the timestamp of the latest system state.
-func (e *Engine) Now() int64 { return e.now }
+// Now returns the timestamp of the latest system state. Safe for
+// concurrent use.
+func (e *Engine) Now() int64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.now
+}
 
-// Firings returns every firing recorded so far.
-func (e *Engine) Firings() []Firing { return e.firings }
+// Firings returns a copy of every firing recorded so far. Safe for
+// concurrent use.
+func (e *Engine) Firings() []Firing {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return append([]Firing(nil), e.firings...)
+}
 
 // EvalSteps returns the total number of evaluator steps performed; the
-// relevance-filtering benchmark (E8) reads this.
-func (e *Engine) EvalSteps() int64 { return e.evalSteps }
+// relevance-filtering benchmark (E8) reads this. Safe for concurrent use.
+func (e *Engine) EvalSteps() int64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.evalSteps
+}
+
+// Workers returns the size of the temporal component's worker pool.
+func (e *Engine) Workers() int { return e.workers }
 
 // Executions implements ptl.ExecLog over the engine's execution record.
+// Safe for concurrent use; the evaluation workers read it through this
+// method while no lock is held for writing.
 func (e *Engine) Executions(ruleName string, before int64) []ptl.Execution {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	var out []ptl.Execution
 	for _, ex := range e.execs {
 		if ex.Rule == ruleName && ex.Time < before {
@@ -361,9 +435,11 @@ func (e *Engine) add(name string, condition ptl.Formula, action Action, isConstr
 	// entered: "when the trigger condition f is first entered at time T,
 	// R_x is set to the relation retrieved by q on the database at that
 	// time" (Section 5). Earlier history is invisible to it.
+	e.mu.Lock()
 	r.cursor = e.hist.Len() - 1
 	e.rules = append(e.rules, r)
 	e.index[name] = r
+	e.mu.Unlock()
 	return nil
 }
 
@@ -382,8 +458,10 @@ type RuleInfo struct {
 }
 
 // Rule returns information about a registered rule; ok is false for
-// unknown names.
+// unknown names. Safe for concurrent use.
 func (e *Engine) Rule(name string) (RuleInfo, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	r, ok := e.index[name]
 	if !ok {
 		return RuleInfo{}, false
@@ -400,8 +478,11 @@ func (e *Engine) Rule(name string) (RuleInfo, bool) {
 	}, true
 }
 
-// RuleNames returns the registered rule names in registration order.
+// RuleNames returns the registered rule names in registration order. Safe
+// for concurrent use.
 func (e *Engine) RuleNames() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	out := make([]string, len(e.rules))
 	for i, r := range e.rules {
 		out[i] = r.name
@@ -416,10 +497,13 @@ func (e *Engine) Emit(ts int64, events ...event.Event) error {
 		return fmt.Errorf("adb: Emit needs at least one event")
 	}
 	st := history.SystemState{DB: e.db, Events: event.NewSet(events...), TS: ts}
+	e.mu.Lock()
 	if err := e.hist.Append(st); err != nil {
+		e.mu.Unlock()
 		return err
 	}
 	e.now = ts
+	e.mu.Unlock()
 	e.resetCascade()
 	return e.sweep()
 }
@@ -495,7 +579,7 @@ func (t *Txn) Commit(ts int64) error {
 	}
 	events = append(events, t.events...)
 	ndb := e.db.WithAll(t.updates)
-	for item := range t.deletes {
+	for _, item := range sortedBoolKeys(t.deletes) {
 		ndb = ndb.Without(item)
 	}
 	tentative := history.SystemState{
@@ -508,45 +592,126 @@ func (t *Txn) Commit(ts int64) error {
 		return fmt.Errorf("adb: commit timestamp %d not after %d", ts, last.TS)
 	}
 	// Evaluate integrity constraints on clones so an abort leaves no trace
-	// in the temporal component.
-	for _, r := range e.rules {
-		if !r.constraint {
-			continue
+	// in the temporal component. Violations are resolved in rule
+	// registration order, never by worker timing.
+	violated, err := e.checkConstraints(tentative)
+	if err != nil {
+		return err
+	}
+	if violated != nil {
+		abort := history.SystemState{
+			DB:     e.db,
+			Events: event.NewSet(event.New(event.TransactionAbort, txv)),
+			TS:     ts,
 		}
-		if err := e.catchUp(r, e.hist.Len()); err != nil {
+		e.mu.Lock()
+		if err := e.hist.Append(abort); err != nil {
+			e.mu.Unlock()
 			return err
 		}
-		clone := r.ev.CloneEvaluator()
-		res, err := clone.StepResult(tentative)
-		e.evalSteps++
-		if err != nil {
-			return fmt.Errorf("adb: constraint %s: %w", r.name, err)
+		e.now = ts
+		e.mu.Unlock()
+		e.resetCascade()
+		if err := e.sweep(); err != nil {
+			return err
 		}
-		if res.Fired {
-			abort := history.SystemState{
-				DB:     e.db,
-				Events: event.NewSet(event.New(event.TransactionAbort, txv)),
-				TS:     ts,
-			}
-			if err := e.hist.Append(abort); err != nil {
-				return err
-			}
-			e.now = ts
-			e.resetCascade()
-			if err := e.sweep(); err != nil {
-				return err
-			}
-			return &ConstraintError{Constraint: r.name, Txn: t.id}
-		}
+		return &ConstraintError{Constraint: violated.name, Txn: t.id}
 	}
+	e.mu.Lock()
 	if err := e.hist.Append(tentative); err != nil {
+		e.mu.Unlock()
 		return err
 	}
 	e.db = tentative.DB
 	e.now = ts
+	e.mu.Unlock()
 	e.capture(ts)
 	e.resetCascade()
 	return e.sweep()
+}
+
+// checkConstraints catches every constraint's evaluator up to the present
+// and steps a clone of each against the tentative commit state. It
+// returns the first violated constraint in rule registration order (nil
+// when the commit may proceed). With one worker it short-circuits at the
+// first violation exactly like the historical sequential loop; with more,
+// all constraints are evaluated concurrently and the winner is still
+// chosen by rule order, so which transaction aborts — and with which
+// constraint name — never depends on goroutine scheduling.
+func (e *Engine) checkConstraints(tentative history.SystemState) (*rule, error) {
+	var constraints []*rule
+	for _, r := range e.rules {
+		if r.constraint {
+			constraints = append(constraints, r)
+		}
+	}
+	if len(constraints) == 0 {
+		return nil, nil
+	}
+	end := e.hist.Len()
+	workers := e.workers
+	if workers > len(constraints) {
+		workers = len(constraints)
+	}
+	if workers <= 1 {
+		for _, r := range constraints {
+			if err := e.advanceRules([]*rule{r}, end); err != nil {
+				return nil, err
+			}
+			res, err := r.ev.CloneEvaluator().StepResult(tentative)
+			e.addSteps(1)
+			if err != nil {
+				return nil, fmt.Errorf("adb: constraint %s: %w", r.name, err)
+			}
+			if res.Fired {
+				return r, nil
+			}
+		}
+		return nil, nil
+	}
+	if err := e.advanceRules(constraints, end); err != nil {
+		return nil, err
+	}
+	type verdict struct {
+		fired bool
+		err   error
+	}
+	verdicts := make([]verdict, len(constraints))
+	var next int64 = -1
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(constraints) {
+					return
+				}
+				res, err := constraints[i].ev.CloneEvaluator().StepResult(tentative)
+				verdicts[i] = verdict{fired: res.Fired, err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	e.addSteps(int64(len(constraints)))
+	for i, r := range constraints {
+		if verdicts[i].err != nil {
+			return nil, fmt.Errorf("adb: constraint %s: %w", r.name, verdicts[i].err)
+		}
+		if verdicts[i].fired {
+			return r, nil
+		}
+	}
+	return nil, nil
+}
+
+// addSteps bumps the evaluator-step counter under the lock so concurrent
+// EvalSteps readers stay race-free.
+func (e *Engine) addSteps(n int64) {
+	e.mu.Lock()
+	e.evalSteps += n
+	e.mu.Unlock()
 }
 
 // Abort abandons the transaction, appending a transaction_abort state.
@@ -561,10 +726,13 @@ func (t *Txn) Abort(ts int64) error {
 		Events: event.NewSet(event.New(event.TransactionAbort, value.NewInt(t.id))),
 		TS:     ts,
 	}
+	e.mu.Lock()
 	if err := e.hist.Append(st); err != nil {
+		e.mu.Unlock()
 		return err
 	}
 	e.now = ts
+	e.mu.Unlock()
 	e.resetCascade()
 	return e.sweep()
 }
@@ -586,16 +754,20 @@ func (e *Engine) execInternal(updates map[string]value.Value, events []event.Eve
 }
 
 // Flush processes every pending state for every rule (the batched
-// temporal-component invocation) and executes resulting actions.
+// temporal-component invocation) and executes resulting actions. This is
+// the paper's "temporal component invocation ... executed for multiple
+// events at the same time"; with Workers > 1 the batched catch-up is
+// sharded across the worker pool.
 func (e *Engine) Flush() error {
 	e.cascade = 0
+	var jobs []*rule
 	for _, r := range e.rules {
-		if r.constraint {
-			continue
+		if !r.constraint {
+			jobs = append(jobs, r)
 		}
-		if err := e.catchUp(r, e.hist.Len()); err != nil {
-			return err
-		}
+	}
+	if err := e.advanceRules(jobs, e.hist.Len()); err != nil {
+		return err
 	}
 	return e.drainActions()
 }
@@ -609,6 +781,7 @@ func (e *Engine) Flush() error {
 // discarded. Firing.StateIndex values remain absolute across compactions
 // (see BaseIndex).
 func (e *Engine) Compact() int {
+	e.mu.Lock()
 	min := e.hist.Len() - 1 // always keep the newest state
 	for _, r := range e.rules {
 		if r.cursor < min {
@@ -616,6 +789,7 @@ func (e *Engine) Compact() int {
 		}
 	}
 	if min <= 0 {
+		e.mu.Unlock()
 		return 0
 	}
 	trimmed := history.New()
@@ -627,11 +801,13 @@ func (e *Engine) Compact() int {
 	for _, r := range e.rules {
 		r.cursor -= min
 	}
-	// Auxiliary intervals that ended before the retained horizon can no
-	// longer be read by any pending action.
 	horizon := trimmed.At(0).TS
-	for _, aux := range e.tracked {
-		aux.Prune(horizon)
+	e.mu.Unlock()
+	// Auxiliary intervals that ended before the retained horizon can no
+	// longer be read by any pending action. The aux relations synchronize
+	// their own readers.
+	for _, name := range e.trackedNames {
+		e.tracked[name].Prune(horizon)
 	}
 	return min
 }
@@ -649,6 +825,8 @@ func (e *Engine) ExportHistory(w io.Writer) error {
 // as and when it is not needed" — rules bounding executed's age (e.g.
 // time - T <= 60) never need older records.
 func (e *Engine) PruneExecutions(t int64) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	kept := e.execs[:0]
 	dropped := 0
 	for _, ex := range e.execs {
@@ -664,7 +842,12 @@ func (e *Engine) PruneExecutions(t int64) int {
 
 // BaseIndex returns the absolute index of the first retained history
 // state; History().At(i) corresponds to absolute state BaseIndex()+i.
-func (e *Engine) BaseIndex() int { return e.base }
+// Safe for concurrent use.
+func (e *Engine) BaseIndex() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.base
+}
 
 // sweep runs the temporal component for the newest state according to each
 // rule's scheduling, then executes fired actions.
@@ -685,33 +868,28 @@ func (e *Engine) sweep() error {
 func (e *Engine) sweepOnce() error {
 	newest := e.hist.Len() - 1
 	st := e.hist.At(newest)
+	var jobs []*rule
 	for _, r := range e.rules {
 		if r.constraint {
 			// The constraint's own evaluator advances lazily (at commits
 			// and aborts); Txn.Commit catches it up before cloning anyway.
 			if st.Events.CommitCount() > 0 || len(st.Events.ByName(event.TransactionAbort)) > 0 {
-				if err := e.catchUp(r, newest+1); err != nil {
-					return err
-				}
+				jobs = append(jobs, r)
 			}
 			continue
 		}
 		switch r.sched {
 		case Eager:
-			if err := e.catchUp(r, newest+1); err != nil {
-				return err
-			}
+			jobs = append(jobs, r)
 		case Relevant:
 			if e.relevant(r, st) {
-				if err := e.catchUp(r, newest+1); err != nil {
-					return err
-				}
+				jobs = append(jobs, r)
 			}
 		case Manual:
 			// Only Flush advances.
 		}
 	}
-	return nil
+	return e.advanceRules(jobs, newest+1)
 }
 
 // relevant implements the Section-8 filter: a state concerns a rule when
@@ -734,8 +912,22 @@ func (e *Engine) relevant(r *rule, st history.SystemState) bool {
 	return false
 }
 
-// catchUp advances a rule's evaluator through pending states up to (but
-// not including) history index end, queueing firings.
+// advanceOutcome is the result of advancing one rule's evaluator through
+// pending history states: it is produced by a worker without touching
+// shared engine state and merged back on the engine goroutine.
+type advanceOutcome struct {
+	firings []Firing
+	steps   int64
+	cursor  int
+	err     error
+}
+
+// advanceRule advances r's evaluator through pending states up to (but
+// not including) history index end, collecting firings locally. Each rule
+// owns its evaluator, so advances of distinct rules are independent and
+// may run concurrently; the shared layers they read — history, database
+// snapshots, the query registry, the execution log — are read-only for
+// the duration of an evaluation phase.
 //
 // Non-temporal conditions keep no state between system states, so under
 // Relevant scheduling the skipped (irrelevant) states are disregarded
@@ -743,30 +935,104 @@ func (e *Engine) relevant(r *rule, st history.SystemState) bool {
 // evaluated. Temporal conditions must see every state to keep their
 // F_{g,i} formulas correct, so they replay the pending states (batched
 // invocation: firing delayed, never lost).
-func (e *Engine) catchUp(r *rule, end int) error {
-	if !r.info.Temporal && r.sched == Relevant && r.cursor < end-1 {
-		r.cursor = end - 1
+func (e *Engine) advanceRule(r *rule, end int) advanceOutcome {
+	out := advanceOutcome{cursor: r.cursor}
+	if !r.info.Temporal && r.sched == Relevant && out.cursor < end-1 {
+		out.cursor = end - 1
 	}
-	for r.cursor < end {
-		st := e.hist.At(r.cursor)
+	for out.cursor < end {
+		st := e.hist.At(out.cursor)
 		res, err := r.ev.StepResult(st)
-		e.evalSteps++
+		out.steps++
 		if err != nil {
-			return fmt.Errorf("adb: rule %s at state %d: %w", r.name, r.cursor, err)
+			out.err = fmt.Errorf("adb: rule %s at state %d: %w", r.name, out.cursor, err)
+			return out
 		}
 		if res.Fired && !r.constraint {
 			for _, b := range res.Bindings {
-				f := Firing{Rule: r.name, Binding: b, Time: st.TS, StateIndex: e.base + r.cursor}
-				e.firings = append(e.firings, f)
-				if e.onFiring != nil {
-					e.onFiring(f)
-				}
-				e.pending = append(e.pending, f)
+				out.firings = append(out.firings, Firing{Rule: r.name, Binding: b, Time: st.TS, StateIndex: e.base + out.cursor})
 			}
 		}
-		r.cursor++
+		out.cursor++
 	}
-	return nil
+	return out
+}
+
+// apply merges one rule's advance outcome into engine state: cursor and
+// step counter under the write lock, then the firings one at a time — the
+// exact observable sequence (append, OnFiring callback, action queue) the
+// sequential engine produces.
+func (e *Engine) apply(r *rule, out advanceOutcome) {
+	e.mu.Lock()
+	r.cursor = out.cursor
+	e.evalSteps += out.steps
+	e.mu.Unlock()
+	for _, f := range out.firings {
+		e.mu.Lock()
+		e.firings = append(e.firings, f)
+		e.mu.Unlock()
+		if e.onFiring != nil {
+			e.onFiring(f)
+		}
+		e.pending = append(e.pending, f)
+	}
+}
+
+// advanceRules advances the given rules to history index end — the
+// parallel temporal component. Rules are dealt to at most Workers
+// goroutines; outcomes are merged strictly in the order rules appear in
+// the slice (registration order at every call site), so the firing
+// sequence, callbacks and step counts are byte-identical to sequential
+// evaluation regardless of worker count.
+//
+// Errors also surface first-by-rule-order. With one worker a failed rule
+// stops the loop with later rules unadvanced, exactly like the historical
+// sequential engine; with more workers later rules may already have
+// advanced when an earlier rule fails — their outcomes are still merged
+// (the evaluators have moved) and the earlier rule's error is returned.
+func (e *Engine) advanceRules(rules []*rule, end int) error {
+	if len(rules) == 0 {
+		return nil
+	}
+	workers := e.workers
+	if workers > len(rules) {
+		workers = len(rules)
+	}
+	if workers <= 1 {
+		for _, r := range rules {
+			out := e.advanceRule(r, end)
+			e.apply(r, out)
+			if out.err != nil {
+				return out.err
+			}
+		}
+		return nil
+	}
+	outs := make([]advanceOutcome, len(rules))
+	var next int64 = -1
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(rules) {
+					return
+				}
+				outs[i] = e.advanceRule(rules[i], end)
+			}
+		}()
+	}
+	wg.Wait()
+	var firstErr error
+	for i, r := range rules {
+		e.apply(r, outs[i])
+		if outs[i].err != nil && firstErr == nil {
+			firstErr = outs[i].err
+		}
+	}
+	return firstErr
 }
 
 // drainActions executes queued actions; actions may commit transactions,
@@ -805,10 +1071,21 @@ func (e *Engine) recordExecution(r *rule, f Firing, ts int64) {
 	for i, name := range r.paramOrder {
 		params[i] = f.Binding[name]
 	}
+	e.mu.Lock()
 	e.execs = append(e.execs, ptl.Execution{Rule: f.Rule, Params: params, Time: ts})
+	e.mu.Unlock()
 }
 
 func sortedKeys(m map[string]value.Value) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedBoolKeys(m map[string]bool) []string {
 	out := make([]string, 0, len(m))
 	for k := range m {
 		out = append(out, k)

@@ -1,0 +1,268 @@
+package adb
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+
+	"ptlactive/internal/event"
+	"ptlactive/internal/value"
+)
+
+// condPool is a mix of condition shapes exercising the fast path, the
+// general constraint-graph path, temporal operators, free parameters and
+// database reads; %d is the rule index, keeping event gates distinct.
+var condPool = []string{
+	`@ev%d and item("a") > 2`,
+	`@ev%d since item("a") > 4`,
+	`lasttime @ev%d`,
+	`previously (@ev%d and item("b") > 1)`,
+	`@pay%d(U) and U > 3`,
+	`[x <- item("a")] (@ev%d and x >= 0 and item("b") < 100)`,
+	`item("a") + item("b") > 6 and @ev%d`,
+}
+
+// buildRandomEngine registers R random rules (and optionally constraints)
+// on a fresh engine with the given worker count; the rule set depends only
+// on seed, so two calls with different workers get identical rule sets.
+func buildRandomEngine(t *testing.T, seed int64, rules, workers int, withConstraints bool) *Engine {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	e := NewEngine(Config{
+		Initial: map[string]value.Value{
+			"a": value.NewInt(int64(rng.Intn(5))),
+			"b": value.NewInt(int64(rng.Intn(5))),
+		},
+		Workers:    workers,
+		TrackItems: []string{"a", "b"},
+	})
+	scheds := []Scheduling{Eager, Relevant, Manual}
+	for i := 0; i < rules; i++ {
+		cond := fmt.Sprintf(condPool[rng.Intn(len(condPool))], i)
+		sched := scheds[rng.Intn(len(scheds))]
+		if err := e.AddTrigger(fmt.Sprintf("r%03d", i), cond, nil, WithScheduling(sched)); err != nil {
+			t.Fatalf("AddTrigger: %v", err)
+		}
+	}
+	if withConstraints {
+		if err := e.AddConstraint("c_a_low", `not (item("a") > 50)`); err != nil {
+			t.Fatalf("AddConstraint: %v", err)
+		}
+		if err := e.AddConstraint("c_b_low", `not (item("b") > 50)`); err != nil {
+			t.Fatalf("AddConstraint: %v", err)
+		}
+	}
+	return e
+}
+
+// driveRandomHistory runs an identical random operation mix (emits,
+// commits, aborts, flushes) against the engine; identical seeds produce
+// identical histories.
+func driveRandomHistory(t *testing.T, e *Engine, seed int64, rules, states int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	ts := e.Now()
+	for s := 0; s < states; s++ {
+		ts += int64(1 + rng.Intn(3))
+		switch rng.Intn(10) {
+		case 0, 1, 2: // event-only state hitting some rule's gate
+			i := rng.Intn(rules)
+			var ev event.Event
+			if rng.Intn(2) == 0 {
+				ev = event.New(fmt.Sprintf("ev%d", i))
+			} else {
+				ev = event.New(fmt.Sprintf("pay%d", i), value.NewInt(int64(rng.Intn(8))))
+			}
+			if err := e.Emit(ts, ev); err != nil {
+				t.Fatalf("Emit: %v", err)
+			}
+		case 3: // noise event no rule listens to
+			if err := e.Emit(ts, event.New("noise")); err != nil {
+				t.Fatalf("Emit: %v", err)
+			}
+		case 4, 5, 6, 7: // transaction updating the database
+			upd := map[string]value.Value{}
+			if rng.Intn(2) == 0 {
+				upd["a"] = value.NewInt(int64(rng.Intn(60)))
+			}
+			if rng.Intn(2) == 0 {
+				upd["b"] = value.NewInt(int64(rng.Intn(60)))
+			}
+			err := e.Exec(ts, upd, event.New(fmt.Sprintf("ev%d", rng.Intn(rules))))
+			if err != nil && !errors.Is(err, ErrConstraintViolation) {
+				t.Fatalf("Exec: %v", err)
+			}
+		case 8: // explicit abort
+			tx := e.Begin()
+			tx.Set("a", value.NewInt(99))
+			if err := tx.Abort(ts); err != nil {
+				t.Fatalf("Abort: %v", err)
+			}
+		case 9: // batched invocation of the temporal component
+			if err := e.Flush(); err != nil {
+				t.Fatalf("Flush: %v", err)
+			}
+		}
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatalf("final Flush: %v", err)
+	}
+}
+
+// TestParallelFiringEquivalence is the determinism property: over random
+// rule sets and random histories, Workers=N produces the identical firing
+// sequence (names, bindings, timestamps, state indices, order), the same
+// step counts and the same final database as Workers=1.
+func TestParallelFiringEquivalence(t *testing.T) {
+	trials := 12
+	states := 120
+	if testing.Short() {
+		trials, states = 4, 60
+	}
+	for trial := 0; trial < trials; trial++ {
+		seed := int64(1000 + trial)
+		rules := 3 + trial%9
+		withConstraints := trial%2 == 0
+		seq := buildRandomEngine(t, seed, rules, 1, withConstraints)
+		par := buildRandomEngine(t, seed, rules, 8, withConstraints)
+		driveRandomHistory(t, seq, seed*31, rules, states)
+		driveRandomHistory(t, par, seed*31, rules, states)
+
+		sf, pf := seq.Firings(), par.Firings()
+		if !reflect.DeepEqual(sf, pf) {
+			t.Fatalf("trial %d: firing sequences diverge:\n  sequential (%d): %v\n  parallel   (%d): %v",
+				trial, len(sf), sf, len(pf), pf)
+		}
+		if sn, pn := seq.Now(), par.Now(); sn != pn {
+			t.Fatalf("trial %d: clocks diverge: %d vs %d", trial, sn, pn)
+		}
+		// Step counts match exactly only without constraints: on an
+		// aborted commit the sequential path short-circuits at the first
+		// violated constraint while the parallel path evaluates all of
+		// them (a documented divergence — see DESIGN.md).
+		if !withConstraints {
+			if ss, ps := seq.EvalSteps(), par.EvalSteps(); ss != ps {
+				t.Fatalf("trial %d: eval step counts diverge: %d vs %d", trial, ss, ps)
+			}
+		}
+		if !seq.DB().Equal(par.DB()) {
+			t.Fatalf("trial %d: final databases diverge: %v vs %v", trial, seq.DB(), par.DB())
+		}
+	}
+}
+
+// TestParallelConstraintAbortOrder checks that when several constraints
+// reject the same commit, the reported violation is the first one in rule
+// registration order — not whichever worker finished first.
+func TestParallelConstraintAbortOrder(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		e := NewEngine(Config{
+			Initial: map[string]value.Value{"a": value.NewInt(0)},
+			Workers: 8,
+		})
+		// c0 holds; c1..c7 are all violated by the same update.
+		if err := e.AddConstraint("c0", `not (item("a") < 0)`); err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < 8; i++ {
+			if err := e.AddConstraint(fmt.Sprintf("c%d", i), `not (item("a") > 10)`); err != nil {
+				t.Fatal(err)
+			}
+		}
+		err := e.Exec(int64(round+1), map[string]value.Value{"a": value.NewInt(50)})
+		var ce *ConstraintError
+		if !errors.As(err, &ce) {
+			t.Fatalf("round %d: want constraint violation, got %v", round, err)
+		}
+		if ce.Constraint != "c1" {
+			t.Fatalf("round %d: violation attributed to %s, want c1 (first in rule order)", round, ce.Constraint)
+		}
+	}
+}
+
+// TestParallelWorkersConfig checks the Workers plumbing: zero defaults to
+// a positive pool, explicit values are kept.
+func TestParallelWorkersConfig(t *testing.T) {
+	if w := NewEngine(Config{}).Workers(); w < 1 {
+		t.Fatalf("default worker pool is %d, want >= 1", w)
+	}
+	if w := NewEngine(Config{Workers: 3}).Workers(); w != 3 {
+		t.Fatalf("Workers = %d, want 3", w)
+	}
+}
+
+// TestConcurrentReaderStress hammers the reader accessors from several
+// goroutines while a single mutator runs emits, transactions and flushes;
+// run under -race this is the regression test for the engine's
+// concurrency model (readers may overlap one mutator).
+func TestConcurrentReaderStress(t *testing.T) {
+	e := NewEngine(Config{
+		Initial:    map[string]value.Value{"a": value.NewInt(1), "b": value.NewInt(2)},
+		Workers:    4,
+		TrackItems: []string{"a"},
+	})
+	for i := 0; i < 12; i++ {
+		cond := fmt.Sprintf(condPool[i%len(condPool)], i)
+		if err := e.AddTrigger(fmt.Sprintf("r%d", i), cond, nil, WithScheduling(Scheduling(i%3))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.AddConstraint("cap", `not (item("a") > 1000)`); err != nil {
+		t.Fatal(err)
+	}
+
+	states := 120
+	if testing.Short() {
+		states = 40
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				_ = e.Firings()
+				_, _ = e.ItemAsOf("a", e.Now())
+				_, _ = e.Rule(fmt.Sprintf("r%d", g))
+				_ = e.EvalSteps()
+				_ = e.DB()
+				_ = e.RuleNames()
+				_ = e.Executions("r0", e.Now())
+				_ = e.BaseIndex()
+				runtime.Gosched()
+			}
+		}(g)
+	}
+	rng := rand.New(rand.NewSource(99))
+	ts := e.Now()
+	for s := 0; s < states; s++ {
+		ts += 2
+		switch s % 4 {
+		case 0:
+			if err := e.Emit(ts, event.New(fmt.Sprintf("ev%d", rng.Intn(12)))); err != nil {
+				t.Fatal(err)
+			}
+		case 1, 2:
+			err := e.Exec(ts, map[string]value.Value{"a": value.NewInt(int64(rng.Intn(50)))})
+			if err != nil && !errors.Is(err, ErrConstraintViolation) {
+				t.Fatal(err)
+			}
+		case 3:
+			if err := e.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	close(done)
+	wg.Wait()
+}

@@ -22,6 +22,7 @@ func (e *Evaluator) Clone() *Evaluator {
 		sincePrev: make(map[*ptl.Since]*cnode, len(e.sincePrev)),
 		lastPrev:  make(map[*ptl.Lasttime]*cnode, len(e.lastPrev)),
 		aggs:      make(map[*ptl.Agg]*aggState, len(e.aggs)),
+		aggOrder:  e.aggOrder,
 		optimize:  e.optimize,
 		steps:     e.steps,
 	}

@@ -42,8 +42,12 @@ type Evaluator struct {
 	// Stored constraint formulas F_{g,i-1} per temporal occurrence.
 	sincePrev map[*ptl.Since]*cnode
 	lastPrev  map[*ptl.Lasttime]*cnode
-	// Aggregate state machines per aggregate occurrence.
-	aggs map[*ptl.Agg]*aggState
+	// Aggregate state machines per aggregate occurrence. aggOrder fixes the
+	// iteration order to the formula-walk order so per-step effects (and
+	// error reporting when several machines fail) are deterministic; the
+	// slice is immutable after New and shared by clones.
+	aggs     map[*ptl.Agg]*aggState
+	aggOrder []*ptl.Agg
 
 	// optimize enables the time-bound pruning of Section 5; disabled only
 	// by benchmarks that measure its effect (E2).
@@ -99,12 +103,16 @@ func New(info *ptl.Info, reg *query.Registry, log ptl.ExecLog, opts ...Option) (
 	})
 	ptl.WalkTerms(info.Normalized, func(t ptl.Term) {
 		if a, ok := t.(*ptl.Agg); ok && regErr == nil {
+			if _, dup := e.aggs[a]; dup {
+				return
+			}
 			st, err := newAggState(a, reg, log, e.optimize)
 			if err != nil {
 				regErr = err
 				return
 			}
 			e.aggs[a] = st
+			e.aggOrder = append(e.aggOrder, a)
 		}
 	})
 	if regErr != nil {
@@ -167,8 +175,8 @@ func (e *Evaluator) Registers() int {
 func (e *Evaluator) Step(st history.SystemState) (Result, error) {
 	// Aggregate machines advance first: the aggregate value at state i
 	// includes state i itself as a potential start/sample point.
-	for _, a := range e.aggs {
-		if err := a.step(st); err != nil {
+	for _, a := range e.aggOrder {
+		if err := e.aggs[a].step(st); err != nil {
 			return Result{}, err
 		}
 	}

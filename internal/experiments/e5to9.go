@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"time"
 
 	"ptlactive/internal/adb"
@@ -331,11 +332,23 @@ func E7StateBlowup(quick bool) Table {
 	return t
 }
 
+// DefaultWorkers is the worker-pool size used for the parallel columns of
+// E8 and by the benchtables -workers flag; it defaults to all cores.
+var DefaultWorkers = runtime.GOMAXPROCS(0)
+
 // RelevanceRun drives R event-gated rules over an event mix and returns
-// evaluator steps plus wall time (the E8 kernel).
+// evaluator steps plus wall time (the E8 kernel). Evaluation is fully
+// sequential; RelevanceRunWorkers adds the worker-pool axis.
 func RelevanceRun(rules, states int, sched adb.Scheduling) (steps int64, dur time.Duration) {
+	return RelevanceRunWorkers(rules, states, sched, 1)
+}
+
+// RelevanceRunWorkers is RelevanceRun with an explicit worker-pool size
+// for the engine's parallel temporal component.
+func RelevanceRunWorkers(rules, states int, sched adb.Scheduling, workers int) (steps int64, dur time.Duration) {
 	eng := adb.NewEngine(adb.Config{
 		Initial: map[string]value.Value{"a": value.NewInt(1)},
+		Workers: workers,
 	})
 	for i := 0; i < rules; i++ {
 		cond := fmt.Sprintf(`@ev%d and item("a") > 0`, i)
@@ -373,22 +386,29 @@ func E8RelevanceFiltering(quick bool) Table {
 		states = 500
 	}
 	t := Table{
-		ID:     "E8",
-		Title:  "execution model: relevance filtering and batching over event-gated rules",
-		Header: []string{"rules", "eager steps", "eager ms", "relevant steps", "relevant ms", "batched steps"},
+		ID:    "E8",
+		Title: "execution model: relevance filtering and batching over event-gated rules",
+		Header: []string{"rules", "eager steps", "eager ms", "relevant steps", "relevant ms", "batched steps",
+			fmt.Sprintf("eager ms (W=%d)", DefaultWorkers)},
 		Notes: "with relevance filtering, evaluator invocations scale with matching events " +
 			"rather than rules x states; batching defers the same work to one flush. " +
-			"Shape per Section 8.",
+			"Shape per Section 8. The last column re-runs the eager sweep with the " +
+			"parallel temporal component (worker pool over rules); firings are identical.",
 	}
 	for _, rules := range []int{10, 50, 200} {
 		es, ed := RelevanceRun(rules, states, adb.Eager)
 		rs, rd := RelevanceRun(rules, states, adb.Relevant)
 		bs, _ := RelevanceRun(rules, states, adb.Manual)
+		ps, pd := RelevanceRunWorkers(rules, states, adb.Eager, DefaultWorkers)
+		if ps != es {
+			panic(fmt.Sprintf("E8: parallel eager steps %d != sequential %d", ps, es))
+		}
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprint(rules),
 			fmt.Sprint(es), fmtMs(ed),
 			fmt.Sprint(rs), fmtMs(rd),
 			fmt.Sprint(bs),
+			fmtMs(pd),
 		})
 	}
 	return t

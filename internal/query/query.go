@@ -9,6 +9,7 @@ package query
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"ptlactive/internal/history"
 	"ptlactive/internal/relation"
@@ -22,7 +23,15 @@ type Func func(st history.SystemState, args []value.Value) (value.Value, error)
 // Registry maps function symbols to query implementations. The reserved
 // symbol "item" (arity 1) reads a database item by name and is always
 // present; "time" (arity 0) reads the state timestamp.
+//
+// A Registry is safe for concurrent use: lookups (Has, Arity, Names,
+// Eval) may run from any number of goroutines — the engine's parallel
+// temporal component evaluates many rules against one registry at once —
+// while Register may run concurrently with them. The registered functions
+// themselves must be safe for concurrent calls; pure functions over the
+// passed-in state (the normal shape) are.
 type Registry struct {
+	mu    sync.RWMutex
 	funcs map[string]entry
 }
 
@@ -58,11 +67,13 @@ func (r *Registry) Register(name string, arity int, fn Func) error {
 	if name == "" {
 		return fmt.Errorf("query: empty function name")
 	}
-	if _, dup := r.funcs[name]; dup {
-		return fmt.Errorf("query: function %q already registered", name)
-	}
 	if fn == nil {
 		return fmt.Errorf("query: nil function for %q", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.funcs[name]; dup {
+		return fmt.Errorf("query: function %q already registered", name)
 	}
 	r.funcs[name] = entry{fn: fn, arity: arity}
 	return nil
@@ -76,6 +87,8 @@ func (r *Registry) mustRegister(name string, arity int, fn Func) {
 
 // Has reports whether a symbol is registered.
 func (r *Registry) Has(name string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	_, ok := r.funcs[name]
 	return ok
 }
@@ -83,12 +96,16 @@ func (r *Registry) Has(name string) bool {
 // Arity returns the declared arity of a symbol (-1 for variadic); the
 // second result is false for unknown symbols.
 func (r *Registry) Arity(name string) (int, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	e, ok := r.funcs[name]
 	return e.arity, ok
 }
 
 // Names returns the sorted registered symbols.
 func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	out := make([]string, 0, len(r.funcs))
 	for k := range r.funcs {
 		out = append(out, k)
@@ -99,7 +116,9 @@ func (r *Registry) Names() []string {
 
 // Eval evaluates a registered query on a system state.
 func (r *Registry) Eval(name string, st history.SystemState, args []value.Value) (value.Value, error) {
+	r.mu.RLock()
 	e, ok := r.funcs[name]
+	r.mu.RUnlock()
 	if !ok {
 		return value.Value{}, fmt.Errorf("query: unknown function %q", name)
 	}

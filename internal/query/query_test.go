@@ -176,3 +176,31 @@ func TestRegisterSelect(t *testing.T) {
 		t.Error("missing item should error at eval")
 	}
 }
+
+// Registry registration may race with evaluation: the engine's worker pool
+// evaluates rule conditions (which call Eval) while an application
+// goroutine can still be registering queries. Run under -race this guards
+// the registry's internal locking.
+func TestRegistryConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	st := state(map[string]value.Value{"a": value.NewInt(7)}, 1)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			name := "q" + strings.Repeat("x", i%5) + string(rune('a'+i%26))
+			_ = r.Register(name, 0, func(history.SystemState, []value.Value) (value.Value, error) {
+				return value.NewInt(1), nil
+			})
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		if v, err := r.Eval("item", st, []value.Value{value.NewString("a")}); err != nil || v.AsInt() != 7 {
+			t.Fatalf("item(a) = %v, %v", v, err)
+		}
+		_ = r.Has("item")
+		_, _ = r.Arity("time")
+		_ = r.Names()
+	}
+	<-done
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"ptlactive/internal/value"
 )
@@ -22,7 +23,11 @@ const TEndMax = int64(math.MaxInt64)
 // Capture(t, rows) — record the query value observed at time t — and
 // AsOf(t) — retrieve the value the query had at time t by a selection on
 // the interval columns followed by a projection that drops them.
+//
+// Captures and prunes must come from a single writer at a time; AsOf,
+// Len and Intervals may run concurrently with them and with each other.
 type Aux struct {
+	mu     sync.RWMutex
 	schema *Schema // schema of the captured query (without interval columns)
 	rows   []auxRow
 	// open maps tuple key -> index of the currently open row, if any.
@@ -49,34 +54,44 @@ func (a *Aux) Schema() *Schema { return a.schema }
 
 // Len returns the total number of interval rows retained (open + closed).
 // This is the state-size metric benched in E2.
-func (a *Aux) Len() int { return len(a.rows) }
+func (a *Aux) Len() int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return len(a.rows)
+}
 
 // Capture records that the query's value at time t is exactly rows.
 // Tuples that appear open and are no longer in rows get T_end = t; tuples
-// not currently open get a new interval [t, MAX). Capture times must be
+// not currently open get a new interval [t, MAX), in the order they appear
+// in rows — so retained interval order, and hence AsOf tuple order, is a
+// deterministic function of the capture sequence. Capture times must be
 // nondecreasing.
 func (a *Aux) Capture(t int64, rows [][]value.Value) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	if a.captured && t < a.lastCapture {
 		return fmt.Errorf("relation: aux capture at %d before previous capture at %d", t, a.lastCapture)
 	}
 	a.captured = true
 	a.lastCapture = t
-	now := make(map[string][]value.Value, len(rows))
+	now := make(map[string]bool, len(rows))
 	for _, row := range rows {
 		if err := a.schema.checkTuple(row); err != nil {
 			return err
 		}
-		now[rowKey(row)] = row
+		now[rowKey(row)] = true
 	}
 	// Close intervals of tuples that disappeared.
 	for k, i := range a.open {
-		if _, still := now[k]; !still {
+		if !now[k] {
 			a.rows[i].tend = t
 			delete(a.open, k)
 		}
 	}
-	// Open intervals for new tuples.
-	for k, row := range now {
+	// Open intervals for new tuples, in input order (iterating the lookup
+	// map here instead made the interval order vary run to run).
+	for _, row := range rows {
+		k := rowKey(row)
 		if _, already := a.open[k]; already {
 			continue
 		}
@@ -92,6 +107,8 @@ func (a *Aux) Capture(t int64, rows [][]value.Value) error {
 // contains t. The result is a fresh relation over the query schema (the
 // paper's "selection followed by a projection").
 func (a *Aux) AsOf(t int64) *Relation {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
 	out := New(a.schema)
 	for _, r := range a.rows {
 		if r.tstart <= t && t < r.tend {
@@ -107,6 +124,8 @@ func (a *Aux) AsOf(t int64) *Relation {
 // proves no condition can refer back before t, which is what keeps state
 // bounded for bounded operators.
 func (a *Aux) Prune(t int64) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	kept := a.rows[:0]
 	dropped := 0
 	for _, r := range a.rows {
@@ -132,6 +151,8 @@ func (a *Aux) Prune(t int64) int {
 // Intervals returns (tstart, tend) pairs for a given tuple, sorted by
 // start; used by tests and the inspection CLI.
 func (a *Aux) Intervals(row []value.Value) [][2]int64 {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
 	k := rowKey(row)
 	var out [][2]int64
 	for _, r := range a.rows {

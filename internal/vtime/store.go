@@ -225,6 +225,36 @@ const Infinity = int64(math.MaxInt64)
 // Unlimited disables the maximum-delay check.
 const Unlimited = int64(-1)
 
+// commitInfo pairs a committed transaction with its commit time for the
+// collapse procedures.
+type commitInfo struct {
+	ts  int64
+	rec *txnRec
+}
+
+// committedInOrder returns the committed transactions sorted by commit
+// time, ties broken by transaction id. The stable sort plus the id
+// tie-break makes collapsed committed histories deterministic even for
+// histories (built outside Commit's same-instant guard) in which two
+// transactions commit at the same timestamp: the higher id applies later
+// and its updates win.
+func (s *Store) committedInOrder() []commitInfo {
+	var commits []commitInfo
+	for _, id := range s.order {
+		rec := s.txns[id]
+		if rec.status == Committed {
+			commits = append(commits, commitInfo{ts: rec.commit, rec: rec})
+		}
+	}
+	sort.SliceStable(commits, func(i, j int) bool {
+		if commits[i].ts != commits[j].ts {
+			return commits[i].ts < commits[j].ts
+		}
+		return commits[i].rec.id < commits[j].rec.id
+	})
+	return commits
+}
+
 // committedIn reports whether the update's transaction has a commit event
 // within a prefix ending at time t.
 func (s *Store) committedIn(u Update, t int64) bool {
@@ -282,18 +312,7 @@ func (s *Store) CommittedAt(t int64) *history.History {
 func (s *Store) Collapsed() *history.History {
 	// Gather commit times and sort states by ts as usual; each state's db
 	// reflects all updates of transactions committed at or before it.
-	type commitInfo struct {
-		ts  int64
-		rec *txnRec
-	}
-	var commits []commitInfo
-	for _, id := range s.order {
-		rec := s.txns[id]
-		if rec.status == Committed {
-			commits = append(commits, commitInfo{ts: rec.commit, rec: rec})
-		}
-	}
-	sort.Slice(commits, func(i, j int) bool { return commits[i].ts < commits[j].ts })
+	commits := s.committedInOrder()
 
 	h := history.New()
 	db := s.base
@@ -334,19 +353,7 @@ func (s *Store) Collapsed() *history.History {
 // and offline satisfaction on the result.
 func (s *Store) CollapsedStore() *Store {
 	out := NewStore(s.base, s.states[0].ts, Unlimited)
-	type commitInfo struct {
-		ts  int64
-		rec *txnRec
-	}
-	var commits []commitInfo
-	for _, id := range s.order {
-		rec := s.txns[id]
-		if rec.status == Committed {
-			commits = append(commits, commitInfo{ts: rec.commit, rec: rec})
-		}
-	}
-	sort.Slice(commits, func(i, j int) bool { return commits[i].ts < commits[j].ts })
-	for _, c := range commits {
+	for _, c := range s.committedInOrder() {
 		if err := out.Begin(c.rec.id); err != nil {
 			panic(err)
 		}

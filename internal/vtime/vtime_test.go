@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"ptlactive/internal/event"
 	"ptlactive/internal/history"
 	"ptlactive/internal/naive"
 	"ptlactive/internal/ptl"
@@ -451,4 +452,67 @@ func naiveAt(t *testing.T, reg *query.Registry, h *history.History, ts int64, sr
 		t.Fatal(err)
 	}
 	return ok
+}
+
+// Regression: two transactions committing at the same instant (possible
+// only for histories assembled outside Commit's same-instant guard, e.g.
+// when merging logs) must collapse deterministically. The sort used to
+// order commits by timestamp alone with an unstable sort, so which
+// transaction's updates won the collapsed database varied run to run; the
+// id tie-break pins it: the higher id applies later and its updates win.
+func TestCollapsedEqualCommitTimestampDeterministic(t *testing.T) {
+	build := func() *Store {
+		s := NewStore(history.EmptyDB(), 0, Unlimited)
+		// Begin in an order unrelated to ids so the tie-break is doing the
+		// work, not insertion order.
+		for _, id := range []int64{2, 1, 3} {
+			if err := s.Begin(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Post(1, "a", value.NewInt(10), 1, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Post(2, "a", value.NewInt(20), 2, 2); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Post(3, "b", value.NewInt(30), 3, 3); err != nil {
+			t.Fatal(err)
+		}
+		// Force the same commit instant for all three, bypassing Commit's
+		// collision check the way an externally assembled history would.
+		for _, id := range []int64{2, 1, 3} {
+			rec := s.txns[id]
+			rec.status = Committed
+			rec.commit = 5
+			st := s.stateAt(5)
+			st.events = append(st.events, event.New(event.TransactionCommit, value.NewInt(id)))
+		}
+		s.now = 5
+		return s
+	}
+
+	ref := build().Collapsed()
+	last, ok := ref.Last()
+	if !ok {
+		t.Fatal("collapsed history is empty")
+	}
+	// Txn 2 has the higher id among the writers of "a", so its update
+	// applies later and wins.
+	if v, ok := last.DB.Get("a"); !ok || v.AsInt() != 20 {
+		t.Fatalf(`collapsed "a" = %v, want 20 (txn 2 wins the tie)`, v)
+	}
+	if v, ok := last.DB.Get("b"); !ok || v.AsInt() != 30 {
+		t.Fatalf(`collapsed "b" = %v, want 30`, v)
+	}
+	for i := 0; i < 20; i++ {
+		h := build().Collapsed()
+		if h.Len() != ref.Len() {
+			t.Fatalf("collapsed length varies: %d vs %d", h.Len(), ref.Len())
+		}
+		got, _ := h.Last()
+		if !got.DB.Equal(last.DB) {
+			t.Fatalf("collapsed database varies across runs: %v vs %v", got.DB, last.DB)
+		}
+	}
 }
