@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench race vet verify tables
+.PHONY: build test bench race vet fmtcheck vulncheck verify tables
 
 build:
 	$(GO) build ./...
@@ -17,10 +17,23 @@ race:
 vet:
 	$(GO) vet ./...
 
+fmtcheck:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# govulncheck is optional tooling; the gate runs it when installed and
+# prints a notice otherwise (the module is stdlib-only, so the stdlib
+# advisories are what it would scan).
+vulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "vulncheck: govulncheck not installed, skipping"; fi
+
 # verify is the full pre-merge tier: static checks plus the whole suite
-# under the race detector (the concurrent engine makes -race load-bearing,
-# not optional).
-verify: vet race
+# under the race detector (the concurrent engine and the durability
+# layer's crash tests make -race load-bearing, not optional).
+verify: vet fmtcheck vulncheck race
 
 tables:
 	$(GO) run ./cmd/benchtables

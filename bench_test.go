@@ -8,6 +8,7 @@ package ptlactive_test
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"runtime"
 	"testing"
@@ -237,6 +238,104 @@ func BenchmarkExtensionFutureProgression(b *testing.B) {
 				v, _, _ := experiments.FutureMonitorRun(1000, bounded)
 				if v == 0 {
 					b.Fatal("no verdicts")
+				}
+			}
+		})
+	}
+}
+
+// persistBenchEngine builds a durable engine in dir with one temporal rule
+// and n committed states, checkpointing (or not) so the WAL tail has the
+// requested length.
+func persistBenchEngine(b *testing.B, dir string, states int, checkpointAfter bool) {
+	b.Helper()
+	cfg := persistBenchConfig()
+	eng, err := ptlactive.Restore(cfg, dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.AddTrigger("spike",
+		`@tick and item("px") > 110 and previously item("px") <= 110`, nil); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < states; i++ {
+		px := int64(100 + (i % 40) - 20)
+		if err := eng.Exec(int64(i+1), map[string]ptlactive.Value{"px": ptlactive.Int(px)},
+			ptlactive.NewEvent("tick")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if checkpointAfter {
+		if err := eng.Checkpoint(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := eng.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func persistBenchConfig() ptlactive.Config {
+	return ptlactive.Config{
+		Initial:    map[string]ptlactive.Value{"px": ptlactive.Int(100)},
+		TrackItems: []string{"px"},
+		Durability: ptlactive.DurabilityWAL,
+		NoFsync:    true,
+	}
+}
+
+// BenchmarkSnapshotSave measures serializing the full engine state — rule
+// evaluator registers, aux relations, history window, pending firings —
+// to a writer. Theorem 1's bounded evaluator state is why this stays
+// small and flat as the committed history grows.
+func BenchmarkSnapshotSave(b *testing.B) {
+	eng := ptlactive.NewEngine(ptlactive.Config{
+		Initial:    map[string]ptlactive.Value{"px": ptlactive.Int(100)},
+		TrackItems: []string{"px"},
+	})
+	if err := eng.AddTrigger("spike",
+		`@tick and item("px") > 110 and previously item("px") <= 110`, nil); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		px := int64(100 + (i % 40) - 20)
+		if err := eng.Exec(int64(i+1), map[string]ptlactive.Value{"px": ptlactive.Int(px)},
+			ptlactive.NewEvent("tick")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.SaveSnapshot(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRecover measures Restore for two disk layouts of the same
+// 1000-state run: everything in one snapshot (tail replay is empty) vs a
+// snapshot-free log whose 1k-record tail replays through the sweep path.
+func BenchmarkRecover(b *testing.B) {
+	for _, tail := range []bool{false, true} {
+		name := "snapshot-only"
+		if tail {
+			name = "wal-tail-1k"
+		}
+		b.Run(name, func(b *testing.B) {
+			dir := b.TempDir()
+			persistBenchEngine(b, dir, 1000, !tail)
+			cfg := persistBenchConfig()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng, err := ptlactive.Restore(cfg, dir)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if tail && eng.Recovery().ReplayedRecords < 1000 {
+					b.Fatalf("expected a ~1k-record tail, replayed %d", eng.Recovery().ReplayedRecords)
+				}
+				if err := eng.Close(); err != nil {
+					b.Fatal(err)
 				}
 			}
 		})

@@ -13,6 +13,8 @@
 //	show db | firings | history | rules  inspect state
 //	eval <time-ignored> :: <condition>   one-off check of a closed condition
 //	                                     against the current history
+//	save                                 checkpoint: snapshot + reset the WAL
+//	recover                              close and reopen from disk (-data)
 //
 // Values: integers, floats, or quoted strings. Example session:
 //
@@ -25,6 +27,12 @@
 // The -workers flag sizes the engine's worker pool for parallel rule
 // evaluation (0 = all cores, 1 = sequential); firings are identical at
 // every setting.
+//
+// The -data flag makes the engine durable: every committed operation is
+// written to a write-ahead log in the given directory, `save` writes a
+// snapshot, and `recover` (or simply restarting adbsh with the same
+// -data) rebuilds the engine from disk. Replayed firings are printed
+// again during recovery.
 package main
 
 import (
@@ -41,6 +49,7 @@ import (
 
 func main() {
 	workers := flag.Int("workers", 0, "worker pool size for rule evaluation (0 = all cores, 1 = sequential)")
+	dataDir := flag.String("data", "", "durable engine directory (write-ahead log + snapshots); empty = memory-only")
 	flag.Parse()
 	in := os.Stdin
 	if flag.NArg() > 0 {
@@ -51,7 +60,7 @@ func main() {
 		defer fh.Close()
 		in = fh
 	}
-	sh := &shell{initial: map[string]ptlactive.Value{}, workers: *workers}
+	sh := &shell{initial: map[string]ptlactive.Value{}, workers: *workers, dataDir: *dataDir}
 	sc := bufio.NewScanner(in)
 	lineNo := 0
 	for sc.Scan() {
@@ -73,14 +82,17 @@ func main() {
 type shell struct {
 	initial map[string]ptlactive.Value
 	workers int
+	dataDir string
 	eng     *ptlactive.Engine
 }
 
 // engine lazily creates the engine; items set before the first rule or
-// transaction become the initial state.
+// transaction become the initial state. With -data the engine is opened
+// with Restore, so an existing directory is recovered (its initial state
+// and rules come from disk, not from this session's `item` lines).
 func (s *shell) engine() *ptlactive.Engine {
 	if s.eng == nil {
-		s.eng = ptlactive.NewEngine(ptlactive.Config{
+		cfg := ptlactive.Config{
 			Initial: s.initial,
 			Workers: s.workers,
 			OnFiring: func(f ptlactive.Firing) {
@@ -90,9 +102,34 @@ func (s *shell) engine() *ptlactive.Engine {
 					fmt.Printf("FIRE %s at %d\n", f.Rule, f.Time)
 				}
 			},
-		})
+		}
+		if s.dataDir == "" {
+			s.eng = ptlactive.NewEngine(cfg)
+			return s.eng
+		}
+		cfg.Durability = ptlactive.DurabilityWAL
+		eng, err := ptlactive.Restore(cfg, s.dataDir)
+		if err != nil {
+			fatal(err)
+		}
+		s.eng = eng
+		printRecovery(eng.Recovery())
 	}
 	return s.eng
+}
+
+// printRecovery summarizes what Restore found on disk.
+func printRecovery(info ptlactive.RecoveryInfo) {
+	if info.SnapshotLSN == 0 && info.ReplayedRecords <= 1 {
+		return
+	}
+	fmt.Printf("recovered: snapshot LSN %d, %d wal records replayed\n", info.SnapshotLSN, info.ReplayedRecords)
+	if info.TruncatedAt >= 0 {
+		fmt.Printf("recovered: torn wal tail truncated at byte %d\n", info.TruncatedAt)
+	}
+	for _, err := range info.ReplayErrors {
+		fmt.Printf("recovered: replay error: %v\n", err)
+	}
 }
 
 func (s *shell) exec(line string) error {
@@ -195,6 +232,27 @@ func (s *shell) exec(line string) error {
 			return err
 		}
 		fmt.Printf("eval: %t\n", got)
+		return nil
+	case "save":
+		if s.dataDir == "" {
+			return errors.New("save requires -data")
+		}
+		if err := s.engine().Checkpoint(); err != nil {
+			return err
+		}
+		fmt.Println("saved: snapshot written, wal reset")
+		return nil
+	case "recover":
+		if s.dataDir == "" {
+			return errors.New("recover requires -data")
+		}
+		if s.eng != nil {
+			if err := s.eng.Close(); err != nil {
+				return err
+			}
+			s.eng = nil
+		}
+		s.engine() // reopen from disk; prints the recovery summary
 		return nil
 	case "export":
 		return s.engine().ExportHistory(os.Stdout)

@@ -8,11 +8,14 @@
 //	go run ./cmd/benchtables -markdown  # paste into EXPERIMENTS.md
 //	go run ./cmd/benchtables -only E1,E7
 //	go run ./cmd/benchtables -only E8 -workers 4
+//	go run ./cmd/benchtables -only E10 -json BENCH_persist.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"os"
 	"strings"
 
 	"ptlactive/internal/experiments"
@@ -23,6 +26,7 @@ func main() {
 	markdown := flag.Bool("markdown", false, "emit markdown tables")
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. E1,E7)")
 	workers := flag.Int("workers", 0, "worker pool for the parallel E8 columns (0 = all cores)")
+	jsonPath := flag.String("json", "", "also write the selected tables as JSON to this file")
 	flag.Parse()
 
 	if *workers > 0 {
@@ -36,14 +40,27 @@ func main() {
 			want[id] = true
 		}
 	}
+	var selected []experiments.Table
 	for _, t := range experiments.All(*quick) {
 		if len(want) > 0 && !want[strings.ToUpper(t.ID)] {
 			continue
 		}
+		selected = append(selected, t)
 		if *markdown {
 			fmt.Println(t.Markdown())
 		} else {
 			fmt.Println(t)
+		}
+	}
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(selected, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtables:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtables:", err)
+			os.Exit(1)
 		}
 	}
 }

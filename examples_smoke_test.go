@@ -20,6 +20,7 @@ func TestExamplesRun(t *testing.T) {
 		"./examples/sessions":     "violations detected",
 		"./examples/stockmonitor": "run finished",
 		"./examples/futurewatch":  "SLA VIOLATED",
+		"./examples/recovery":     "recovered",
 	}
 	for path, want := range cases {
 		path, want := path, want

@@ -18,6 +18,7 @@ import (
 	"ptlactive/internal/event"
 	"ptlactive/internal/histio"
 	"ptlactive/internal/history"
+	"ptlactive/internal/persist"
 	"ptlactive/internal/ptl"
 	"ptlactive/internal/query"
 	"ptlactive/internal/relation"
@@ -180,6 +181,21 @@ type Engine struct {
 	// stats for the E8 benchmark.
 	evalSteps int64
 	noFast    bool
+
+	// Durability subsystem (internal/persist); store is nil for memory
+	// engines. suppress is incremented around replay and action cascades so
+	// derived operations are not logged — replaying the external operation
+	// re-derives them through the normal sweep path.
+	store        *persist.Store
+	durMode      Durability
+	snapEvery    int
+	suppress     int
+	walSince     int // records appended since the last snapshot
+	commitsSince int
+	walErr       error
+	recovery     RecoveryInfo
+	initRec      *persist.InitRecord
+	actions      map[string]Action
 }
 
 // Config configures a new engine.
@@ -208,10 +224,29 @@ type Config struct {
 	// evaluation. Firings, violations and errors are merged in rule
 	// registration order, so results do not depend on this setting.
 	Workers int
+	// Durability selects the persistence mode. NewEngine only accepts
+	// DurabilityOff; durable engines are opened with Restore, which reads
+	// this field (DurabilityOff there is promoted to DurabilityWAL).
+	Durability Durability
+	// SnapshotEvery is the checkpoint period, in external commits, under
+	// DurabilitySnapshot (default 64).
+	SnapshotEvery int
+	// NoFsync disables the per-record WAL fsync; crash-equivalence tests
+	// and benchmarks use it, production durability should not.
+	NoFsync bool
+	// Actions maps rule names to action functions for recovery: rules
+	// re-registered from the snapshot or log get their action here. For
+	// replay equivalence they must be the same deterministic actions the
+	// original engine ran.
+	Actions map[string]Action
 }
 
-// NewEngine creates an engine with an initial state at Config.Start.
+// NewEngine creates a memory-only engine with an initial state at
+// Config.Start; durable engines are opened with Restore.
 func NewEngine(cfg Config) *Engine {
+	if cfg.Durability != DurabilityOff {
+		panic("adb: NewEngine is memory-only; open durable engines with Restore")
+	}
 	reg := cfg.Registry
 	if reg == nil {
 		reg = query.NewRegistry()
@@ -245,6 +280,19 @@ func NewEngine(cfg Config) *Engine {
 			e.trackedNames = append(e.trackedNames, name)
 		}
 		sort.Strings(e.trackedNames)
+	}
+	// The init record reproduces this construction during recovery. Every
+	// value kind encodes, so the error path is impossible.
+	initial, err := histio.EncodeItems(cfg.Initial)
+	if err != nil {
+		panic(fmt.Sprintf("adb: internal: encode initial db: %v", err))
+	}
+	e.initRec = &persist.InitRecord{
+		Initial:      initial,
+		Start:        cfg.Start,
+		TrackItems:   append([]string(nil), e.trackedNames...),
+		DisableFast:  cfg.DisableFastPath,
+		CascadeLimit: limit,
 	}
 	e.hist.MustAppend(history.SystemState{DB: e.db, Events: event.NewSet(), TS: cfg.Start})
 	e.capture(cfg.Start)
@@ -431,6 +479,22 @@ func (e *Engine) add(name string, condition ptl.Formula, action Action, isConstr
 	for _, o := range opts {
 		o(r)
 	}
+	// Encode the registration for the WAL before committing it, so an
+	// unencodable condition fails the whole registration.
+	var walRec *persist.Record
+	if e.logging() {
+		cond, err := ptl.EncodeFormula(condition)
+		if err != nil {
+			return fmt.Errorf("adb: rule %s: %w", name, err)
+		}
+		walRec = &persist.Record{
+			Kind:       persist.KindAddRule,
+			Name:       name,
+			Cond:       cond,
+			Constraint: isConstraint,
+			Sched:      int(r.sched),
+		}
+	}
 	// A brand-new rule starts observing at the state current when it is
 	// entered: "when the trigger condition f is first entered at time T,
 	// R_x is set to the relation retrieved by q on the database at that
@@ -440,6 +504,9 @@ func (e *Engine) add(name string, condition ptl.Formula, action Action, isConstr
 	e.rules = append(e.rules, r)
 	e.index[name] = r
 	e.mu.Unlock()
+	if walRec != nil {
+		return e.logRecord(walRec)
+	}
 	return nil
 }
 
@@ -496,6 +563,14 @@ func (e *Engine) Emit(ts int64, events ...event.Event) error {
 	if len(events) == 0 {
 		return fmt.Errorf("adb: Emit needs at least one event")
 	}
+	var walRec *persist.Record
+	if e.logging() {
+		raw, err := histio.EncodeEvents(events)
+		if err != nil {
+			return fmt.Errorf("adb: wal: %w", err)
+		}
+		walRec = &persist.Record{Kind: persist.KindEmit, TS: ts, Events: raw}
+	}
 	st := history.SystemState{DB: e.db, Events: event.NewSet(events...), TS: ts}
 	e.mu.Lock()
 	if err := e.hist.Append(st); err != nil {
@@ -504,6 +579,11 @@ func (e *Engine) Emit(ts int64, events ...event.Event) error {
 	}
 	e.now = ts
 	e.mu.Unlock()
+	if walRec != nil {
+		if err := e.logRecord(walRec); err != nil {
+			return err
+		}
+	}
 	e.resetCascade()
 	return e.sweep()
 }
@@ -591,6 +671,15 @@ func (t *Txn) Commit(ts int64) error {
 	if last, ok := e.hist.Last(); ok && ts <= last.TS {
 		return fmt.Errorf("adb: commit timestamp %d not after %d", ts, last.TS)
 	}
+	// One record covers both outcomes: replay re-runs the constraints, so a
+	// rejected attempt re-derives its abort state from the same record.
+	var walRec *persist.Record
+	if e.logging() {
+		var err error
+		if walRec, err = e.execRecord(t, ts); err != nil {
+			return err
+		}
+	}
 	// Evaluate integrity constraints on clones so an abort leaves no trace
 	// in the temporal component. Violations are resolved in rule
 	// registration order, never by worker timing.
@@ -611,6 +700,11 @@ func (t *Txn) Commit(ts int64) error {
 		}
 		e.now = ts
 		e.mu.Unlock()
+		if walRec != nil {
+			if err := e.logRecord(walRec); err != nil {
+				return err
+			}
+		}
 		e.resetCascade()
 		if err := e.sweep(); err != nil {
 			return err
@@ -625,9 +719,17 @@ func (t *Txn) Commit(ts int64) error {
 	e.db = tentative.DB
 	e.now = ts
 	e.mu.Unlock()
+	if walRec != nil {
+		if err := e.logRecord(walRec); err != nil {
+			return err
+		}
+	}
 	e.capture(ts)
 	e.resetCascade()
-	return e.sweep()
+	if err := e.sweep(); err != nil {
+		return err
+	}
+	return e.maybeCheckpoint()
 }
 
 // checkConstraints catches every constraint's evaluator up to the present
@@ -733,6 +835,9 @@ func (t *Txn) Abort(ts int64) error {
 	}
 	e.now = ts
 	e.mu.Unlock()
+	if err := e.logRecord(&persist.Record{Kind: persist.KindAbort, Txn: t.id, TS: ts}); err != nil {
+		return err
+	}
 	e.resetCascade()
 	return e.sweep()
 }
@@ -759,6 +864,11 @@ func (e *Engine) execInternal(updates map[string]value.Value, events []event.Eve
 // events at the same time"; with Workers > 1 the batched catch-up is
 // sharded across the worker pool.
 func (e *Engine) Flush() error {
+	// Logged before the work: a flush either happened or it didn't, and a
+	// mid-flush failure replays to the same failure.
+	if err := e.logRecord(&persist.Record{Kind: persist.KindFlush}); err != nil {
+		return err
+	}
 	e.cascade = 0
 	var jobs []*rule
 	for _, r := range e.rules {
@@ -809,6 +919,9 @@ func (e *Engine) Compact() int {
 	for _, name := range e.trackedNames {
 		e.tracked[name].Prune(horizon)
 	}
+	// Compaction moves base and the aux horizon, so it replays. A failed
+	// append is stashed (logRecord) and surfaces at Checkpoint/Close.
+	_ = e.logRecord(&persist.Record{Kind: persist.KindCompact})
 	return min
 }
 
@@ -826,7 +939,6 @@ func (e *Engine) ExportHistory(w io.Writer) error {
 // time - T <= 60) never need older records.
 func (e *Engine) PruneExecutions(t int64) int {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	kept := e.execs[:0]
 	dropped := 0
 	for _, ex := range e.execs {
@@ -837,6 +949,8 @@ func (e *Engine) PruneExecutions(t int64) int {
 		kept = append(kept, ex)
 	}
 	e.execs = kept
+	e.mu.Unlock()
+	_ = e.logRecord(&persist.Record{Kind: persist.KindPrune, Arg: t})
 	return dropped
 }
 
@@ -1052,7 +1166,13 @@ func (e *Engine) drainActions() error {
 			return fmt.Errorf("adb: action cascade exceeded %d firings (rule %s)", e.cascadeTo, f.Rule)
 		}
 		ctx := &ActionContext{Engine: e, Rule: f.Rule, Binding: f.Binding, FiredAt: f.Time}
-		if err := r.action(ctx); err != nil {
+		// Operations the action runs are cascade-derived: replaying the
+		// external operation that fired it re-derives them, so they must
+		// not be logged themselves.
+		e.suppress++
+		err := r.action(ctx)
+		e.suppress--
+		if err != nil {
 			return fmt.Errorf("adb: action of %s: %w", f.Rule, err)
 		}
 		e.recordExecution(r, f, e.now)

@@ -1,0 +1,538 @@
+package adb
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"ptlactive/internal/core"
+	"ptlactive/internal/histio"
+	"ptlactive/internal/history"
+	"ptlactive/internal/persist"
+	"ptlactive/internal/ptl"
+	"ptlactive/internal/relation"
+	"ptlactive/internal/value"
+)
+
+// Durability selects the persistence mode of an engine opened with
+// Restore. Memory engines (NewEngine) are always DurabilityOff.
+type Durability int
+
+const (
+	// DurabilityOff keeps everything in memory; a crash loses the engine.
+	DurabilityOff Durability = iota
+	// DurabilityWAL logs every committed operation to the write-ahead log;
+	// recovery replays the log from the latest snapshot (if any).
+	DurabilityWAL
+	// DurabilitySnapshot is DurabilityWAL plus an automatic checkpoint
+	// (Compact, snapshot, WAL reset) every Config.SnapshotEvery commits.
+	DurabilitySnapshot
+)
+
+// String names the mode.
+func (d Durability) String() string {
+	switch d {
+	case DurabilityOff:
+		return "off"
+	case DurabilityWAL:
+		return "wal"
+	case DurabilitySnapshot:
+		return "snapshot"
+	}
+	return fmt.Sprintf("Durability(%d)", int(d))
+}
+
+// RecoveryInfo describes what Restore found and did.
+type RecoveryInfo struct {
+	// SnapshotLSN is the last WAL record the loaded snapshot covered; 0
+	// when recovery started from the log alone.
+	SnapshotLSN int64
+	// ReplayedRecords is how many WAL-tail records recovery consumed —
+	// only the tail after the snapshot, never the whole history.
+	ReplayedRecords int
+	// TruncatedAt is the WAL file offset of a torn final record that was
+	// discarded, -1 when the log ended cleanly.
+	TruncatedAt int64
+	// ReplayErrors collects per-record replay failures (for example an
+	// action that errored); decode failures abort recovery instead.
+	ReplayErrors []error
+}
+
+// Recovery returns the outcome of the Restore that created this engine;
+// the zero value for engines created with NewEngine.
+func (e *Engine) Recovery() RecoveryInfo { return e.recovery }
+
+// logging reports whether the engine should append WAL records right now:
+// a durable store is attached and we are not inside replay or an action
+// cascade (cascaded operations are re-derived by replaying the external
+// operation through the normal sweep path).
+func (e *Engine) logging() bool {
+	return e.store != nil && e.durMode != DurabilityOff && e.suppress == 0
+}
+
+// logRecord appends one record, counting it toward the next checkpoint.
+// The first append failure is also stashed so int-returning operations
+// (Compact, PruneExecutions) can surface it at the next Checkpoint/Close.
+func (e *Engine) logRecord(rec *persist.Record) error {
+	if !e.logging() {
+		return nil
+	}
+	if _, err := e.store.Append(rec); err != nil {
+		if e.walErr == nil {
+			e.walErr = err
+		}
+		return err
+	}
+	e.walSince++
+	return nil
+}
+
+// execRecord encodes a commit attempt for the WAL. Only the caller's own
+// updates, deletes and extra events are stored; the synthesized commit
+// events and any constraint-driven abort are re-derived during replay.
+func (e *Engine) execRecord(t *Txn, ts int64) (*persist.Record, error) {
+	updates, err := histio.EncodeItems(t.updates)
+	if err != nil {
+		return nil, fmt.Errorf("adb: wal: %w", err)
+	}
+	events, err := histio.EncodeEvents(t.events)
+	if err != nil {
+		return nil, fmt.Errorf("adb: wal: %w", err)
+	}
+	return &persist.Record{
+		Kind:    persist.KindExec,
+		Txn:     t.id,
+		TS:      ts,
+		Updates: updates,
+		Deletes: sortedBoolKeys(t.deletes),
+		Events:  events,
+	}, nil
+}
+
+// maybeCheckpoint runs the periodic snapshot policy after a successful
+// external commit.
+func (e *Engine) maybeCheckpoint() error {
+	if !e.logging() || e.durMode != DurabilitySnapshot || e.inSweep {
+		return nil
+	}
+	e.commitsSince++
+	if e.commitsSince < e.snapEvery {
+		return nil
+	}
+	return e.Checkpoint()
+}
+
+// Checkpoint compacts the history, writes a snapshot covering everything
+// logged so far and resets the WAL. Durable engines only.
+func (e *Engine) Checkpoint() error {
+	if e.store == nil {
+		return fmt.Errorf("adb: Checkpoint requires a durable engine (use Restore)")
+	}
+	if e.walErr != nil {
+		return e.walErr
+	}
+	// The checkpoint's own compaction is part of the snapshot, not an
+	// operation to replay.
+	e.suppress++
+	e.Compact()
+	e.suppress--
+	snap, err := e.buildSnapshot()
+	if err != nil {
+		return err
+	}
+	if err := e.store.SaveSnapshot(snap); err != nil {
+		return err
+	}
+	e.walSince = 0
+	e.commitsSince = 0
+	return nil
+}
+
+// SaveSnapshot writes the engine's durable state to w in the snapshot
+// format (see internal/persist). The engine must be quiescent: no sweep in
+// progress and no actions pending.
+func (e *Engine) SaveSnapshot(w io.Writer) error {
+	snap, err := e.buildSnapshot()
+	if err != nil {
+		return err
+	}
+	if e.store != nil {
+		snap.LSN = e.store.LastLSN()
+	}
+	return persist.EncodeSnapshot(w, snap)
+}
+
+// Close releases the durability store (no-op for memory engines) and
+// surfaces any WAL write failure stashed by int-returning operations.
+func (e *Engine) Close() error {
+	var err error
+	if e.store != nil {
+		err = e.store.Close()
+		e.store = nil
+	}
+	if e.walErr != nil {
+		return e.walErr
+	}
+	return err
+}
+
+// buildSnapshot captures the engine's full durable state: the retained
+// history window, each rule's registration and evaluator registers (the
+// bounded F_{g,i} state of Theorem 1), the firing and execution logs and
+// the tracked auxiliary relations.
+func (e *Engine) buildSnapshot() (*persist.EngineSnapshot, error) {
+	if e.inSweep {
+		return nil, fmt.Errorf("adb: snapshot during sweep")
+	}
+	if len(e.pending) > 0 {
+		return nil, fmt.Errorf("adb: snapshot with %d pending actions", len(e.pending))
+	}
+	snap := &persist.EngineSnapshot{
+		Init:      e.initRec,
+		Base:      e.base,
+		Now:       e.now,
+		NextTxn:   e.nextTxn,
+		EvalSteps: e.evalSteps,
+	}
+	for i := 0; i < e.hist.Len(); i++ {
+		line, err := histio.EncodeState(e.hist.At(i))
+		if err != nil {
+			return nil, fmt.Errorf("adb: snapshot state %d: %w", i, err)
+		}
+		snap.History = append(snap.History, line)
+	}
+	for _, r := range e.rules {
+		cond, err := ptl.EncodeFormula(r.condition)
+		if err != nil {
+			return nil, fmt.Errorf("adb: snapshot rule %s: %w", r.name, err)
+		}
+		ev, err := core.EncodeEvaluatorState(r.ev)
+		if err != nil {
+			return nil, fmt.Errorf("adb: snapshot rule %s: %w", r.name, err)
+		}
+		snap.Rules = append(snap.Rules, persist.RuleSnapshot{
+			Name:       r.name,
+			Cond:       cond,
+			Constraint: r.constraint,
+			Sched:      int(r.sched),
+			Cursor:     r.cursor,
+			Eval:       ev,
+		})
+	}
+	for _, f := range e.firings {
+		binding, err := histio.EncodeItems(f.Binding)
+		if err != nil {
+			return nil, fmt.Errorf("adb: snapshot firing %s: %w", f.Rule, err)
+		}
+		snap.Firings = append(snap.Firings, persist.FiringSnapshot{
+			Rule:       f.Rule,
+			Binding:    binding,
+			Time:       f.Time,
+			StateIndex: f.StateIndex,
+		})
+	}
+	for _, ex := range e.execs {
+		rec := persist.ExecutionSnapshot{Rule: ex.Rule, Time: ex.Time}
+		for _, p := range ex.Params {
+			raw, err := histio.EncodeValue(p)
+			if err != nil {
+				return nil, fmt.Errorf("adb: snapshot execution %s: %w", ex.Rule, err)
+			}
+			rec.Params = append(rec.Params, raw)
+		}
+		snap.Execs = append(snap.Execs, rec)
+	}
+	for _, name := range e.trackedNames {
+		rows, last, captured := e.tracked[name].SnapshotRows()
+		aux := persist.AuxSnapshot{Item: name, LastCapture: last, Captured: captured}
+		for _, r := range rows {
+			iv := persist.IntervalJSON{Start: r.Start, End: r.End}
+			for _, v := range r.Tuple {
+				raw, err := histio.EncodeValue(v)
+				if err != nil {
+					return nil, fmt.Errorf("adb: snapshot aux %s: %w", name, err)
+				}
+				iv.Tuple = append(iv.Tuple, raw)
+			}
+			aux.Rows = append(aux.Rows, iv)
+		}
+		snap.Tracked = append(snap.Tracked, aux)
+	}
+	return snap, nil
+}
+
+// Restore opens (creating if needed) a durable engine backed by dir: it
+// loads the newest valid snapshot, replays only the WAL tail after it
+// through the normal commit and sweep path, truncates a torn final record
+// and attaches the WAL for further logging. A recovered engine is
+// firing-identical to one that never crashed.
+//
+// cfg supplies the runtime-only pieces — Registry, Actions (the action
+// functions of logged rules, by name; they must be the same deterministic
+// actions for replay equivalence), OnFiring, Workers, Durability,
+// SnapshotEvery, NoFsync. The persisted init record governs the rest
+// (Initial, Start, TrackItems, DisableFastPath, CascadeLimit); for a fresh
+// directory those are taken from cfg and logged. DurabilityOff is promoted
+// to DurabilityWAL: an engine with a data directory logs.
+func Restore(cfg Config, dir string) (*Engine, error) {
+	st, res, err := persist.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.NoFsync {
+		st.DisableSync()
+	}
+	var e *Engine
+	tail := res.Tail
+	replayed := 0
+	switch {
+	case res.Snapshot != nil:
+		e, err = engineFromSnapshot(cfg, res.Snapshot)
+	case len(tail) > 0:
+		if tail[0].Kind != persist.KindInit || tail[0].Init == nil {
+			err = fmt.Errorf("adb: wal does not begin with an init record (kind %q)", tail[0].Kind)
+		} else {
+			e, err = engineFromInit(cfg, tail[0].Init)
+			tail = tail[1:]
+			replayed = 1
+		}
+	default:
+		mem := cfg
+		mem.Durability = DurabilityOff
+		e = NewEngine(mem)
+		e.actions = cfg.Actions
+	}
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	e.store = st
+	e.durMode = cfg.Durability
+	if e.durMode == DurabilityOff {
+		e.durMode = DurabilityWAL
+	}
+	e.snapEvery = cfg.SnapshotEvery
+	if e.snapEvery <= 0 {
+		e.snapEvery = 64
+	}
+	if res.Snapshot == nil && replayed == 0 {
+		// Fresh directory: the init record opens the log.
+		if err := e.logRecord(&persist.Record{Kind: persist.KindInit, Init: e.initRec}); err != nil {
+			st.Close()
+			return nil, err
+		}
+	}
+	info := RecoveryInfo{SnapshotLSN: res.SnapshotLSN, TruncatedAt: res.TruncatedAt}
+	e.suppress++
+	for _, rec := range tail {
+		opErr, fatal := e.applyRecord(rec)
+		if fatal != nil {
+			e.suppress--
+			st.Close()
+			return nil, fatal
+		}
+		replayed++
+		if opErr != nil {
+			info.ReplayErrors = append(info.ReplayErrors, fmt.Errorf("adb: replay LSN %d: %w", rec.LSN, opErr))
+		}
+	}
+	e.suppress--
+	info.ReplayedRecords = replayed
+	e.recovery = info
+	// A fresh directory already counted its init record via logRecord;
+	// replayed records are appended on top of whatever the log holds.
+	e.walSince += replayed
+	return e, nil
+}
+
+// engineFromInit builds a fresh engine from a persisted init record plus
+// the runtime-only config.
+func engineFromInit(cfg Config, init *persist.InitRecord) (*Engine, error) {
+	items, err := histio.DecodeItems(init.Initial)
+	if err != nil {
+		return nil, fmt.Errorf("adb: init record: %w", err)
+	}
+	e := NewEngine(Config{
+		Registry:        cfg.Registry,
+		Initial:         items,
+		Start:           init.Start,
+		CascadeLimit:    init.CascadeLimit,
+		OnFiring:        cfg.OnFiring,
+		TrackItems:      init.TrackItems,
+		DisableFastPath: init.DisableFast,
+		Workers:         cfg.Workers,
+	})
+	e.actions = cfg.Actions
+	return e, nil
+}
+
+// engineFromSnapshot rebuilds an engine from a snapshot: history, rules
+// with their evaluator registers and cursors, firing and execution logs,
+// and the tracked auxiliary relations.
+func engineFromSnapshot(cfg Config, snap *persist.EngineSnapshot) (*Engine, error) {
+	e, err := engineFromInit(cfg, snap.Init)
+	if err != nil {
+		return nil, err
+	}
+	h := history.New()
+	for i, line := range snap.History {
+		st, err := histio.DecodeState(line)
+		if err != nil {
+			return nil, fmt.Errorf("adb: snapshot state %d: %w", i, err)
+		}
+		if err := h.Append(st); err != nil {
+			return nil, fmt.Errorf("adb: snapshot state %d: %w", i, err)
+		}
+	}
+	last, _ := h.Last()
+	if snap.Now != last.TS {
+		return nil, fmt.Errorf("adb: snapshot clock %d does not match last state %d", snap.Now, last.TS)
+	}
+	e.hist = h
+	e.db = last.DB
+	e.now = snap.Now
+	e.base = snap.Base
+	e.nextTxn = snap.NextTxn
+	e.evalSteps = snap.EvalSteps
+
+	seen := map[string]bool{}
+	for _, a := range snap.Tracked {
+		aux, ok := e.tracked[a.Item]
+		if !ok {
+			return nil, fmt.Errorf("adb: snapshot tracks unlisted item %s", a.Item)
+		}
+		if seen[a.Item] {
+			return nil, fmt.Errorf("adb: snapshot tracks %s twice", a.Item)
+		}
+		seen[a.Item] = true
+		rows := make([]relation.IntervalRow, len(a.Rows))
+		for i, r := range a.Rows {
+			tuple := make([]value.Value, len(r.Tuple))
+			for j, raw := range r.Tuple {
+				if tuple[j], err = histio.DecodeValue(raw); err != nil {
+					return nil, fmt.Errorf("adb: snapshot aux %s row %d: %w", a.Item, i, err)
+				}
+			}
+			rows[i] = relation.IntervalRow{Tuple: tuple, Start: r.Start, End: r.End}
+		}
+		if err := aux.RestoreRows(rows, a.LastCapture, a.Captured); err != nil {
+			return nil, fmt.Errorf("adb: snapshot aux %s: %w", a.Item, err)
+		}
+	}
+	if len(seen) != len(e.trackedNames) {
+		return nil, fmt.Errorf("adb: snapshot covers %d of %d tracked items", len(seen), len(e.trackedNames))
+	}
+
+	for _, rs := range snap.Rules {
+		f, err := ptl.DecodeFormula(rs.Cond)
+		if err != nil {
+			return nil, fmt.Errorf("adb: snapshot rule %s: %w", rs.Name, err)
+		}
+		if rs.Sched < int(Eager) || rs.Sched > int(Manual) {
+			return nil, fmt.Errorf("adb: snapshot rule %s: unknown scheduling %d", rs.Name, rs.Sched)
+		}
+		if err := e.add(rs.Name, f, e.actionFor(rs.Name), rs.Constraint, WithScheduling(Scheduling(rs.Sched))); err != nil {
+			return nil, err
+		}
+		r := e.index[rs.Name]
+		if err := core.RestoreEvaluatorState(r.ev, rs.Eval); err != nil {
+			return nil, fmt.Errorf("adb: snapshot rule %s: %w", rs.Name, err)
+		}
+		r.cursor = rs.Cursor
+	}
+
+	for _, f := range snap.Firings {
+		var binding core.Binding
+		if len(f.Binding) > 0 {
+			items, err := histio.DecodeItems(f.Binding)
+			if err != nil {
+				return nil, fmt.Errorf("adb: snapshot firing %s: %w", f.Rule, err)
+			}
+			binding = core.Binding(items)
+		}
+		e.firings = append(e.firings, Firing{Rule: f.Rule, Binding: binding, Time: f.Time, StateIndex: f.StateIndex})
+	}
+	for _, ex := range snap.Execs {
+		var params []value.Value
+		for i, raw := range ex.Params {
+			v, err := histio.DecodeValue(raw)
+			if err != nil {
+				return nil, fmt.Errorf("adb: snapshot execution %s param %d: %w", ex.Rule, i, err)
+			}
+			params = append(params, v)
+		}
+		e.execs = append(e.execs, ptl.Execution{Rule: ex.Rule, Params: params, Time: ex.Time})
+	}
+	return e, nil
+}
+
+// actionFor looks up the recovery action table.
+func (e *Engine) actionFor(name string) Action {
+	if e.actions == nil {
+		return nil
+	}
+	return e.actions[name]
+}
+
+// applyRecord replays one WAL record through the engine's normal paths.
+// The first result is a per-operation failure (recovery continues and
+// reports it); the second is fatal (malformed record — recovery stops).
+func (e *Engine) applyRecord(rec *persist.Record) (opErr, fatal error) {
+	switch rec.Kind {
+	case persist.KindInit:
+		return nil, fmt.Errorf("adb: replay LSN %d: unexpected init record", rec.LSN)
+	case persist.KindAddRule:
+		f, err := ptl.DecodeFormula(rec.Cond)
+		if err != nil {
+			return nil, fmt.Errorf("adb: replay LSN %d: %w", rec.LSN, err)
+		}
+		if rec.Sched < int(Eager) || rec.Sched > int(Manual) {
+			return nil, fmt.Errorf("adb: replay LSN %d: unknown scheduling %d", rec.LSN, rec.Sched)
+		}
+		return e.add(rec.Name, f, e.actionFor(rec.Name), rec.Constraint, WithScheduling(Scheduling(rec.Sched))), nil
+	case persist.KindExec:
+		updates, err := histio.DecodeItems(rec.Updates)
+		if err != nil {
+			return nil, fmt.Errorf("adb: replay LSN %d: %w", rec.LSN, err)
+		}
+		events, err := histio.DecodeEvents(rec.Events)
+		if err != nil {
+			return nil, fmt.Errorf("adb: replay LSN %d: %w", rec.LSN, err)
+		}
+		e.nextTxn = rec.Txn - 1
+		tx := e.Begin()
+		for _, item := range sortedKeys(updates) {
+			tx.Set(item, updates[item])
+		}
+		for _, item := range rec.Deletes {
+			tx.Delete(item)
+		}
+		tx.Emit(events...)
+		err = tx.Commit(rec.TS)
+		var cerr *ConstraintError
+		if errors.As(err, &cerr) {
+			// The constraints rejected this commit originally too; the
+			// replayed abort state is the logged outcome.
+			err = nil
+		}
+		return err, nil
+	case persist.KindAbort:
+		e.nextTxn = rec.Txn - 1
+		return e.Begin().Abort(rec.TS), nil
+	case persist.KindEmit:
+		events, err := histio.DecodeEvents(rec.Events)
+		if err != nil {
+			return nil, fmt.Errorf("adb: replay LSN %d: %w", rec.LSN, err)
+		}
+		return e.Emit(rec.TS, events...), nil
+	case persist.KindFlush:
+		return e.Flush(), nil
+	case persist.KindCompact:
+		e.Compact()
+		return nil, nil
+	case persist.KindPrune:
+		e.PruneExecutions(rec.Arg)
+		return nil, nil
+	}
+	return nil, fmt.Errorf("adb: replay LSN %d: unknown kind %q", rec.LSN, rec.Kind)
+}

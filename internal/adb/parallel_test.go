@@ -26,29 +26,56 @@ var condPool = []string{
 	`item("a") + item("b") > 6 and @ev%d`,
 }
 
-// buildRandomEngine registers R random rules (and optionally constraints)
-// on a fresh engine with the given worker count; the rule set depends only
-// on seed, so two calls with different workers get identical rule sets.
-func buildRandomEngine(t *testing.T, seed int64, rules, workers int, withConstraints bool) *Engine {
-	t.Helper()
+// engineParams is a deterministically generated engine setup: the initial
+// database plus rule conditions and schedulings. Deriving it from the seed
+// separately from engine construction lets the recovery tests register the
+// identical rule set on a memory reference and on a durable engine.
+type engineParams struct {
+	a, b            int64
+	conds           []string
+	scheds          []Scheduling
+	withConstraints bool
+}
+
+// randomEngineParams consumes the seed's randomness in the exact order the
+// historical buildRandomEngine did, so the rule set for a given seed is
+// stable across the refactor.
+func randomEngineParams(seed int64, rules int, withConstraints bool) engineParams {
 	rng := rand.New(rand.NewSource(seed))
-	e := NewEngine(Config{
+	p := engineParams{
+		a:               int64(rng.Intn(5)),
+		b:               int64(rng.Intn(5)),
+		withConstraints: withConstraints,
+	}
+	scheds := []Scheduling{Eager, Relevant, Manual}
+	for i := 0; i < rules; i++ {
+		p.conds = append(p.conds, fmt.Sprintf(condPool[rng.Intn(len(condPool))], i))
+		p.scheds = append(p.scheds, scheds[rng.Intn(len(scheds))])
+	}
+	return p
+}
+
+// config builds the engine configuration for this parameter set.
+func (p engineParams) config(workers int) Config {
+	return Config{
 		Initial: map[string]value.Value{
-			"a": value.NewInt(int64(rng.Intn(5))),
-			"b": value.NewInt(int64(rng.Intn(5))),
+			"a": value.NewInt(p.a),
+			"b": value.NewInt(p.b),
 		},
 		Workers:    workers,
 		TrackItems: []string{"a", "b"},
-	})
-	scheds := []Scheduling{Eager, Relevant, Manual}
-	for i := 0; i < rules; i++ {
-		cond := fmt.Sprintf(condPool[rng.Intn(len(condPool))], i)
-		sched := scheds[rng.Intn(len(scheds))]
-		if err := e.AddTrigger(fmt.Sprintf("r%03d", i), cond, nil, WithScheduling(sched)); err != nil {
+	}
+}
+
+// register adds the parameter set's rules and constraints to an engine.
+func (p engineParams) register(t *testing.T, e *Engine) {
+	t.Helper()
+	for i, cond := range p.conds {
+		if err := e.AddTrigger(fmt.Sprintf("r%03d", i), cond, nil, WithScheduling(p.scheds[i])); err != nil {
 			t.Fatalf("AddTrigger: %v", err)
 		}
 	}
-	if withConstraints {
+	if p.withConstraints {
 		if err := e.AddConstraint("c_a_low", `not (item("a") > 50)`); err != nil {
 			t.Fatalf("AddConstraint: %v", err)
 		}
@@ -56,16 +83,41 @@ func buildRandomEngine(t *testing.T, seed int64, rules, workers int, withConstra
 			t.Fatalf("AddConstraint: %v", err)
 		}
 	}
+}
+
+// buildRandomEngine registers R random rules (and optionally constraints)
+// on a fresh engine with the given worker count; the rule set depends only
+// on seed, so two calls with different workers get identical rule sets.
+func buildRandomEngine(t *testing.T, seed int64, rules, workers int, withConstraints bool) *Engine {
+	t.Helper()
+	p := randomEngineParams(seed, rules, withConstraints)
+	e := NewEngine(p.config(workers))
+	p.register(t, e)
 	return e
 }
 
-// driveRandomHistory runs an identical random operation mix (emits,
-// commits, aborts, flushes) against the engine; identical seeds produce
-// identical histories.
-func driveRandomHistory(t *testing.T, e *Engine, seed int64, rules, states int) {
-	t.Helper()
+// engineOp is one pre-generated external operation; materializing the
+// random mix as a list lets the crash tests cut it at every boundary.
+type engineOp struct {
+	kind   int
+	ts     int64
+	events []event.Event
+	upd    map[string]value.Value
+}
+
+const (
+	opEmit = iota
+	opExec
+	opAbort
+	opFlush
+)
+
+// randomOps generates the operation mix, consuming the seed's randomness
+// in the exact order the historical driveRandomHistory did.
+func randomOps(seed int64, rules, states int, start int64) []engineOp {
 	rng := rand.New(rand.NewSource(seed))
-	ts := e.Now()
+	ts := start
+	var ops []engineOp
 	for s := 0; s < states; s++ {
 		ts += int64(1 + rng.Intn(3))
 		switch rng.Intn(10) {
@@ -77,13 +129,9 @@ func driveRandomHistory(t *testing.T, e *Engine, seed int64, rules, states int) 
 			} else {
 				ev = event.New(fmt.Sprintf("pay%d", i), value.NewInt(int64(rng.Intn(8))))
 			}
-			if err := e.Emit(ts, ev); err != nil {
-				t.Fatalf("Emit: %v", err)
-			}
+			ops = append(ops, engineOp{kind: opEmit, ts: ts, events: []event.Event{ev}})
 		case 3: // noise event no rule listens to
-			if err := e.Emit(ts, event.New("noise")); err != nil {
-				t.Fatalf("Emit: %v", err)
-			}
+			ops = append(ops, engineOp{kind: opEmit, ts: ts, events: []event.Event{event.New("noise")}})
 		case 4, 5, 6, 7: // transaction updating the database
 			upd := map[string]value.Value{}
 			if rng.Intn(2) == 0 {
@@ -92,24 +140,61 @@ func driveRandomHistory(t *testing.T, e *Engine, seed int64, rules, states int) 
 			if rng.Intn(2) == 0 {
 				upd["b"] = value.NewInt(int64(rng.Intn(60)))
 			}
-			err := e.Exec(ts, upd, event.New(fmt.Sprintf("ev%d", rng.Intn(rules))))
-			if err != nil && !errors.Is(err, ErrConstraintViolation) {
-				t.Fatalf("Exec: %v", err)
-			}
+			ops = append(ops, engineOp{
+				kind:   opExec,
+				ts:     ts,
+				upd:    upd,
+				events: []event.Event{event.New(fmt.Sprintf("ev%d", rng.Intn(rules)))},
+			})
 		case 8: // explicit abort
-			tx := e.Begin()
-			tx.Set("a", value.NewInt(99))
-			if err := tx.Abort(ts); err != nil {
-				t.Fatalf("Abort: %v", err)
-			}
+			ops = append(ops, engineOp{kind: opAbort, ts: ts})
 		case 9: // batched invocation of the temporal component
-			if err := e.Flush(); err != nil {
-				t.Fatalf("Flush: %v", err)
-			}
+			ops = append(ops, engineOp{kind: opFlush})
 		}
 	}
-	if err := e.Flush(); err != nil {
-		t.Fatalf("final Flush: %v", err)
+	ops = append(ops, engineOp{kind: opFlush})
+	return ops
+}
+
+// applyOp runs one operation, returning the violated constraint's name
+// when the operation was a constraint-aborted commit ("" otherwise).
+func applyOp(t *testing.T, e *Engine, op engineOp) string {
+	t.Helper()
+	switch op.kind {
+	case opEmit:
+		if err := e.Emit(op.ts, op.events...); err != nil {
+			t.Fatalf("Emit: %v", err)
+		}
+	case opExec:
+		err := e.Exec(op.ts, op.upd, op.events...)
+		var ce *ConstraintError
+		if errors.As(err, &ce) {
+			return ce.Constraint
+		}
+		if err != nil {
+			t.Fatalf("Exec: %v", err)
+		}
+	case opAbort:
+		tx := e.Begin()
+		tx.Set("a", value.NewInt(99))
+		if err := tx.Abort(op.ts); err != nil {
+			t.Fatalf("Abort: %v", err)
+		}
+	case opFlush:
+		if err := e.Flush(); err != nil {
+			t.Fatalf("Flush: %v", err)
+		}
+	}
+	return ""
+}
+
+// driveRandomHistory runs an identical random operation mix (emits,
+// commits, aborts, flushes) against the engine; identical seeds produce
+// identical histories.
+func driveRandomHistory(t *testing.T, e *Engine, seed int64, rules, states int) {
+	t.Helper()
+	for _, op := range randomOps(seed, rules, states, e.Now()) {
+		applyOp(t, e, op)
 	}
 }
 

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"ptlactive/internal/adb"
+	"ptlactive/internal/event"
+	"ptlactive/internal/value"
+)
+
+// DurabilityRun drives n external commits through an engine in the given
+// durability mode (fsync disabled so the table measures the logging and
+// snapshot work, not the disk) and returns the commit-phase duration plus
+// the recovery duration and replayed-record count of a subsequent
+// Restore. mode adb.DurabilityOff runs memory-only and reports zero
+// recovery figures.
+func DurabilityRun(n int, mode adb.Durability, snapEvery int) (commit, recovery time.Duration, replayed int) {
+	cfg := adb.Config{
+		Initial:    map[string]value.Value{"px": value.NewInt(100)},
+		TrackItems: []string{"px"},
+	}
+	var dir string
+	var eng *adb.Engine
+	if mode == adb.DurabilityOff {
+		eng = adb.NewEngine(cfg)
+	} else {
+		var err error
+		dir, err = os.MkdirTemp("", "ptlactive-e10-*")
+		if err != nil {
+			panic(err)
+		}
+		defer os.RemoveAll(dir)
+		cfg.Durability = mode
+		cfg.SnapshotEvery = snapEvery
+		cfg.NoFsync = true
+		eng, err = adb.Restore(cfg, dir)
+		if err != nil {
+			panic(err)
+		}
+	}
+	if err := eng.AddTrigger("spike",
+		`@tick and item("px") > 110 and previously item("px") <= 110`, nil); err != nil {
+		panic(err)
+	}
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		px := int64(100 + (i % 40) - 20) // deterministic sawtooth crossing 110
+		if err := eng.Exec(int64(i+1), map[string]value.Value{"px": value.NewInt(px)}, event.New("tick")); err != nil {
+			panic(err)
+		}
+	}
+	commit = time.Since(start)
+	if mode == adb.DurabilityOff {
+		return commit, 0, 0
+	}
+	if err := eng.Close(); err != nil {
+		panic(err)
+	}
+	start = time.Now()
+	e2, err := adb.Restore(cfg, dir)
+	if err != nil {
+		panic(err)
+	}
+	recovery = time.Since(start)
+	replayed = e2.Recovery().ReplayedRecords
+	e2.Close()
+	return commit, recovery, replayed
+}
+
+// E10Durability measures what durability costs at commit time and what a
+// snapshot buys at recovery time: the WAL adds a per-commit logging
+// constant, and periodic snapshots turn recovery from full-history replay
+// into bounded tail replay (Theorem 1's bounded evaluator state is what
+// keeps the snapshot small).
+func E10Durability(quick bool) Table {
+	n := 2000
+	if quick {
+		n = 400
+	}
+	t := Table{
+		ID:     "E10",
+		Title:  "durability: WAL commit overhead and snapshot-bounded recovery",
+		Header: []string{"durability", "commits", "us/commit", "recovery ms", "replayed records"},
+		Notes: "fsync disabled, so us/commit isolates serialization overhead; with periodic " +
+			"snapshots, recovery replays only the wal tail since the last checkpoint instead of " +
+			"the whole history.",
+	}
+	type cfg struct {
+		label string
+		mode  adb.Durability
+		every int
+	}
+	for _, c := range []cfg{
+		{"off (memory)", adb.DurabilityOff, 0},
+		{"wal", adb.DurabilityWAL, 0},
+		{"wal+snapshot/64", adb.DurabilitySnapshot, 64},
+	} {
+		commit, rec, replayed := DurabilityRun(n, c.mode, c.every)
+		recCell, repCell := "-", "-"
+		if c.mode != adb.DurabilityOff {
+			recCell, repCell = fmtMs(rec), fmt.Sprint(replayed)
+		}
+		t.Rows = append(t.Rows, []string{c.label, fmt.Sprint(n), fmtDur(commit, n), recCell, repCell})
+	}
+	return t
+}

@@ -92,6 +92,7 @@ func All(quick bool) []Table {
 		E7bRelativeTiming(quick),
 		E8RelevanceFiltering(quick),
 		E9TemporalActions(quick),
+		E10Durability(quick),
 		A1DecomposableFastPath(quick),
 		A2FutureProgression(quick),
 	}

@@ -14,8 +14,8 @@ func TestAllExperimentsRun(t *testing.T) {
 		t.Skip("experiments are slow")
 	}
 	tables := All(true)
-	if len(tables) != 12 {
-		t.Fatalf("expected 12 tables (E1-E9, E7b, A1, A2), got %d", len(tables))
+	if len(tables) != 13 {
+		t.Fatalf("expected 13 tables (E1-E10, E7b, A1, A2), got %d", len(tables))
 	}
 	byID := map[string]Table{}
 	for _, tab := range tables {
@@ -82,6 +82,19 @@ func TestAllExperimentsRun(t *testing.T) {
 	e9 := byID["E9"]
 	if atoi(t, e9.Rows[0][1]) == 0 {
 		t.Errorf("E9: no buys recorded: %v", e9.Rows[0])
+	}
+
+	// E10: periodic snapshots bound replay — the snapshot row replays far
+	// fewer records than the wal-only row, which replays the whole run.
+	e10 := byID["E10"]
+	walReplayed := atoi(t, e10.Rows[1][4])
+	snapReplayed := atoi(t, e10.Rows[2][4])
+	commits := atoi(t, e10.Rows[1][1])
+	if walReplayed < commits {
+		t.Errorf("E10: wal-only replayed %d records for %d commits", walReplayed, commits)
+	}
+	if snapReplayed*4 >= walReplayed {
+		t.Errorf("E10: snapshots did not bound replay: %d vs %d", snapReplayed, walReplayed)
 	}
 }
 

@@ -1,0 +1,132 @@
+package histio
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"ptlactive/internal/value"
+)
+
+// valueFromBytes deterministically derives an arbitrary (possibly nested)
+// value from fuzz input, consuming bytes as it goes. Depth is bounded so
+// adversarial inputs cannot build unbounded recursion.
+func valueFromBytes(data []byte, depth int) (value.Value, []byte) {
+	if len(data) == 0 {
+		return value.Value{}, nil
+	}
+	sel := int(data[0])
+	data = data[1:]
+	kinds := 7
+	if depth <= 0 {
+		kinds = 5 // leaves only
+	}
+	switch sel % kinds {
+	case 0:
+		return value.Value{}, data
+	case 1:
+		return value.NewBool(sel%2 == 0), data
+	case 2:
+		n, rest := i64FromBytes(data)
+		return value.NewInt(n), rest
+	case 3:
+		n, rest := i64FromBytes(data)
+		f := math.Float64frombits(uint64(n))
+		return value.NewFloat(f), rest
+	case 4:
+		ln := 0
+		if len(data) > 0 {
+			ln = int(data[0]) % 9
+			data = data[1:]
+		}
+		if ln > len(data) {
+			ln = len(data)
+		}
+		// JSON strings must be valid UTF-8; the encodable domain is
+		// sanitized strings (json.Marshal would substitute U+FFFD anyway).
+		return value.NewString(strings.ToValidUTF8(string(data[:ln]), "?")), data[ln:]
+	case 5:
+		n := 0
+		if len(data) > 0 {
+			n = int(data[0]) % 4
+			data = data[1:]
+		}
+		elems := make([]value.Value, n)
+		for i := 0; i < n; i++ {
+			elems[i], data = valueFromBytes(data, depth-1)
+		}
+		return value.NewTuple(elems...), data
+	default:
+		nr := 0
+		if len(data) > 0 {
+			nr = int(data[0]) % 4
+			data = data[1:]
+		}
+		nc := 0
+		if len(data) > 0 {
+			nc = int(data[0]) % 3
+			data = data[1:]
+		}
+		rows := make([][]value.Value, nr)
+		for i := range rows {
+			rows[i] = make([]value.Value, nc)
+			for j := 0; j < nc; j++ {
+				rows[i][j], data = valueFromBytes(data, depth-1)
+			}
+		}
+		return value.NewRelation(rows), data
+	}
+}
+
+func i64FromBytes(data []byte) (int64, []byte) {
+	var n uint64
+	take := 8
+	if take > len(data) {
+		take = len(data)
+	}
+	for i := 0; i < take; i++ {
+		n = n<<8 | uint64(data[i])
+	}
+	return int64(n), data[take:]
+}
+
+// FuzzEncodeValue is the round-trip property: every value survives
+// Encode -> Decode exactly. Exactness is asserted three ways: same kind,
+// same canonical Key (which covers nested structure), and a byte-identical
+// re-encoding — the last one catches kind drift in nested positions where
+// Key and Equal treat int and float alike, and holds for NaN where Equal
+// does not.
+func FuzzEncodeValue(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{2, 0, 0, 0, 0, 0, 0, 0, 42})
+	f.Add([]byte{3, 0x7f, 0xf8, 0, 0, 0, 0, 0, 1})       // NaN
+	f.Add([]byte{3, 0x7f, 0xf0, 0, 0, 0, 0, 0, 0})       // +Inf
+	f.Add([]byte{3, 0xff, 0xf0, 0, 0, 0, 0, 0, 0})       // -Inf
+	f.Add([]byte{5, 3, 2, 1, 2, 3, 4, 1, 0})             // tuple
+	f.Add([]byte{6, 2, 2, 2, 1, 1, 4, 3, 'a', 'b', 'c'}) // relation
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, _ := valueFromBytes(data, 3)
+		enc, err := EncodeValue(v)
+		if err != nil {
+			t.Fatalf("encode %v: %v", v, err)
+		}
+		dec, err := DecodeValue(enc)
+		if err != nil {
+			t.Fatalf("decode %s: %v", enc, err)
+		}
+		if dec.Kind() != v.Kind() {
+			t.Fatalf("kind changed: %s -> %s (%s)", v.Kind(), dec.Kind(), enc)
+		}
+		if dec.Key() != v.Key() {
+			t.Fatalf("key changed: %q -> %q (%s)", v.Key(), dec.Key(), enc)
+		}
+		re, err := EncodeValue(dec)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(enc, re) {
+			t.Fatalf("encoding not stable: %s -> %s", enc, re)
+		}
+	})
+}

@@ -2,13 +2,18 @@
 // one state per line with its timestamp, full database state and event
 // set. It supports exporting an engine's history for offline analysis
 // (ptlcheck, the naive evaluator) and rebuilding a history — or replaying
-// it through a fresh engine — elsewhere.
+// it through a fresh engine — elsewhere. The durability subsystem
+// (internal/persist) reuses the same encoding for snapshots and WAL
+// records, so one kind-tagged value grammar covers every on-disk artifact.
 //
 // Values are kind-tagged so integers, floats, strings, booleans, tuples
 // and relations round-trip exactly:
 //
 //	{"int": 3} {"float": 2.5} {"str": "x"} {"bool": true}
 //	{"tuple": [...]} {"rel": [[...], ...]}
+//
+// Non-finite floats are not representable in JSON numbers; they are
+// encoded as the strings "NaN", "+Inf" and "-Inf" under the float tag.
 package histio
 
 import (
@@ -22,132 +27,132 @@ import (
 	"ptlactive/internal/value"
 )
 
-// EncodeValue renders a value as its kind-tagged JSON form.
+// EncodeValue renders a value as its kind-tagged JSON form. The codec
+// itself lives in the value package (value.EncodeJSON) so layers below
+// histio — the rule-formula codec in internal/ptl — can share it.
 func EncodeValue(v value.Value) (json.RawMessage, error) {
-	switch v.Kind() {
-	case value.Null:
-		return json.RawMessage(`{"null":true}`), nil
-	case value.Bool:
-		return tag("bool", v.AsBool())
-	case value.Int:
-		return tag("int", v.AsInt())
-	case value.Float:
-		return tag("float", v.AsFloat())
-	case value.String:
-		return tag("str", v.AsString())
-	case value.Tuple:
-		elems := make([]json.RawMessage, v.TupleLen())
-		for i := 0; i < v.TupleLen(); i++ {
-			e, err := EncodeValue(v.TupleAt(i))
-			if err != nil {
-				return nil, err
-			}
-			elems[i] = e
-		}
-		return tag("tuple", elems)
-	case value.Relation:
-		rows := make([][]json.RawMessage, 0, v.NumRows())
-		for _, row := range v.Rows() {
-			enc := make([]json.RawMessage, len(row))
-			for i, cell := range row {
-				e, err := EncodeValue(cell)
-				if err != nil {
-					return nil, err
-				}
-				enc[i] = e
-			}
-			rows = append(rows, enc)
-		}
-		return tag("rel", rows)
-	default:
-		return nil, fmt.Errorf("histio: unknown value kind %s", v.Kind())
-	}
-}
-
-func tag(name string, payload any) (json.RawMessage, error) {
-	return json.Marshal(map[string]any{name: payload})
+	return value.EncodeJSON(v)
 }
 
 // DecodeValue parses a kind-tagged JSON value.
 func DecodeValue(raw json.RawMessage) (value.Value, error) {
-	var m map[string]json.RawMessage
-	if err := json.Unmarshal(raw, &m); err != nil {
-		return value.Value{}, fmt.Errorf("histio: value: %w", err)
-	}
-	if len(m) != 1 {
-		return value.Value{}, fmt.Errorf("histio: value must have exactly one kind tag, got %d", len(m))
-	}
-	for kind, payload := range m {
-		switch kind {
-		case "null":
-			return value.Value{}, nil
-		case "bool":
-			var b bool
-			if err := json.Unmarshal(payload, &b); err != nil {
-				return value.Value{}, err
-			}
-			return value.NewBool(b), nil
-		case "int":
-			var i int64
-			if err := json.Unmarshal(payload, &i); err != nil {
-				return value.Value{}, err
-			}
-			return value.NewInt(i), nil
-		case "float":
-			var f float64
-			if err := json.Unmarshal(payload, &f); err != nil {
-				return value.Value{}, err
-			}
-			return value.NewFloat(f), nil
-		case "str":
-			var s string
-			if err := json.Unmarshal(payload, &s); err != nil {
-				return value.Value{}, err
-			}
-			return value.NewString(s), nil
-		case "tuple":
-			var elems []json.RawMessage
-			if err := json.Unmarshal(payload, &elems); err != nil {
-				return value.Value{}, err
-			}
-			out := make([]value.Value, len(elems))
-			for i, e := range elems {
-				v, err := DecodeValue(e)
-				if err != nil {
-					return value.Value{}, err
-				}
-				out[i] = v
-			}
-			return value.NewTuple(out...), nil
-		case "rel":
-			var rows [][]json.RawMessage
-			if err := json.Unmarshal(payload, &rows); err != nil {
-				return value.Value{}, err
-			}
-			out := make([][]value.Value, len(rows))
-			for i, row := range rows {
-				out[i] = make([]value.Value, len(row))
-				for j, cell := range row {
-					v, err := DecodeValue(cell)
-					if err != nil {
-						return value.Value{}, err
-					}
-					out[i][j] = v
-				}
-			}
-			return value.NewRelation(out), nil
-		default:
-			return value.Value{}, fmt.Errorf("histio: unknown value kind tag %q", kind)
-		}
-	}
-	return value.Value{}, fmt.Errorf("histio: empty value")
+	return value.DecodeJSON(raw)
 }
 
-// stateLine is the wire form of one system state.
-type stateLine struct {
+// EncodeItems encodes an item map value by value.
+func EncodeItems(items map[string]value.Value) (map[string]json.RawMessage, error) {
+	out := make(map[string]json.RawMessage, len(items))
+	for name, v := range items {
+		raw, err := EncodeValue(v)
+		if err != nil {
+			return nil, fmt.Errorf("histio: item %s: %w", name, err)
+		}
+		out[name] = raw
+	}
+	return out, nil
+}
+
+// DecodeItems inverts EncodeItems.
+func DecodeItems(raw map[string]json.RawMessage) (map[string]value.Value, error) {
+	out := make(map[string]value.Value, len(raw))
+	for name, r := range raw {
+		v, err := DecodeValue(r)
+		if err != nil {
+			return nil, fmt.Errorf("histio: item %s: %w", name, err)
+		}
+		out[name] = v
+	}
+	return out, nil
+}
+
+// EncodeEvents encodes an event list as [name, arg...] records.
+func EncodeEvents(events []event.Event) ([][]json.RawMessage, error) {
+	var out [][]json.RawMessage
+	for _, ev := range events {
+		rec := make([]json.RawMessage, 0, len(ev.Args)+1)
+		nameRaw, err := json.Marshal(ev.Name)
+		if err != nil {
+			return nil, err
+		}
+		rec = append(rec, nameRaw)
+		for _, a := range ev.Args {
+			raw, err := EncodeValue(a)
+			if err != nil {
+				return nil, err
+			}
+			rec = append(rec, raw)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// DecodeEvents inverts EncodeEvents.
+func DecodeEvents(raw [][]json.RawMessage) ([]event.Event, error) {
+	var events []event.Event
+	for _, rec := range raw {
+		if len(rec) == 0 {
+			return nil, fmt.Errorf("histio: empty event")
+		}
+		var name string
+		if err := json.Unmarshal(rec[0], &name); err != nil {
+			return nil, fmt.Errorf("histio: event name: %w", err)
+		}
+		args := make([]value.Value, 0, len(rec)-1)
+		for _, r := range rec[1:] {
+			v, err := DecodeValue(r)
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, v)
+		}
+		events = append(events, event.New(name, args...))
+	}
+	return events, nil
+}
+
+// StateJSON is the wire form of one system state; one line of a history
+// export, and the per-state element of engine snapshots.
+type StateJSON struct {
 	Time   int64                      `json:"time"`
 	DB     map[string]json.RawMessage `json:"db"`
 	Events [][]json.RawMessage        `json:"events,omitempty"`
+}
+
+// EncodeState renders one system state in wire form.
+func EncodeState(st history.SystemState) (StateJSON, error) {
+	line := StateJSON{Time: st.TS, DB: map[string]json.RawMessage{}}
+	for _, name := range st.DB.Items() {
+		v, _ := st.DB.Get(name)
+		raw, err := EncodeValue(v)
+		if err != nil {
+			return StateJSON{}, fmt.Errorf("histio: item %s: %w", name, err)
+		}
+		line.DB[name] = raw
+	}
+	evs, err := EncodeEvents(st.Events.Events())
+	if err != nil {
+		return StateJSON{}, err
+	}
+	line.Events = evs
+	return line, nil
+}
+
+// DecodeState inverts EncodeState.
+func DecodeState(line StateJSON) (history.SystemState, error) {
+	items, err := DecodeItems(line.DB)
+	if err != nil {
+		return history.SystemState{}, err
+	}
+	events, err := DecodeEvents(line.Events)
+	if err != nil {
+		return history.SystemState{}, err
+	}
+	return history.SystemState{
+		DB:     history.NewDB(items),
+		Events: event.NewSet(events...),
+		TS:     line.Time,
+	}, nil
 }
 
 // Write serializes the history, one state per line.
@@ -155,31 +160,9 @@ func Write(w io.Writer, h *history.History) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
 	for i := 0; i < h.Len(); i++ {
-		st := h.At(i)
-		line := stateLine{Time: st.TS, DB: map[string]json.RawMessage{}}
-		for _, name := range st.DB.Items() {
-			v, _ := st.DB.Get(name)
-			raw, err := EncodeValue(v)
-			if err != nil {
-				return err
-			}
-			line.DB[name] = raw
-		}
-		for _, ev := range st.Events.Events() {
-			rec := make([]json.RawMessage, 0, len(ev.Args)+1)
-			nameRaw, err := json.Marshal(ev.Name)
-			if err != nil {
-				return err
-			}
-			rec = append(rec, nameRaw)
-			for _, a := range ev.Args {
-				raw, err := EncodeValue(a)
-				if err != nil {
-					return err
-				}
-				rec = append(rec, raw)
-			}
-			line.Events = append(line.Events, rec)
+		line, err := EncodeState(h.At(i))
+		if err != nil {
+			return err
 		}
 		if err := enc.Encode(line); err != nil {
 			return err
@@ -202,41 +185,13 @@ func Read(r io.Reader) (*history.History, error) {
 		if len(text) == 0 {
 			continue
 		}
-		var line stateLine
+		var line StateJSON
 		if err := json.Unmarshal(text, &line); err != nil {
 			return nil, fmt.Errorf("histio: line %d: %w", lineNo, err)
 		}
-		items := map[string]value.Value{}
-		for name, raw := range line.DB {
-			v, err := DecodeValue(raw)
-			if err != nil {
-				return nil, fmt.Errorf("histio: line %d: item %s: %w", lineNo, name, err)
-			}
-			items[name] = v
-		}
-		var events []event.Event
-		for _, rec := range line.Events {
-			if len(rec) == 0 {
-				return nil, fmt.Errorf("histio: line %d: empty event", lineNo)
-			}
-			var name string
-			if err := json.Unmarshal(rec[0], &name); err != nil {
-				return nil, fmt.Errorf("histio: line %d: event name: %w", lineNo, err)
-			}
-			args := make([]value.Value, 0, len(rec)-1)
-			for _, raw := range rec[1:] {
-				v, err := DecodeValue(raw)
-				if err != nil {
-					return nil, fmt.Errorf("histio: line %d: %w", lineNo, err)
-				}
-				args = append(args, v)
-			}
-			events = append(events, event.New(name, args...))
-		}
-		st := history.SystemState{
-			DB:     history.NewDB(items),
-			Events: event.NewSet(events...),
-			TS:     line.Time,
+		st, err := DecodeState(line)
+		if err != nil {
+			return nil, fmt.Errorf("histio: line %d: %w", lineNo, err)
 		}
 		if last, ok := h.Last(); ok && st.TS <= last.TS {
 			return nil, fmt.Errorf("histio: line %d: timestamp %d not increasing", lineNo, st.TS)

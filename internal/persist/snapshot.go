@@ -1,0 +1,90 @@
+package persist
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// FormatVersion is the snapshot envelope version; readers reject anything
+// newer than they understand.
+const FormatVersion = 1
+
+// SnapshotKind tags engine snapshots inside the envelope.
+const SnapshotKind = "engine-snapshot"
+
+// Envelope is the versioned, checksummed container every snapshot file
+// uses: one JSON object whose payload is verified against an embedded
+// CRC32 before being interpreted.
+type Envelope struct {
+	Version int             `json:"version"`
+	Kind    string          `json:"kind"`
+	CRC     uint32          `json:"crc"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// WriteEnvelope marshals payload and writes it to w inside a checksummed
+// versioned envelope.
+func WriteEnvelope(w io.Writer, kind string, payload any) error {
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("persist: encode %s payload: %w", kind, err)
+	}
+	env := Envelope{Version: FormatVersion, Kind: kind, CRC: crc32.ChecksumIEEE(raw), Payload: raw}
+	blob, err := json.Marshal(&env)
+	if err != nil {
+		return fmt.Errorf("persist: encode %s envelope: %w", kind, err)
+	}
+	if _, err := w.Write(append(blob, '\n')); err != nil {
+		return fmt.Errorf("persist: write %s: %w", kind, err)
+	}
+	return nil
+}
+
+// ReadEnvelope reads one envelope from r, verifies version, kind and
+// checksum, and returns the raw payload.
+func ReadEnvelope(r io.Reader, kind string) (json.RawMessage, error) {
+	blob, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("persist: read %s: %w", kind, err)
+	}
+	var env Envelope
+	if err := json.Unmarshal(blob, &env); err != nil {
+		return nil, fmt.Errorf("persist: parse %s envelope: %w", kind, err)
+	}
+	if env.Version < 1 || env.Version > FormatVersion {
+		return nil, fmt.Errorf("persist: %s envelope version %d unsupported (have %d)", kind, env.Version, FormatVersion)
+	}
+	if env.Kind != kind {
+		return nil, fmt.Errorf("persist: envelope kind %q, want %q", env.Kind, kind)
+	}
+	if got := crc32.ChecksumIEEE(env.Payload); got != env.CRC {
+		return nil, fmt.Errorf("persist: %s payload checksum mismatch (%08x != %08x)", kind, got, env.CRC)
+	}
+	return env.Payload, nil
+}
+
+// EncodeSnapshot writes an engine snapshot to w after validating it.
+func EncodeSnapshot(w io.Writer, snap *EngineSnapshot) error {
+	if err := snap.validate(); err != nil {
+		return err
+	}
+	return WriteEnvelope(w, SnapshotKind, snap)
+}
+
+// DecodeSnapshot reads and validates an engine snapshot from r.
+func DecodeSnapshot(r io.Reader) (*EngineSnapshot, error) {
+	payload, err := ReadEnvelope(r, SnapshotKind)
+	if err != nil {
+		return nil, err
+	}
+	var snap EngineSnapshot
+	if err := json.Unmarshal(payload, &snap); err != nil {
+		return nil, fmt.Errorf("persist: parse snapshot: %w", err)
+	}
+	if err := snap.validate(); err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}

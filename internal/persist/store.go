@@ -1,0 +1,218 @@
+package persist
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+const (
+	walFile    = "wal.log"
+	snapPrefix = "snap-"
+	snapSuffix = ".snap"
+)
+
+// snapshotName is the file name of the snapshot covering WAL records
+// through lsn; the zero-padded LSN makes lexical order equal LSN order.
+func snapshotName(lsn int64) string {
+	return fmt.Sprintf("%s%020d%s", snapPrefix, lsn, snapSuffix)
+}
+
+// parseSnapshotName extracts the LSN from a snapshot file name.
+func parseSnapshotName(name string) (int64, bool) {
+	if !strings.HasPrefix(name, snapPrefix) || !strings.HasSuffix(name, snapSuffix) {
+		return 0, false
+	}
+	mid := strings.TrimSuffix(strings.TrimPrefix(name, snapPrefix), snapSuffix)
+	lsn, err := strconv.ParseInt(mid, 10, 64)
+	if err != nil || lsn < 0 {
+		return 0, false
+	}
+	return lsn, true
+}
+
+// Store is an open durability directory: the WAL for appending plus the
+// snapshot files. One engine owns a store at a time.
+type Store struct {
+	dir string
+	log *Log
+}
+
+// OpenResult is what recovery found on disk.
+type OpenResult struct {
+	// Snapshot is the newest snapshot, nil when the directory has none.
+	Snapshot *EngineSnapshot
+	// SnapshotLSN is the last WAL record the snapshot covers (0 without a
+	// snapshot).
+	SnapshotLSN int64
+	// Tail holds the WAL records after the snapshot, in LSN order; replay
+	// applies exactly these.
+	Tail []*Record
+	// TruncatedAt is the file offset of a torn final record that was
+	// discarded, -1 when the log ended cleanly.
+	TruncatedAt int64
+}
+
+// Open opens (creating if needed) a durability directory: it loads the
+// newest snapshot — which must be valid; a damaged newest snapshot is an
+// error, not a silent fallback — reads the WAL, truncates a torn final
+// record, verifies LSN continuity and returns the records recovery must
+// replay.
+func Open(dir string) (*Store, *OpenResult, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("persist: open %s: %w", dir, err)
+	}
+	res := &OpenResult{TruncatedAt: -1}
+
+	// Newest snapshot, by LSN embedded in the file name.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("persist: open %s: %w", dir, err)
+	}
+	var snapLSNs []int64
+	for _, ent := range entries {
+		if lsn, ok := parseSnapshotName(ent.Name()); ok {
+			snapLSNs = append(snapLSNs, lsn)
+		}
+	}
+	if len(snapLSNs) > 0 {
+		sort.Slice(snapLSNs, func(i, j int) bool { return snapLSNs[i] > snapLSNs[j] })
+		newest := snapLSNs[0]
+		f, err := os.Open(filepath.Join(dir, snapshotName(newest)))
+		if err != nil {
+			return nil, nil, fmt.Errorf("persist: open snapshot: %w", err)
+		}
+		snap, err := DecodeSnapshot(f)
+		f.Close()
+		if err != nil {
+			return nil, nil, fmt.Errorf("persist: snapshot %s: %w", snapshotName(newest), err)
+		}
+		if snap.LSN != newest {
+			return nil, nil, fmt.Errorf("persist: snapshot %s claims LSN %d", snapshotName(newest), snap.LSN)
+		}
+		res.Snapshot = snap
+		res.SnapshotLSN = newest
+	}
+
+	// WAL scan: parse every record, truncate a torn tail, reject anything
+	// worse.
+	walPath := filepath.Join(dir, walFile)
+	data, err := os.ReadFile(walPath)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, fmt.Errorf("persist: read wal: %w", err)
+	}
+	scan, err := scanRecords(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	res.TruncatedAt = scan.truncatedAt
+
+	// LSN continuity: every record follows its predecessor by exactly one.
+	// A gap means a committed record is missing — replaying across it would
+	// silently diverge, so it is a hard error.
+	for i, rec := range scan.records {
+		if rec.LSN < 1 {
+			return nil, nil, fmt.Errorf("persist: wal record %d has invalid LSN %d", i, rec.LSN)
+		}
+		if !validKind(rec.Kind) {
+			return nil, nil, fmt.Errorf("persist: wal record LSN %d has unknown kind %q", rec.LSN, rec.Kind)
+		}
+		if i > 0 && rec.LSN != scan.records[i-1].LSN+1 {
+			return nil, nil, fmt.Errorf("persist: wal LSN gap: %d follows %d", rec.LSN, scan.records[i-1].LSN)
+		}
+	}
+
+	// The replay tail is everything the snapshot does not cover. A crash
+	// between writing a snapshot and resetting the WAL leaves covered
+	// records in the file; they are skipped here. What must not happen is a
+	// gap between the snapshot and the first uncovered record.
+	for _, rec := range scan.records {
+		if rec.LSN > res.SnapshotLSN {
+			res.Tail = append(res.Tail, rec)
+		}
+	}
+	if len(res.Tail) > 0 && res.Tail[0].LSN != res.SnapshotLSN+1 {
+		return nil, nil, fmt.Errorf("persist: wal starts at LSN %d but snapshot covers through %d", res.Tail[0].LSN, res.SnapshotLSN)
+	}
+	if res.Snapshot == nil && len(scan.records) > 0 && scan.records[0].LSN != 1 {
+		return nil, nil, fmt.Errorf("persist: wal starts at LSN %d with no snapshot", scan.records[0].LSN)
+	}
+
+	next := res.SnapshotLSN + 1
+	if n := len(scan.records); n > 0 && scan.records[n-1].LSN+1 > next {
+		next = scan.records[n-1].LSN + 1
+	}
+	log, err := openLog(walPath, next, scan.size)
+	if err != nil {
+		return nil, nil, fmt.Errorf("persist: open wal: %w", err)
+	}
+	return &Store{dir: dir, log: log}, res, nil
+}
+
+// Dir returns the durability directory path.
+func (s *Store) Dir() string { return s.dir }
+
+// Append writes one record to the WAL and returns its LSN.
+func (s *Store) Append(rec *Record) (int64, error) { return s.log.Append(rec) }
+
+// LastLSN returns the LSN of the most recent record (snapshot-covered or
+// appended), 0 when nothing was ever logged.
+func (s *Store) LastLSN() int64 { return s.log.LastLSN() }
+
+// DisableSync turns off per-record fsync (tests and benchmarks).
+func (s *Store) DisableSync() { s.log.DisableSync() }
+
+// SaveSnapshot atomically installs snap as the newest snapshot — temp
+// file, fsync, rename, directory fsync — stamps it with the current last
+// LSN, resets the WAL (those records are now covered) and removes older
+// snapshot files.
+func (s *Store) SaveSnapshot(snap *EngineSnapshot) error {
+	snap.LSN = s.log.LastLSN()
+	tmp, err := os.CreateTemp(s.dir, "snap-*.tmp")
+	if err != nil {
+		return fmt.Errorf("persist: snapshot temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	if err := EncodeSnapshot(tmp, snap); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("persist: snapshot sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("persist: snapshot close: %w", err)
+	}
+	final := filepath.Join(s.dir, snapshotName(snap.LSN))
+	if err := os.Rename(tmpName, final); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("persist: snapshot rename: %w", err)
+	}
+	if d, err := os.Open(s.dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	if err := s.log.ResetTo(snap.LSN); err != nil {
+		return err
+	}
+	// Older snapshots are superseded; removal failures are harmless (the
+	// newest-by-LSN rule ignores them at the next open).
+	if entries, err := os.ReadDir(s.dir); err == nil {
+		for _, ent := range entries {
+			if lsn, ok := parseSnapshotName(ent.Name()); ok && lsn < snap.LSN {
+				_ = os.Remove(filepath.Join(s.dir, ent.Name()))
+			}
+		}
+	}
+	return nil
+}
+
+// Close closes the WAL.
+func (s *Store) Close() error { return s.log.Close() }

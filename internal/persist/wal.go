@@ -1,0 +1,207 @@
+// Package persist is the durability subsystem: a versioned snapshot
+// format plus an append-only, checksummed write-ahead log. A snapshot
+// captures exactly the bounded incremental state of Section 5 (Theorem 1
+// is what keeps it small); the WAL records every committed operation
+// since, so recovery loads the latest valid snapshot and replays only the
+// WAL tail through the engine's normal sweep path.
+//
+// WAL framing, per record:
+//
+//	[4-byte magic "PWAL"] [4-byte LE payload length] [4-byte LE CRC32-IEEE
+//	of the payload] [JSON payload]
+//
+// Records carry strictly increasing LSNs assigned at append time; a gap
+// in the sequence is a hard error (a silently missing record would break
+// firing equivalence). A torn final record — the only damage a crash
+// mid-append can cause — is truncated and reported; damage anywhere else
+// is surfaced as an error and never skipped.
+package persist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+var walMagic = []byte("PWAL")
+
+const (
+	headerLen = 12 // magic + length + crc
+	// maxRecordLen bounds a single record (64 MiB); a larger length field
+	// is treated as corruption rather than attempted as an allocation.
+	maxRecordLen = 1 << 26
+)
+
+// Log is an append-only write-ahead log backed by one file.
+type Log struct {
+	f    *os.File
+	path string
+	next int64 // next LSN to assign
+	size int64 // current file size in bytes
+	sync bool
+}
+
+// openLog opens (creating if needed) the WAL at path, positioned at size
+// for appending. next is the LSN the next append gets.
+func openLog(path string, next, size int64) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(size); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(size, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Log{f: f, path: path, next: next, size: size, sync: true}, nil
+}
+
+// DisableSync turns off the per-record fsync; crash tests and benchmarks
+// use it, production durability should not.
+func (l *Log) DisableSync() { l.sync = false }
+
+// LastLSN returns the LSN of the most recently appended record, 0 when
+// the log is empty.
+func (l *Log) LastLSN() int64 { return l.next - 1 }
+
+// Append assigns the next LSN to rec, frames and checksums it, writes it
+// and (unless disabled) fsyncs. The assigned LSN is returned.
+func (l *Log) Append(rec *Record) (int64, error) {
+	rec.LSN = l.next
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return 0, fmt.Errorf("persist: encode record: %w", err)
+	}
+	if len(payload) > maxRecordLen {
+		return 0, fmt.Errorf("persist: record of %d bytes exceeds limit %d", len(payload), maxRecordLen)
+	}
+	buf := make([]byte, headerLen+len(payload))
+	copy(buf, walMagic)
+	binary.LittleEndian.PutUint32(buf[4:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[8:], crc32.ChecksumIEEE(payload))
+	copy(buf[headerLen:], payload)
+	if _, err := l.f.Write(buf); err != nil {
+		return 0, fmt.Errorf("persist: append: %w", err)
+	}
+	if l.sync {
+		if err := l.f.Sync(); err != nil {
+			return 0, fmt.Errorf("persist: sync: %w", err)
+		}
+	}
+	l.next++
+	l.size += int64(len(buf))
+	return rec.LSN, nil
+}
+
+// ResetTo truncates the log to empty after a snapshot at LSN snapLSN; the
+// next record appended gets snapLSN+1.
+func (l *Log) ResetTo(snapLSN int64) error {
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("persist: reset wal: %w", err)
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	if l.sync {
+		if err := l.f.Sync(); err != nil {
+			return err
+		}
+	}
+	l.next = snapLSN + 1
+	l.size = 0
+	return nil
+}
+
+// Close closes the underlying file.
+func (l *Log) Close() error {
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}
+
+// scanResult is what reading a WAL file yields.
+type scanResult struct {
+	records []*Record
+	// size is the number of valid bytes; less than the file size when a
+	// torn tail was truncated.
+	size int64
+	// truncatedAt is the offset of the torn final record, -1 when intact.
+	truncatedAt int64
+}
+
+// scanRecords parses a WAL image. A malformed suffix is accepted as a
+// torn tail only when no complete valid record follows it — otherwise the
+// damage is mid-log and scanning fails: skipping a whole committed record
+// would silently diverge the recovered engine. (The disambiguation scan
+// is conservative: a payload byte sequence that happens to look like a
+// later intact frame turns a genuinely torn tail into a reported
+// corruption error, which is safe — recovery refuses rather than guesses.)
+func scanRecords(data []byte) (*scanResult, error) {
+	res := &scanResult{truncatedAt: -1}
+	off := int64(0)
+	for int64(len(data))-off > 0 {
+		rec, recLen, err := parseFrame(data[off:])
+		if err != nil {
+			if next := findValidFrame(data, off+1); next >= 0 {
+				return nil, fmt.Errorf("persist: wal corrupt at offset %d (%v) but intact record found at offset %d; refusing to skip a committed record", off, err, next)
+			}
+			res.truncatedAt = off
+			break
+		}
+		res.records = append(res.records, rec)
+		off += recLen
+	}
+	res.size = off
+	return res, nil
+}
+
+// parseFrame parses one record at the head of data, returning it and its
+// framed length.
+func parseFrame(data []byte) (*Record, int64, error) {
+	if len(data) < headerLen {
+		return nil, 0, fmt.Errorf("short header (%d bytes)", len(data))
+	}
+	if !bytes.Equal(data[:4], walMagic) {
+		return nil, 0, fmt.Errorf("bad magic %q", data[:4])
+	}
+	n := binary.LittleEndian.Uint32(data[4:8])
+	if n > maxRecordLen {
+		return nil, 0, fmt.Errorf("length %d exceeds limit", n)
+	}
+	if int64(len(data)) < headerLen+int64(n) {
+		return nil, 0, fmt.Errorf("short payload (%d of %d bytes)", len(data)-headerLen, n)
+	}
+	payload := data[headerLen : headerLen+int64(n)]
+	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(data[8:12]); got != want {
+		return nil, 0, fmt.Errorf("checksum mismatch (%08x != %08x)", got, want)
+	}
+	var rec Record
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return nil, 0, fmt.Errorf("payload: %w", err)
+	}
+	return &rec, headerLen + int64(n), nil
+}
+
+// findValidFrame scans forward from offset from for any complete, valid
+// record; it returns the offset or -1.
+func findValidFrame(data []byte, from int64) int64 {
+	for off := from; off+headerLen <= int64(len(data)); off++ {
+		if !bytes.Equal(data[off:off+4], walMagic) {
+			continue
+		}
+		if _, _, err := parseFrame(data[off:]); err == nil {
+			return off
+		}
+	}
+	return -1
+}

@@ -1,0 +1,441 @@
+// Formula and term (de)serialization for the durability subsystem: a
+// registered rule's condition AST must survive a snapshot/WAL round trip
+// exactly, because the recovered engine recompiles its evaluators from the
+// decoded formula and then overlays the saved incremental state on them
+// (internal/persist, DESIGN.md section 4b). The wire form is a kind-tagged
+// JSON tree; constants reuse the kind-tagged value encoding (the same one
+// histio exports histories with) so every value.Value round-trips
+// losslessly.
+package ptl
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"ptlactive/internal/value"
+)
+
+// wireNode is the JSON form of one term or formula node. One struct covers
+// both syntactic classes; K selects the node kind.
+type wireNode struct {
+	K      string          `json:"k"`
+	V      json.RawMessage `json:"v,omitempty"`    // const value
+	B      bool            `json:"b,omitempty"`    // bool constant
+	Name   string          `json:"name,omitempty"` // var/call/event/executed/assign/agg fn
+	Op     int             `json:"op,omitempty"`   // cmp/arith operator
+	Bound  int64           `json:"bound,omitempty"`
+	Window int64           `json:"window,omitempty"`
+	Args   []*wireNode     `json:"args,omitempty"` // call args, event args, member elems
+	L      *wireNode       `json:"l,omitempty"`
+	R      *wireNode       `json:"r,omitempty"`
+	Q      *wireNode       `json:"q,omitempty"`      // assign/agg query term, member relation
+	Start  *wireNode       `json:"start,omitempty"`  // agg start formula
+	Sample *wireNode       `json:"sample,omitempty"` // agg sampling formula
+	TArg   *wireNode       `json:"targ,omitempty"`   // executed time argument
+}
+
+// EncodeFormula serializes a formula as kind-tagged JSON; DecodeFormula
+// inverts it structurally (ptl.Equal holds between input and round trip).
+func EncodeFormula(f Formula) (json.RawMessage, error) {
+	n, err := encodeFormula(f)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(n)
+}
+
+// DecodeFormula parses a formula written by EncodeFormula.
+func DecodeFormula(data json.RawMessage) (Formula, error) {
+	var n wireNode
+	if err := json.Unmarshal(data, &n); err != nil {
+		return nil, fmt.Errorf("ptl: formula: %w", err)
+	}
+	return decodeFormula(&n)
+}
+
+func encodeTerm(t Term) (*wireNode, error) {
+	switch x := t.(type) {
+	case *Const:
+		raw, err := value.EncodeJSON(x.V)
+		if err != nil {
+			return nil, err
+		}
+		return &wireNode{K: "const", V: raw}, nil
+	case *Var:
+		return &wireNode{K: "var", Name: x.Name}, nil
+	case *Call:
+		args, err := encodeTerms(x.Args)
+		if err != nil {
+			return nil, err
+		}
+		return &wireNode{K: "call", Name: x.Fn, Args: args}, nil
+	case *Arith:
+		l, err := encodeTerm(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := encodeTerm(x.R)
+		if err != nil {
+			return nil, err
+		}
+		return &wireNode{K: "arith", Op: int(x.Op), L: l, R: r}, nil
+	case *Neg:
+		inner, err := encodeTerm(x.X)
+		if err != nil {
+			return nil, err
+		}
+		return &wireNode{K: "neg", L: inner}, nil
+	case *Agg:
+		q, err := encodeTerm(x.Q)
+		if err != nil {
+			return nil, err
+		}
+		sample, err := encodeFormula(x.Sample)
+		if err != nil {
+			return nil, err
+		}
+		n := &wireNode{K: "agg", Name: string(x.Fn), Q: q, Sample: sample, Window: x.Window}
+		if x.Start != nil {
+			if n.Start, err = encodeFormula(x.Start); err != nil {
+				return nil, err
+			}
+		}
+		return n, nil
+	default:
+		return nil, fmt.Errorf("ptl: cannot encode term %T", t)
+	}
+}
+
+func encodeTerms(ts []Term) ([]*wireNode, error) {
+	out := make([]*wireNode, len(ts))
+	for i, t := range ts {
+		n, err := encodeTerm(t)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = n
+	}
+	return out, nil
+}
+
+func encodeFormula(f Formula) (*wireNode, error) {
+	switch x := f.(type) {
+	case *BoolConst:
+		return &wireNode{K: "bool", B: x.V}, nil
+	case *Cmp:
+		l, err := encodeTerm(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := encodeTerm(x.R)
+		if err != nil {
+			return nil, err
+		}
+		return &wireNode{K: "cmp", Op: int(x.Op), L: l, R: r}, nil
+	case *EventAtom:
+		args, err := encodeTerms(x.Args)
+		if err != nil {
+			return nil, err
+		}
+		return &wireNode{K: "event", Name: x.Name, Args: args}, nil
+	case *Executed:
+		args, err := encodeTerms(x.Args)
+		if err != nil {
+			return nil, err
+		}
+		targ, err := encodeTerm(x.TimeArg)
+		if err != nil {
+			return nil, err
+		}
+		return &wireNode{K: "executed", Name: x.Rule, Args: args, TArg: targ}, nil
+	case *Member:
+		elems, err := encodeTerms(x.Elems)
+		if err != nil {
+			return nil, err
+		}
+		rel, err := encodeTerm(x.Rel)
+		if err != nil {
+			return nil, err
+		}
+		return &wireNode{K: "member", Args: elems, Q: rel}, nil
+	case *Not:
+		sub, err := encodeFormula(x.F)
+		if err != nil {
+			return nil, err
+		}
+		return &wireNode{K: "not", L: sub}, nil
+	case *And:
+		return encodeBinary("and", x.L, x.R, Unbounded)
+	case *Or:
+		return encodeBinary("or", x.L, x.R, Unbounded)
+	case *Since:
+		return encodeBinary("since", x.L, x.R, x.Bound)
+	case *Lasttime:
+		sub, err := encodeFormula(x.F)
+		if err != nil {
+			return nil, err
+		}
+		return &wireNode{K: "lasttime", L: sub}, nil
+	case *Previously:
+		return encodeUnaryBound("previously", x.F, x.Bound)
+	case *Throughout:
+		return encodeUnaryBound("throughout", x.F, x.Bound)
+	case *Assign:
+		q, err := encodeTerm(x.Q)
+		if err != nil {
+			return nil, err
+		}
+		body, err := encodeFormula(x.Body)
+		if err != nil {
+			return nil, err
+		}
+		return &wireNode{K: "assign", Name: x.Var, Q: q, L: body}, nil
+	case *Until:
+		return encodeBinary("until", x.L, x.R, x.Bound)
+	case *Nexttime:
+		sub, err := encodeFormula(x.F)
+		if err != nil {
+			return nil, err
+		}
+		return &wireNode{K: "nexttime", L: sub}, nil
+	case *Eventually:
+		return encodeUnaryBound("eventually", x.F, x.Bound)
+	case *Always:
+		return encodeUnaryBound("always", x.F, x.Bound)
+	default:
+		return nil, fmt.Errorf("ptl: cannot encode formula %T", f)
+	}
+}
+
+func encodeBinary(kind string, l, r Formula, bound int64) (*wireNode, error) {
+	ln, err := encodeFormula(l)
+	if err != nil {
+		return nil, err
+	}
+	rn, err := encodeFormula(r)
+	if err != nil {
+		return nil, err
+	}
+	return &wireNode{K: kind, L: ln, R: rn, Bound: bound}, nil
+}
+
+func encodeUnaryBound(kind string, f Formula, bound int64) (*wireNode, error) {
+	sub, err := encodeFormula(f)
+	if err != nil {
+		return nil, err
+	}
+	return &wireNode{K: kind, L: sub, Bound: bound}, nil
+}
+
+func decodeTerm(n *wireNode) (Term, error) {
+	if n == nil {
+		return nil, fmt.Errorf("ptl: missing term node")
+	}
+	switch n.K {
+	case "const":
+		v, err := value.DecodeJSON(n.V)
+		if err != nil {
+			return nil, err
+		}
+		return &Const{V: v}, nil
+	case "var":
+		return &Var{Name: n.Name}, nil
+	case "call":
+		args, err := decodeTerms(n.Args)
+		if err != nil {
+			return nil, err
+		}
+		return &Call{Fn: n.Name, Args: args}, nil
+	case "arith":
+		l, err := decodeTerm(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := decodeTerm(n.R)
+		if err != nil {
+			return nil, err
+		}
+		return &Arith{Op: value.ArithOp(n.Op), L: l, R: r}, nil
+	case "neg":
+		inner, err := decodeTerm(n.L)
+		if err != nil {
+			return nil, err
+		}
+		return &Neg{X: inner}, nil
+	case "agg":
+		if !ValidAggFn(n.Name) {
+			return nil, fmt.Errorf("ptl: unknown aggregate %q", n.Name)
+		}
+		q, err := decodeTerm(n.Q)
+		if err != nil {
+			return nil, err
+		}
+		sample, err := decodeFormula(n.Sample)
+		if err != nil {
+			return nil, err
+		}
+		a := &Agg{Fn: AggFn(n.Name), Q: q, Sample: sample, Window: n.Window}
+		if n.Start != nil {
+			// A start formula makes this the starting-formula form; Window
+			// is then always Unbounded regardless of the wire value.
+			if a.Start, err = decodeFormula(n.Start); err != nil {
+				return nil, err
+			}
+			a.Window = Unbounded
+		}
+		return a, nil
+	default:
+		return nil, fmt.Errorf("ptl: unknown term kind %q", n.K)
+	}
+}
+
+func decodeTerms(ns []*wireNode) ([]Term, error) {
+	if len(ns) == 0 {
+		return nil, nil
+	}
+	out := make([]Term, len(ns))
+	for i, n := range ns {
+		t, err := decodeTerm(n)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = t
+	}
+	return out, nil
+}
+
+func decodeFormula(n *wireNode) (Formula, error) {
+	if n == nil {
+		return nil, fmt.Errorf("ptl: missing formula node")
+	}
+	switch n.K {
+	case "bool":
+		return &BoolConst{V: n.B}, nil
+	case "cmp":
+		l, err := decodeTerm(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := decodeTerm(n.R)
+		if err != nil {
+			return nil, err
+		}
+		return &Cmp{Op: value.CmpOp(n.Op), L: l, R: r}, nil
+	case "event":
+		args, err := decodeTerms(n.Args)
+		if err != nil {
+			return nil, err
+		}
+		return &EventAtom{Name: n.Name, Args: args}, nil
+	case "executed":
+		args, err := decodeTerms(n.Args)
+		if err != nil {
+			return nil, err
+		}
+		targ, err := decodeTerm(n.TArg)
+		if err != nil {
+			return nil, err
+		}
+		return &Executed{Rule: n.Name, Args: args, TimeArg: targ}, nil
+	case "member":
+		elems, err := decodeTerms(n.Args)
+		if err != nil {
+			return nil, err
+		}
+		rel, err := decodeTerm(n.Q)
+		if err != nil {
+			return nil, err
+		}
+		return &Member{Elems: elems, Rel: rel}, nil
+	case "not":
+		sub, err := decodeFormula(n.L)
+		if err != nil {
+			return nil, err
+		}
+		return &Not{F: sub}, nil
+	case "and":
+		l, r, err := decodeBinary(n)
+		if err != nil {
+			return nil, err
+		}
+		return &And{L: l, R: r}, nil
+	case "or":
+		l, r, err := decodeBinary(n)
+		if err != nil {
+			return nil, err
+		}
+		return &Or{L: l, R: r}, nil
+	case "since":
+		l, r, err := decodeBinary(n)
+		if err != nil {
+			return nil, err
+		}
+		return &Since{L: l, R: r, Bound: n.Bound}, nil
+	case "lasttime":
+		sub, err := decodeFormula(n.L)
+		if err != nil {
+			return nil, err
+		}
+		return &Lasttime{F: sub}, nil
+	case "previously":
+		sub, err := decodeFormula(n.L)
+		if err != nil {
+			return nil, err
+		}
+		return &Previously{F: sub, Bound: n.Bound}, nil
+	case "throughout":
+		sub, err := decodeFormula(n.L)
+		if err != nil {
+			return nil, err
+		}
+		return &Throughout{F: sub, Bound: n.Bound}, nil
+	case "assign":
+		q, err := decodeTerm(n.Q)
+		if err != nil {
+			return nil, err
+		}
+		body, err := decodeFormula(n.L)
+		if err != nil {
+			return nil, err
+		}
+		return &Assign{Var: n.Name, Q: q, Body: body}, nil
+	case "until":
+		l, r, err := decodeBinary(n)
+		if err != nil {
+			return nil, err
+		}
+		return &Until{L: l, R: r, Bound: n.Bound}, nil
+	case "nexttime":
+		sub, err := decodeFormula(n.L)
+		if err != nil {
+			return nil, err
+		}
+		return &Nexttime{F: sub}, nil
+	case "eventually":
+		sub, err := decodeFormula(n.L)
+		if err != nil {
+			return nil, err
+		}
+		return &Eventually{F: sub, Bound: n.Bound}, nil
+	case "always":
+		sub, err := decodeFormula(n.L)
+		if err != nil {
+			return nil, err
+		}
+		return &Always{F: sub, Bound: n.Bound}, nil
+	default:
+		return nil, fmt.Errorf("ptl: unknown formula kind %q", n.K)
+	}
+}
+
+func decodeBinary(n *wireNode) (Formula, Formula, error) {
+	l, err := decodeFormula(n.L)
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err := decodeFormula(n.R)
+	if err != nil {
+		return nil, nil, err
+	}
+	return l, r, nil
+}

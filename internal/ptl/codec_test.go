@@ -1,0 +1,136 @@
+package ptl
+
+import (
+	"encoding/json"
+	"testing"
+
+	"ptlactive/internal/value"
+)
+
+// roundTrip encodes and decodes f, failing the test on any error.
+func roundTrip(t *testing.T, f Formula) Formula {
+	t.Helper()
+	raw, err := EncodeFormula(f)
+	if err != nil {
+		t.Fatalf("encode %s: %v", f, err)
+	}
+	g, err := DecodeFormula(raw)
+	if err != nil {
+		t.Fatalf("decode %s (%s): %v", f, raw, err)
+	}
+	return g
+}
+
+func TestCodecRoundTripParsed(t *testing.T) {
+	// The same shapes the random crash-recovery tests draw from, plus
+	// coverage for every parseable construct.
+	sources := []string{
+		"true",
+		"@ev0",
+		"@pay3(x) and x > 4",
+		`item("a") > 10`,
+		`item("a") > 10 since @ev1`,
+		`lasttime @ev2`,
+		`previously <= 5 @ev0`,
+		`throughout <= 3 item("b") < 20`,
+		`not (item("a") > 50)`,
+		`@pay1(x) and (x >= 2 or lasttime @ev0)`,
+		`(@ev0 or @ev1) since (item("a") = 0)`,
+		`[x <- item("a")] x*2 + 1 > -3`,
+		`avg(item("a"); window 60; @ev0) > 5`,
+		`sum(item("a"); @start; @ev0) > 5`,
+		`count(item("a"); window 10; @ev0) >= 2`,
+		`executed(r1, x, t) and t > 3`,
+		`(x) in rel("stocks")`,
+		`item("a") = 1.5 or item("s") = "hi"`,
+	}
+	for _, src := range sources {
+		f, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		g := roundTrip(t, f)
+		if !Equal(f, g) {
+			t.Errorf("round trip changed %q: got %s", src, g)
+		}
+	}
+}
+
+func TestCodecRoundTripHandBuilt(t *testing.T) {
+	// Constructs the parser cannot produce (future operators, nested
+	// aggregates, exotic constants) still must round-trip.
+	cases := []Formula{
+		&Until{L: &EventAtom{Name: "a"}, R: &EventAtom{Name: "b"}, Bound: 7},
+		&Nexttime{F: &BoolConst{V: true}},
+		&Eventually{F: &EventAtom{Name: "a"}, Bound: Unbounded},
+		&Always{F: &Not{F: &EventAtom{Name: "a"}}, Bound: 12},
+		&Cmp{Op: value.EQ, L: &Const{V: value.NewTuple(value.NewInt(1), value.NewString("x"))}, R: &Var{Name: "y"}},
+		&Member{
+			Elems: []Term{&Var{Name: "p"}, &Const{V: value.NewInt(3)}},
+			Rel:   &Const{V: value.NewRelation([][]value.Value{{value.NewInt(1), value.NewInt(2)}})},
+		},
+		&Cmp{
+			Op: value.GT,
+			L: &Agg{
+				Fn:     AggMax,
+				Q:      &Agg{Fn: AggCount, Q: &Call{Fn: "item", Args: []Term{&Const{V: value.NewString("a")}}}, Sample: &EventAtom{Name: "tick"}, Window: 5},
+				Sample: &EventAtom{Name: "day"},
+				Start:  &EventAtom{Name: "open"},
+				Window: Unbounded,
+			},
+			R: &Const{V: value.NewFloat(2.5)},
+		},
+		&Executed{
+			Rule:    "r9",
+			Args:    []Term{&Neg{X: &Var{Name: "x"}}},
+			TimeArg: &Var{Name: "t"},
+		},
+	}
+	for _, f := range cases {
+		g := roundTrip(t, f)
+		if !Equal(f, g) {
+			t.Errorf("round trip changed %s: got %s", f, g)
+		}
+	}
+}
+
+func TestCodecAggStartForcesUnboundedWindow(t *testing.T) {
+	// A corrupted wire node carrying both a start formula and a window must
+	// decode to the starting-formula form (Window = Unbounded), matching the
+	// Agg invariant that Window >= 0 requires Start == nil.
+	n := &wireNode{
+		K:      "agg",
+		Name:   "sum",
+		Q:      &wireNode{K: "var", Name: "x"},
+		Sample: &wireNode{K: "event", Name: "s"},
+		Start:  &wireNode{K: "event", Name: "b"},
+		Window: 30,
+	}
+	raw, err := json.Marshal(&wireNode{K: "cmp", Op: int(value.GT), L: n, R: &wireNode{K: "const", V: json.RawMessage(`{"int":0}`)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := DecodeFormula(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := f.(*Cmp).L.(*Agg)
+	if agg.Window != Unbounded || agg.Start == nil {
+		t.Fatalf("want start form with unbounded window, got window=%d start=%v", agg.Window, agg.Start)
+	}
+}
+
+func TestCodecErrors(t *testing.T) {
+	bad := []string{
+		`{"k":"nope"}`,
+		`{"k":"agg","name":"median","q":{"k":"var","name":"x"},"sample":{"k":"bool","b":true}}`,
+		`{"k":"cmp","l":{"k":"const","v":{"wat":1}},"r":{"k":"var","name":"x"}}`,
+		`{"k":"since","l":{"k":"bool","b":true}}`,
+		`not json`,
+	}
+	for _, src := range bad {
+		if _, err := DecodeFormula(json.RawMessage(src)); err == nil {
+			t.Errorf("decode %s: want error, got nil", src)
+		}
+	}
+}

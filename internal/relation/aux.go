@@ -164,6 +164,72 @@ func (a *Aux) Intervals(row []value.Value) [][2]int64 {
 	return out
 }
 
+// IntervalRow is one interval row in snapshot form: a tuple valid during
+// [Start, End), with End = TEndMax while the interval is still open. The
+// durability subsystem (internal/persist) stores these per tracked item.
+type IntervalRow struct {
+	Tuple []value.Value
+	Start int64
+	End   int64
+}
+
+// SnapshotRows returns the retained interval rows in capture order plus
+// the capture watermark; RestoreRows inverts it on a fresh Aux.
+func (a *Aux) SnapshotRows() (rows []IntervalRow, lastCapture int64, captured bool) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	rows = make([]IntervalRow, len(a.rows))
+	for i, r := range a.rows {
+		cp := make([]value.Value, len(r.tuple))
+		copy(cp, r.tuple)
+		rows[i] = IntervalRow{Tuple: cp, Start: r.tstart, End: r.tend}
+	}
+	return rows, a.lastCapture, a.captured
+}
+
+// RestoreRows replaces the relation's contents with snapshot rows. Rows
+// must satisfy the schema and at most one open interval may exist per
+// tuple; row order is preserved so AsOf ordering survives recovery.
+func (a *Aux) RestoreRows(rows []IntervalRow, lastCapture int64, captured bool) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	next := make([]auxRow, 0, len(rows))
+	open := make(map[string]int)
+	for i, r := range rows {
+		if err := a.schema.checkTuple(r.Tuple); err != nil {
+			return fmt.Errorf("relation: restore row %d: %w", i, err)
+		}
+		if r.End != TEndMax && r.Start >= r.End {
+			return fmt.Errorf("relation: restore row %d: empty interval [%d, %d)", i, r.Start, r.End)
+		}
+		cp := make([]value.Value, len(r.Tuple))
+		copy(cp, r.Tuple)
+		if r.End == TEndMax {
+			k := rowKey(cp)
+			if _, dup := open[k]; dup {
+				return fmt.Errorf("relation: restore row %d: duplicate open interval for tuple %v", i, r.Tuple)
+			}
+			open[k] = len(next)
+		}
+		next = append(next, auxRow{tuple: cp, tstart: r.Start, tend: r.End})
+	}
+	a.rows = next
+	a.open = open
+	a.lastCapture = lastCapture
+	a.captured = captured
+	return nil
+}
+
+// SnapshotRows exposes the underlying interval rows for persistence.
+func (s *ScalarAux) SnapshotRows() ([]IntervalRow, int64, bool) {
+	return s.aux.SnapshotRows()
+}
+
+// RestoreRows replaces the captured intervals from a snapshot.
+func (s *ScalarAux) RestoreRows(rows []IntervalRow, lastCapture int64, captured bool) error {
+	return s.aux.RestoreRows(rows, lastCapture, captured)
+}
+
 // ScalarAux captures a scalar-valued query over time. It is the common
 // case for bindings like [x <- price(IBM)]: one value per instant.
 type ScalarAux struct {

@@ -1,0 +1,153 @@
+package value
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// This file is the canonical kind-tagged JSON codec for values, shared by
+// the history exporter (internal/histio) and the rule-formula codec
+// (internal/ptl); both live above packages that import ptl, so the codec
+// has to sit at the bottom of the import graph. The grammar:
+//
+//	{"int": 3} {"float": 2.5} {"str": "x"} {"bool": true} {"null": true}
+//	{"tuple": [...]} {"rel": [[...], ...]}
+//
+// Non-finite floats are not representable as JSON numbers; they are
+// encoded as the strings "NaN", "+Inf" and "-Inf" under the float tag.
+
+// EncodeJSON renders the value in its kind-tagged JSON form.
+func EncodeJSON(v Value) (json.RawMessage, error) {
+	switch v.Kind() {
+	case Null:
+		return json.RawMessage(`{"null":true}`), nil
+	case Bool:
+		return jsonTag("bool", v.AsBool())
+	case Int:
+		return jsonTag("int", v.AsInt())
+	case Float:
+		f := v.AsFloat()
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return jsonTag("float", strconv.FormatFloat(f, 'g', -1, 64))
+		}
+		return jsonTag("float", f)
+	case String:
+		return jsonTag("str", v.AsString())
+	case Tuple:
+		elems := make([]json.RawMessage, v.TupleLen())
+		for i := 0; i < v.TupleLen(); i++ {
+			e, err := EncodeJSON(v.TupleAt(i))
+			if err != nil {
+				return nil, err
+			}
+			elems[i] = e
+		}
+		return jsonTag("tuple", elems)
+	case Relation:
+		rows := make([][]json.RawMessage, 0, v.NumRows())
+		for _, row := range v.Rows() {
+			enc := make([]json.RawMessage, len(row))
+			for i, cell := range row {
+				e, err := EncodeJSON(cell)
+				if err != nil {
+					return nil, err
+				}
+				enc[i] = e
+			}
+			rows = append(rows, enc)
+		}
+		return jsonTag("rel", rows)
+	default:
+		return nil, fmt.Errorf("value: unknown kind %s", v.Kind())
+	}
+}
+
+func jsonTag(name string, payload any) (json.RawMessage, error) {
+	return json.Marshal(map[string]any{name: payload})
+}
+
+// DecodeJSON parses a kind-tagged JSON value.
+func DecodeJSON(raw json.RawMessage) (Value, error) {
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return Value{}, fmt.Errorf("value: %w", err)
+	}
+	if len(m) != 1 {
+		return Value{}, fmt.Errorf("value: must have exactly one kind tag, got %d", len(m))
+	}
+	for kind, payload := range m {
+		switch kind {
+		case "null":
+			return Value{}, nil
+		case "bool":
+			var b bool
+			if err := json.Unmarshal(payload, &b); err != nil {
+				return Value{}, err
+			}
+			return NewBool(b), nil
+		case "int":
+			var i int64
+			if err := json.Unmarshal(payload, &i); err != nil {
+				return Value{}, err
+			}
+			return NewInt(i), nil
+		case "float":
+			var f float64
+			if err := json.Unmarshal(payload, &f); err != nil {
+				// Non-finite floats are encoded as strings.
+				var s string
+				if serr := json.Unmarshal(payload, &s); serr != nil {
+					return Value{}, err
+				}
+				pf, perr := strconv.ParseFloat(s, 64)
+				if perr != nil {
+					return Value{}, fmt.Errorf("value: float %q: %w", s, perr)
+				}
+				return NewFloat(pf), nil
+			}
+			return NewFloat(f), nil
+		case "str":
+			var s string
+			if err := json.Unmarshal(payload, &s); err != nil {
+				return Value{}, err
+			}
+			return NewString(s), nil
+		case "tuple":
+			var elems []json.RawMessage
+			if err := json.Unmarshal(payload, &elems); err != nil {
+				return Value{}, err
+			}
+			out := make([]Value, len(elems))
+			for i, e := range elems {
+				v, err := DecodeJSON(e)
+				if err != nil {
+					return Value{}, err
+				}
+				out[i] = v
+			}
+			return NewTuple(out...), nil
+		case "rel":
+			var rows [][]json.RawMessage
+			if err := json.Unmarshal(payload, &rows); err != nil {
+				return Value{}, err
+			}
+			out := make([][]Value, len(rows))
+			for i, row := range rows {
+				out[i] = make([]Value, len(row))
+				for j, cell := range row {
+					v, err := DecodeJSON(cell)
+					if err != nil {
+						return Value{}, err
+					}
+					out[i][j] = v
+				}
+			}
+			return NewRelation(out), nil
+		default:
+			return Value{}, fmt.Errorf("value: unknown kind tag %q", kind)
+		}
+	}
+	return Value{}, fmt.Errorf("value: empty")
+}

@@ -1,0 +1,173 @@
+package vtime
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"ptlactive/internal/histio"
+	"ptlactive/internal/history"
+)
+
+// This file serializes a valid-time store for the durability subsystem:
+// the structural state — base database, the valid-time axis with its
+// updates and events, and the transaction table — round-trips exactly, so
+// CommittedAt and Collapsed views after recovery equal the uninterrupted
+// store's. Updates are stored both per state and per transaction because
+// the cross-transaction posting order is not reconstructible from either
+// side alone.
+
+// UpdateSnapshot is one retroactive write in wire form.
+type UpdateSnapshot struct {
+	Txn   int64           `json:"txn"`
+	Item  string          `json:"item"`
+	V     json.RawMessage `json:"v"`
+	Valid int64           `json:"valid"`
+}
+
+// StateSnapshot is one instant on the valid-time axis.
+type StateSnapshot struct {
+	TS      int64               `json:"ts"`
+	Updates []UpdateSnapshot    `json:"updates,omitempty"`
+	Events  [][]json.RawMessage `json:"events,omitempty"`
+}
+
+// TxnSnapshot is one transaction record; Updates are in posting order.
+type TxnSnapshot struct {
+	ID      int64            `json:"id"`
+	Status  int              `json:"status"`
+	Commit  int64            `json:"commit,omitempty"`
+	Updates []UpdateSnapshot `json:"updates,omitempty"`
+}
+
+// StoreSnapshot is the wire form of a whole store. Txns are in begin
+// order.
+type StoreSnapshot struct {
+	Base   map[string]json.RawMessage `json:"base"`
+	States []StateSnapshot            `json:"states"`
+	Txns   []TxnSnapshot              `json:"txns,omitempty"`
+	Now    int64                      `json:"now"`
+	Delta  int64                      `json:"delta"`
+}
+
+func encodeUpdates(ups []Update) ([]UpdateSnapshot, error) {
+	out := make([]UpdateSnapshot, 0, len(ups))
+	for _, u := range ups {
+		raw, err := histio.EncodeValue(u.V)
+		if err != nil {
+			return nil, fmt.Errorf("vtime: update %s: %w", u.Item, err)
+		}
+		out = append(out, UpdateSnapshot{Txn: u.Txn, Item: u.Item, V: raw, Valid: u.Valid})
+	}
+	return out, nil
+}
+
+func decodeUpdates(ups []UpdateSnapshot) ([]Update, error) {
+	out := make([]Update, 0, len(ups))
+	for _, u := range ups {
+		v, err := histio.DecodeValue(u.V)
+		if err != nil {
+			return nil, fmt.Errorf("vtime: update %s: %w", u.Item, err)
+		}
+		out = append(out, Update{Txn: u.Txn, Item: u.Item, V: v, Valid: u.Valid})
+	}
+	return out, nil
+}
+
+// Snapshot serializes the store's full structural state.
+func (s *Store) Snapshot() (*StoreSnapshot, error) {
+	items := map[string]json.RawMessage{}
+	for _, name := range s.base.Items() {
+		v, _ := s.base.Get(name)
+		raw, err := histio.EncodeValue(v)
+		if err != nil {
+			return nil, fmt.Errorf("vtime: base item %s: %w", name, err)
+		}
+		items[name] = raw
+	}
+	snap := &StoreSnapshot{Base: items, Now: s.now, Delta: s.delta}
+	for _, st := range s.states {
+		ups, err := encodeUpdates(st.updates)
+		if err != nil {
+			return nil, err
+		}
+		evs, err := histio.EncodeEvents(st.events)
+		if err != nil {
+			return nil, err
+		}
+		snap.States = append(snap.States, StateSnapshot{TS: st.ts, Updates: ups, Events: evs})
+	}
+	for _, id := range s.order {
+		rec := s.txns[id]
+		ups, err := encodeUpdates(rec.updates)
+		if err != nil {
+			return nil, err
+		}
+		snap.Txns = append(snap.Txns, TxnSnapshot{ID: rec.id, Status: int(rec.status), Commit: rec.commit, Updates: ups})
+	}
+	return snap, nil
+}
+
+// RestoreStore rebuilds a store from its snapshot, validating the
+// structural invariants a live store maintains.
+func RestoreStore(snap *StoreSnapshot) (*Store, error) {
+	if snap == nil {
+		return nil, fmt.Errorf("vtime: nil snapshot")
+	}
+	if len(snap.States) == 0 {
+		return nil, fmt.Errorf("vtime: snapshot has no states")
+	}
+	items, err := histio.DecodeItems(snap.Base)
+	if err != nil {
+		return nil, fmt.Errorf("vtime: base: %w", err)
+	}
+	s := &Store{
+		base:  history.NewDB(items),
+		txns:  map[int64]*txnRec{},
+		now:   snap.Now,
+		delta: snap.Delta,
+	}
+	for i, line := range snap.States {
+		if i > 0 && line.TS <= snap.States[i-1].TS {
+			return nil, fmt.Errorf("vtime: snapshot state %d: timestamp %d not increasing", i, line.TS)
+		}
+		ups, err := decodeUpdates(line.Updates)
+		if err != nil {
+			return nil, err
+		}
+		evs, err := histio.DecodeEvents(line.Events)
+		if err != nil {
+			return nil, err
+		}
+		s.states = append(s.states, vstate{ts: line.TS, updates: ups, events: evs})
+	}
+	for _, t := range snap.Txns {
+		if _, dup := s.txns[t.ID]; dup {
+			return nil, fmt.Errorf("vtime: snapshot: duplicate transaction %d", t.ID)
+		}
+		status := TxnStatus(t.Status)
+		switch status {
+		case Pending, Committed, Aborted:
+		default:
+			return nil, fmt.Errorf("vtime: snapshot: transaction %d has unknown status %d", t.ID, t.Status)
+		}
+		ups, err := decodeUpdates(t.Updates)
+		if err != nil {
+			return nil, err
+		}
+		s.txns[t.ID] = &txnRec{id: t.ID, status: status, commit: t.Commit, updates: ups}
+		s.order = append(s.order, t.ID)
+	}
+	// Every state-level update must reference a known transaction.
+	for _, st := range s.states {
+		for _, u := range st.updates {
+			if _, ok := s.txns[u.Txn]; !ok {
+				return nil, fmt.Errorf("vtime: snapshot: update at %d references unknown transaction %d", st.ts, u.Txn)
+			}
+		}
+	}
+	if !sort.SliceIsSorted(s.states, func(i, j int) bool { return s.states[i].ts < s.states[j].ts }) {
+		return nil, fmt.Errorf("vtime: snapshot states out of order")
+	}
+	return s, nil
+}

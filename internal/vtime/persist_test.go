@@ -1,0 +1,125 @@
+package vtime
+
+import (
+	"encoding/json"
+	"testing"
+
+	"ptlactive/internal/history"
+	"ptlactive/internal/value"
+)
+
+// driveStore builds a store with retroactive updates, an abort, and a
+// still-pending transaction — every structural feature a snapshot must
+// carry.
+func driveStore(t *testing.T) *Store {
+	t.Helper()
+	s := NewStore(history.EmptyDB().With("a", value.NewInt(0)), 0, 10)
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(s.Begin(1))
+	must(s.Post(1, "a", value.NewInt(5), 2, 3))
+	must(s.Commit(1, 4))
+	must(s.Begin(2))
+	must(s.Post(2, "a", value.NewInt(7), 1, 5)) // retroactive
+	must(s.Abort(2, 6))
+	must(s.Begin(3))
+	must(s.Post(3, "b", value.NewString("x"), 7, 8))
+	must(s.Commit(3, 9))
+	must(s.Begin(4))
+	must(s.Post(4, "a", value.NewInt(9), 9, 10)) // stays pending
+	return s
+}
+
+// historiesEqual compares two histories state by state.
+func historiesEqual(a, b *history.History) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i := 0; i < a.Len(); i++ {
+		sa, sb := a.At(i), b.At(i)
+		if sa.TS != sb.TS || !sa.DB.Equal(sb.DB) || sa.Events.Len() != sb.Events.Len() {
+			return false
+		}
+		for _, ev := range sa.Events.Events() {
+			if !sb.Events.Contains(ev) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestStoreSnapshotRoundTrip(t *testing.T) {
+	s := driveStore(t)
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round-trip through JSON like the on-disk format does.
+	blob, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded StoreSnapshot
+	if err := json.Unmarshal(blob, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	r, err := RestoreStore(&decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Now() != s.Now() || r.Delta() != s.Delta() || r.Complete() != s.Complete() {
+		t.Fatalf("restored now/delta/complete = %d/%d/%t, want %d/%d/%t",
+			r.Now(), r.Delta(), r.Complete(), s.Now(), s.Delta(), s.Complete())
+	}
+	for _, ts := range []int64{0, 2, 4, 6, 9, Infinity} {
+		if !historiesEqual(s.CommittedAt(ts), r.CommittedAt(ts)) {
+			t.Fatalf("CommittedAt(%d) diverged after restore", ts)
+		}
+	}
+	if !historiesEqual(s.Collapsed(), r.Collapsed()) {
+		t.Fatal("Collapsed diverged after restore")
+	}
+	// The restored store must keep operating: finish the pending txn in
+	// both and compare again.
+	for _, x := range []*Store{s, r} {
+		if err := x.Commit(4, 12); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !historiesEqual(s.CommittedAt(Infinity), r.CommittedAt(Infinity)) {
+		t.Fatal("post-restore commit diverged")
+	}
+}
+
+func TestRestoreStoreRejectsCorrupt(t *testing.T) {
+	good, err := driveStore(t).Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate := func(fn func(s *StoreSnapshot)) *StoreSnapshot {
+		blob, _ := json.Marshal(good)
+		var c StoreSnapshot
+		_ = json.Unmarshal(blob, &c)
+		fn(&c)
+		return &c
+	}
+	cases := map[string]*StoreSnapshot{
+		"nil":               nil,
+		"no states":         mutate(func(s *StoreSnapshot) { s.States = nil }),
+		"ts not increasing": mutate(func(s *StoreSnapshot) { s.States[1].TS = s.States[0].TS }),
+		"dup txn":           mutate(func(s *StoreSnapshot) { s.Txns = append(s.Txns, s.Txns[0]) }),
+		"bad status":        mutate(func(s *StoreSnapshot) { s.Txns[0].Status = 99 }),
+		"unknown txn":       mutate(func(s *StoreSnapshot) { s.Txns = s.Txns[1:] }),
+		"bad value":         mutate(func(s *StoreSnapshot) { s.Base["a"] = json.RawMessage(`{"wat":1}`) }),
+	}
+	for name, snap := range cases {
+		if _, err := RestoreStore(snap); err == nil {
+			t.Errorf("%s: want error, got nil", name)
+		}
+	}
+}

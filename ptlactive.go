@@ -234,6 +234,30 @@ type ConstraintError = adb.ConstraintError
 // NewEngine creates an engine.
 func NewEngine(cfg Config) *Engine { return adb.NewEngine(cfg) }
 
+// ---- Durability: snapshots, write-ahead log, crash recovery ----
+
+// Durability selects the engine's durability mode (see Config).
+type Durability = adb.Durability
+
+// Durability modes.
+const (
+	// DurabilityOff keeps all state in memory (the default).
+	DurabilityOff = adb.DurabilityOff
+	// DurabilityWAL logs every committed operation to a write-ahead log.
+	DurabilityWAL = adb.DurabilityWAL
+	// DurabilitySnapshot additionally writes a periodic snapshot and
+	// resets the log, bounding recovery time.
+	DurabilitySnapshot = adb.DurabilitySnapshot
+)
+
+// RecoveryInfo reports what Restore found and replayed.
+type RecoveryInfo = adb.RecoveryInfo
+
+// Restore opens a durable engine backed by dir, recovering from the
+// newest valid snapshot plus the write-ahead log tail. A fresh directory
+// yields a new engine whose operations are logged from the start.
+func Restore(cfg Config, dir string) (*Engine, error) { return adb.Restore(cfg, dir) }
+
 // ---- Temporal aggregates by rule rewriting (Section 6.1.1) ----
 
 // RewriteAggregates registers a trigger whose condition's aggregates are
