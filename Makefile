@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench race vet fmtcheck vulncheck verify tables
+.PHONY: build test bench race vet fmtcheck vulncheck stress verify tables
 
 build:
 	$(GO) build ./...
@@ -30,10 +30,18 @@ vulncheck:
 	else \
 		echo "vulncheck: govulncheck not installed, skipping"; fi
 
+# stress repeats the fault-isolation suite under the race detector: WAL
+# fault injection, degraded-mode seals, quarantine/revive, panic and
+# timeout sandboxing. -count=3 reruns catch flaky interleavings in the
+# timeout handshake and the parallel drain.
+stress:
+	$(GO) test -race -count=3 -run 'Fault|Degrad|Quarantine|Sandbox|Panic|Failpoint|Timeout|Budget' ./internal/adb ./internal/persist
+
 # verify is the full pre-merge tier: static checks plus the whole suite
 # under the race detector (the concurrent engine and the durability
-# layer's crash tests make -race load-bearing, not optional).
-verify: vet fmtcheck vulncheck race
+# layer's crash tests make -race load-bearing, not optional), then the
+# repeated fault-isolation stress pass.
+verify: vet fmtcheck vulncheck race stress
 
 tables:
 	$(GO) run ./cmd/benchtables

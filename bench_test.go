@@ -195,6 +195,46 @@ func BenchmarkE8ParallelSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkSweepWithSandbox prices the fault-isolation layer on the E8
+// parallel sweep (R=1000 eager rules): "plain" is the nil-action baseline
+// of BenchmarkE8ParallelSweep, "actions" routes every firing through the
+// sandbox's recover wrapper, and "governed" adds the full governance
+// surface (sweep budget, circuit breaker, action deadline) with no fault
+// ever occurring. The governed-minus-plain delta is the steady-state cost
+// of the robustness layer; it is expected to stay within a few percent,
+// since the budget check is one comparison per evaluator step and the
+// sandbox runs only on the workload's sparse firings.
+func BenchmarkSweepWithSandbox(b *testing.B) {
+	const rules, states = 1000, 200
+	workers := runtime.GOMAXPROCS(0)
+	arms := []struct {
+		name string
+		run  func() int64
+	}{
+		{"plain", func() int64 {
+			s, _ := experiments.RelevanceRunWorkers(rules, states, adb.Eager, workers)
+			return s
+		}},
+		{"actions", func() int64 {
+			s, _ := experiments.RelevanceRunGoverned(rules, states, adb.Eager, workers, false)
+			return s
+		}},
+		{"governed", func() int64 {
+			s, _ := experiments.RelevanceRunGoverned(rules, states, adb.Eager, workers, true)
+			return s
+		}},
+	}
+	for _, arm := range arms {
+		b.Run(arm.name, func(b *testing.B) {
+			var steps int64
+			for i := 0; i < b.N; i++ {
+				steps = arm.run()
+			}
+			b.ReportMetric(float64(steps), "eval-steps")
+		})
+	}
+}
+
 // BenchmarkE9TemporalActions measures the executed-predicate machinery
 // driving the Section-7 BUY-STOCK temporal action.
 func BenchmarkE9TemporalActions(b *testing.B) {

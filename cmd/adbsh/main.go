@@ -15,6 +15,8 @@
 //	                                     against the current history
 //	save                                 checkpoint: snapshot + reset the WAL
 //	recover                              close and reopen from disk (-data)
+//	health [<rule>]                      per-rule fault and quarantine state
+//	revive <rule>                        lift a rule's quarantine
 //
 // Values: integers, floats, or quoted strings. Example session:
 //
@@ -33,6 +35,12 @@
 // snapshot, and `recover` (or simply restarting adbsh with the same
 // -data) rebuilds the engine from disk. Replayed firings are printed
 // again during recovery.
+//
+// Fault isolation: action faults (panics, errors, timeouts) are printed
+// as FAULT lines and never stop the session. -max-failures sets the
+// per-rule circuit breaker (a rule with that many consecutive action
+// failures is quarantined until `revive`), -sweep-budget bounds evaluator
+// steps per sweep, and -action-timeout bounds each action's runtime.
 package main
 
 import (
@@ -43,6 +51,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"ptlactive"
 )
@@ -50,6 +59,9 @@ import (
 func main() {
 	workers := flag.Int("workers", 0, "worker pool size for rule evaluation (0 = all cores, 1 = sequential)")
 	dataDir := flag.String("data", "", "durable engine directory (write-ahead log + snapshots); empty = memory-only")
+	maxFailures := flag.Int("max-failures", 0, "quarantine a rule after this many consecutive action failures (0 = never)")
+	sweepBudget := flag.Int64("sweep-budget", 0, "max evaluator steps per sweep (0 = unlimited)")
+	actionTimeout := flag.Duration("action-timeout", 0, "per-action deadline (0 = none)")
 	flag.Parse()
 	in := os.Stdin
 	if flag.NArg() > 0 {
@@ -60,7 +72,14 @@ func main() {
 		defer fh.Close()
 		in = fh
 	}
-	sh := &shell{initial: map[string]ptlactive.Value{}, workers: *workers, dataDir: *dataDir}
+	sh := &shell{
+		initial:       map[string]ptlactive.Value{},
+		workers:       *workers,
+		dataDir:       *dataDir,
+		maxFailures:   *maxFailures,
+		sweepBudget:   *sweepBudget,
+		actionTimeout: *actionTimeout,
+	}
 	sc := bufio.NewScanner(in)
 	lineNo := 0
 	for sc.Scan() {
@@ -80,10 +99,13 @@ func main() {
 }
 
 type shell struct {
-	initial map[string]ptlactive.Value
-	workers int
-	dataDir string
-	eng     *ptlactive.Engine
+	initial       map[string]ptlactive.Value
+	workers       int
+	dataDir       string
+	maxFailures   int
+	sweepBudget   int64
+	actionTimeout time.Duration
+	eng           *ptlactive.Engine
 }
 
 // engine lazily creates the engine; items set before the first rule or
@@ -93,14 +115,20 @@ type shell struct {
 func (s *shell) engine() *ptlactive.Engine {
 	if s.eng == nil {
 		cfg := ptlactive.Config{
-			Initial: s.initial,
-			Workers: s.workers,
+			Initial:         s.initial,
+			Workers:         s.workers,
+			MaxRuleFailures: s.maxFailures,
+			SweepBudget:     s.sweepBudget,
+			ActionTimeout:   s.actionTimeout,
 			OnFiring: func(f ptlactive.Firing) {
 				if len(f.Binding) > 0 {
 					fmt.Printf("FIRE %s at %d %v\n", f.Rule, f.Time, f.Binding)
 				} else {
 					fmt.Printf("FIRE %s at %d\n", f.Rule, f.Time)
 				}
+			},
+			OnRuleFault: func(f ptlactive.RuleFault) {
+				fmt.Printf("FAULT %s at %d: %v\n", f.Rule, f.Time, f.Err)
 			},
 		}
 		if s.dataDir == "" {
@@ -253,6 +281,40 @@ func (s *shell) exec(line string) error {
 			s.eng = nil
 		}
 		s.engine() // reopen from disk; prints the recovery summary
+		return nil
+	case "health":
+		eng := s.engine()
+		names := eng.RuleNames()
+		if rest != "" {
+			names = []string{rest}
+		}
+		for _, n := range names {
+			h, ok := eng.RuleHealth(n)
+			if !ok {
+				return fmt.Errorf("unknown rule %q", n)
+			}
+			status := "ok"
+			if h.Quarantined {
+				status = "QUARANTINED"
+			}
+			line := fmt.Sprintf("  %s: %s, %d consecutive / %d total failures", h.Rule, status, h.ConsecutiveFailures, h.TotalFailures)
+			if h.LastError != nil {
+				line += fmt.Sprintf(", last at %d: %v", h.LastFailureAt, h.LastError)
+			}
+			fmt.Println(line)
+		}
+		if err := eng.Degraded(); err != nil {
+			fmt.Printf("  engine: DEGRADED: %v\n", err)
+		}
+		return nil
+	case "revive":
+		if rest == "" {
+			return errors.New("usage: revive <rule>")
+		}
+		if err := s.engine().ReviveRule(rest); err != nil {
+			return err
+		}
+		fmt.Printf("revived %s\n", rest)
 		return nil
 	case "export":
 		return s.engine().ExportHistory(os.Stdout)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -162,4 +163,47 @@ func TestShellExport(t *testing.T) {
 		`export`,
 	)
 	_ = sh
+}
+
+func TestShellHealthAndRevive(t *testing.T) {
+	sh := &shell{initial: map[string]ptlactive.Value{}, maxFailures: 1}
+	for _, line := range []string{
+		`item a 1`,
+		`trigger t :: @hit`,
+		`emit 1 @hit`,
+	} {
+		if err := sh.exec(line); err != nil {
+			t.Fatalf("%q: %v", line, err)
+		}
+	}
+	// Shell triggers have nil actions, so nothing can fail; quarantine a
+	// rule through the engine to exercise the commands against real state.
+	if err := sh.eng.AddTrigger("bad", `@hit`, func(ctx *ptlactive.ActionContext) error {
+		return errors.New("nope")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.exec(`emit 2 @hit`); err != nil {
+		t.Fatal(err)
+	}
+	if got := sh.eng.QuarantinedRules(); len(got) != 1 || got[0] != "bad" {
+		t.Fatalf("QuarantinedRules = %v", got)
+	}
+	for _, line := range []string{`health`, `health bad`, `revive bad`} {
+		if err := sh.exec(line); err != nil {
+			t.Fatalf("%q: %v", line, err)
+		}
+	}
+	if got := sh.eng.QuarantinedRules(); len(got) != 0 {
+		t.Fatalf("still quarantined after revive: %v", got)
+	}
+	if err := sh.exec(`health nosuch`); err == nil {
+		t.Error("health of unknown rule should fail")
+	}
+	if err := sh.exec(`revive nosuch`); err == nil {
+		t.Error("revive of unknown rule should fail")
+	}
+	if err := sh.exec(`revive`); err == nil {
+		t.Error("revive without a rule should fail")
+	}
 }

@@ -6,6 +6,7 @@
 package adb
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -13,6 +14,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ptlactive/internal/core"
 	"ptlactive/internal/event"
@@ -62,6 +64,11 @@ type ActionContext struct {
 	Binding core.Binding
 	// FiredAt is the timestamp of the state satisfying the condition.
 	FiredAt int64
+
+	// ctx carries the Config.ActionTimeout deadline (Background without
+	// one); gate refuses engine mutations after the deadline fires.
+	ctx  context.Context
+	gate actionGate
 }
 
 // Param returns a bound condition parameter by name.
@@ -70,10 +77,26 @@ func (c *ActionContext) Param(name string) (value.Value, bool) {
 	return v, ok
 }
 
+// Context returns the action's deadline context (Config.ActionTimeout);
+// long-running actions should observe its cancellation. Without a timeout
+// it never cancels.
+func (c *ActionContext) Context() context.Context {
+	if c.ctx == nil {
+		return context.Background()
+	}
+	return c.ctx
+}
+
 // Exec runs a transaction on behalf of the action: updates are applied and
 // committed as a new system state (with the given extra events) at the
-// next clock tick.
+// next clock tick. After the action's deadline has expired the engine has
+// moved on, so the mutation is refused with ErrActionTimeout.
 func (c *ActionContext) Exec(updates map[string]value.Value, events ...event.Event) error {
+	c.gate.mu.Lock()
+	defer c.gate.mu.Unlock()
+	if c.gate.expired {
+		return &TimeoutError{Rule: c.Rule, Timeout: c.Engine.actionTimeout}
+	}
 	return c.Engine.execInternal(updates, events)
 }
 
@@ -120,6 +143,9 @@ type rule struct {
 	readsDB    bool
 	cursor     int // next history index this rule's evaluator will see
 	paramOrder []string
+	// health is the rule's isolated failure record (guarded by Engine.mu);
+	// health.quarantined suppresses the action, never the condition.
+	health ruleHealth
 }
 
 // Engine is an active database: a current database state, a growing
@@ -182,6 +208,16 @@ type Engine struct {
 	evalSteps int64
 	noFast    bool
 
+	// Fault isolation and resource governance (see health.go): the
+	// circuit-breaker threshold, the per-sweep step budget, the per-action
+	// deadline and the fault observer. degraded, once set, seals the
+	// engine read-only (guarded by mu; see seal).
+	maxFailures   int
+	sweepBudget   int64
+	actionTimeout time.Duration
+	onRuleFault   func(RuleFault)
+	degraded      error
+
 	// Durability subsystem (internal/persist); store is nil for memory
 	// engines. suppress is incremented around replay and action cascades so
 	// derived operations are not logged — replaying the external operation
@@ -192,7 +228,6 @@ type Engine struct {
 	suppress     int
 	walSince     int // records appended since the last snapshot
 	commitsSince int
-	walErr       error
 	recovery     RecoveryInfo
 	initRec      *persist.InitRecord
 	actions      map[string]Action
@@ -234,6 +269,28 @@ type Config struct {
 	// NoFsync disables the per-record WAL fsync; crash-equivalence tests
 	// and benchmarks use it, production durability should not.
 	NoFsync bool
+	// MaxRuleFailures trips the per-rule circuit breaker: after this many
+	// consecutive action failures (errors, panics, timeouts) the rule is
+	// quarantined — its condition stays incrementally maintained and its
+	// firings recorded, but the action is suppressed until ReviveRule.
+	// 0 disables automatic quarantine (failures are still recorded).
+	// Persisted in the init record: it shapes which actions run, so replay
+	// must use the original value.
+	MaxRuleFailures int
+	// SweepBudget bounds the evaluator steps one temporal-component
+	// invocation may spend; exceeding it yields ErrBudgetExceeded
+	// attributed to the rule that crossed the budget (by registration
+	// order, independent of Workers). 0 means unlimited. Persisted in the
+	// init record for replay equivalence.
+	SweepBudget int64
+	// ActionTimeout is the per-action deadline; an action exceeding it
+	// yields ErrActionTimeout attributed to its rule, and any later engine
+	// mutation through its ActionContext is refused. 0 means no deadline.
+	// Wall-clock dependent, so runtime-only (not persisted).
+	ActionTimeout time.Duration
+	// OnRuleFault, when set, observes every isolated rule fault (action
+	// error, panic, timeout, quarantine suppression) as it happens.
+	OnRuleFault func(RuleFault)
 	// Actions maps rule names to action functions for recovery: rules
 	// re-registered from the snapshot or log get their action here. For
 	// replay equivalence they must be the same deterministic actions the
@@ -260,15 +317,19 @@ func NewEngine(cfg Config) *Engine {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	e := &Engine{
-		reg:       reg,
-		hist:      history.New(),
-		db:        history.NewDB(cfg.Initial),
-		now:       cfg.Start,
-		index:     map[string]*rule{},
-		onFiring:  cfg.OnFiring,
-		cascadeTo: limit,
-		workers:   workers,
-		noFast:    cfg.DisableFastPath,
+		reg:           reg,
+		hist:          history.New(),
+		db:            history.NewDB(cfg.Initial),
+		now:           cfg.Start,
+		index:         map[string]*rule{},
+		onFiring:      cfg.OnFiring,
+		cascadeTo:     limit,
+		workers:       workers,
+		noFast:        cfg.DisableFastPath,
+		maxFailures:   cfg.MaxRuleFailures,
+		sweepBudget:   cfg.SweepBudget,
+		actionTimeout: cfg.ActionTimeout,
+		onRuleFault:   cfg.OnRuleFault,
 	}
 	if len(cfg.TrackItems) > 0 {
 		e.tracked = make(map[string]*relation.ScalarAux, len(cfg.TrackItems))
@@ -282,37 +343,77 @@ func NewEngine(cfg Config) *Engine {
 		sort.Strings(e.trackedNames)
 	}
 	// The init record reproduces this construction during recovery. Every
-	// value kind encodes, so the error path is impossible.
+	// value kind is supposed to encode; if one does not, the engine comes
+	// up sealed and the typed error surfaces at the first mutating call
+	// instead of panicking the process.
 	initial, err := histio.EncodeItems(cfg.Initial)
 	if err != nil {
-		panic(fmt.Sprintf("adb: internal: encode initial db: %v", err))
+		e.seal(&InternalError{Op: "encode initial db", Err: err})
 	}
 	e.initRec = &persist.InitRecord{
-		Initial:      initial,
-		Start:        cfg.Start,
-		TrackItems:   append([]string(nil), e.trackedNames...),
-		DisableFast:  cfg.DisableFastPath,
-		CascadeLimit: limit,
+		Initial:         initial,
+		Start:           cfg.Start,
+		TrackItems:      append([]string(nil), e.trackedNames...),
+		DisableFast:     cfg.DisableFastPath,
+		CascadeLimit:    limit,
+		MaxRuleFailures: cfg.MaxRuleFailures,
+		SweepBudget:     cfg.SweepBudget,
 	}
 	e.hist.MustAppend(history.SystemState{DB: e.db, Events: event.NewSet(), TS: cfg.Start})
-	e.capture(cfg.Start)
+	if err := e.capture(cfg.Start); err != nil {
+		e.seal(err)
+	}
 	return e
 }
 
 // capture records the tracked items' current values in their auxiliary
 // relations, in sorted item order so the capture sequence (and any
-// internal-error report) is deterministic.
-func (e *Engine) capture(ts int64) {
+// internal-error report) is deterministic. Captures are in commit order,
+// so a failure means a broken invariant: it is returned as a typed error
+// (and the caller seals the engine) rather than panicking.
+func (e *Engine) capture(ts int64) error {
 	for _, name := range e.trackedNames {
 		v, ok := e.db.Get(name)
 		if !ok {
 			v = value.Value{}
 		}
-		// Captures are in commit order; the error path is impossible here.
 		if err := e.tracked[name].Capture(ts, v); err != nil {
-			panic(fmt.Sprintf("adb: internal: aux capture %s: %v", name, err))
+			return &InternalError{Op: "aux capture " + name, Err: err}
 		}
 	}
+	return nil
+}
+
+// Degraded reports whether the engine is sealed into read-only degraded
+// mode (nil when healthy). A durability fault — a WAL append or fsync
+// error — or a broken internal invariant seals the engine: the in-memory
+// state stays intact and readable, mutating operations are refused with
+// the sealing error, and recovery from disk yields exactly the committed
+// prefix. Safe for concurrent use.
+func (e *Engine) Degraded() error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.degraded
+}
+
+// healthy is the mutator entry check: it returns the sealing error, if
+// any.
+func (e *Engine) healthy() error { return e.Degraded() }
+
+// seal transitions the engine into read-only degraded mode; the first
+// cause wins. It returns the sealing error for the caller to propagate.
+func (e *Engine) seal(cause error) error {
+	e.mu.Lock()
+	if e.degraded == nil {
+		if _, ok := cause.(*DegradedError); ok {
+			e.degraded = cause
+		} else {
+			e.degraded = &DegradedError{Cause: cause}
+		}
+	}
+	err := e.degraded
+	e.mu.Unlock()
+	return err
 }
 
 // ItemAsOf returns the value a tracked item had at time t (Null if the
@@ -433,6 +534,9 @@ func (e *Engine) AddConstraintFormula(name string, constraint ptl.Formula, opts 
 }
 
 func (e *Engine) add(name string, condition ptl.Formula, action Action, isConstraint bool, opts ...RuleOption) error {
+	if err := e.healthy(); err != nil {
+		return err
+	}
 	if name == "" {
 		return fmt.Errorf("adb: empty rule name")
 	}
@@ -560,6 +664,9 @@ func (e *Engine) RuleNames() []string {
 // Emit appends an event-only system state at the given time and runs the
 // temporal component.
 func (e *Engine) Emit(ts int64, events ...event.Event) error {
+	if err := e.healthy(); err != nil {
+		return err
+	}
 	if len(events) == 0 {
 		return fmt.Errorf("adb: Emit needs at least one event")
 	}
@@ -647,8 +754,11 @@ func (t *Txn) Commit(ts int64) error {
 	if t.done {
 		return fmt.Errorf("adb: transaction %d already finished", t.id)
 	}
-	t.done = true
 	e := t.e
+	if err := e.healthy(); err != nil {
+		return err
+	}
+	t.done = true
 	txv := value.NewInt(t.id)
 	events := []event.Event{
 		event.New(event.AttemptsToCommit, txv),
@@ -724,7 +834,11 @@ func (t *Txn) Commit(ts int64) error {
 			return err
 		}
 	}
-	e.capture(ts)
+	if err := e.capture(ts); err != nil {
+		// The auxiliary relations diverged from the history — an invariant
+		// violation; seal rather than run on inconsistent temporal state.
+		return e.seal(err)
+	}
 	e.resetCascade()
 	if err := e.sweep(); err != nil {
 		return err
@@ -821,8 +935,11 @@ func (t *Txn) Abort(ts int64) error {
 	if t.done {
 		return fmt.Errorf("adb: transaction %d already finished", t.id)
 	}
-	t.done = true
 	e := t.e
+	if err := e.healthy(); err != nil {
+		return err
+	}
+	t.done = true
 	st := history.SystemState{
 		DB:     e.db,
 		Events: event.NewSet(event.New(event.TransactionAbort, value.NewInt(t.id))),
@@ -864,6 +981,9 @@ func (e *Engine) execInternal(updates map[string]value.Value, events []event.Eve
 // events at the same time"; with Workers > 1 the batched catch-up is
 // sharded across the worker pool.
 func (e *Engine) Flush() error {
+	if err := e.healthy(); err != nil {
+		return err
+	}
 	// Logged before the work: a flush either happened or it didn't, and a
 	// mid-flush failure replays to the same failure.
 	if err := e.logRecord(&persist.Record{Kind: persist.KindFlush}); err != nil {
@@ -891,6 +1011,9 @@ func (e *Engine) Flush() error {
 // discarded. Firing.StateIndex values remain absolute across compactions
 // (see BaseIndex).
 func (e *Engine) Compact() int {
+	if e.healthy() != nil {
+		return 0
+	}
 	e.mu.Lock()
 	min := e.hist.Len() - 1 // always keep the newest state
 	for _, r := range e.rules {
@@ -920,7 +1043,8 @@ func (e *Engine) Compact() int {
 		e.tracked[name].Prune(horizon)
 	}
 	// Compaction moves base and the aux horizon, so it replays. A failed
-	// append is stashed (logRecord) and surfaces at Checkpoint/Close.
+	// append seals the engine (logRecord) and surfaces at the next
+	// operation or Close.
 	_ = e.logRecord(&persist.Record{Kind: persist.KindCompact})
 	return min
 }
@@ -938,6 +1062,9 @@ func (e *Engine) ExportHistory(w io.Writer) error {
 // as and when it is not needed" — rules bounding executed's age (e.g.
 // time - T <= 60) never need older records.
 func (e *Engine) PruneExecutions(t int64) int {
+	if e.healthy() != nil {
+		return 0
+	}
 	e.mu.Lock()
 	kept := e.execs[:0]
 	dropped := 0
@@ -1054,7 +1181,17 @@ func (e *Engine) advanceRule(r *rule, end int) advanceOutcome {
 	if !r.info.Temporal && r.sched == Relevant && out.cursor < end-1 {
 		out.cursor = end - 1
 	}
+	budget := e.sweepBudget
 	for out.cursor < end {
+		// The per-rule half of the sweep budget: a single rule's catch-up
+		// may spend at most SweepBudget steps per invocation. Checked here
+		// (not at merge) so a huge backlog stops early; the cursor stays at
+		// the stopping point, so the evaluator state remains consistent and
+		// the next sweep resumes with a fresh budget (progress, no hang).
+		if budget > 0 && out.steps >= budget {
+			out.err = &BudgetError{Rule: r.name, Steps: out.steps, Budget: budget}
+			return out
+		}
 		st := e.hist.At(out.cursor)
 		res, err := r.ev.StepResult(st)
 		out.steps++
@@ -1112,12 +1249,21 @@ func (e *Engine) advanceRules(rules []*rule, end int) error {
 	if workers > len(rules) {
 		workers = len(rules)
 	}
+	budget := e.sweepBudget
 	if workers <= 1 {
+		var used int64
 		for _, r := range rules {
 			out := e.advanceRule(r, end)
 			e.apply(r, out)
 			if out.err != nil {
 				return out.err
+			}
+			// The cumulative half of the sweep budget: total steps across
+			// the invocation, accumulated in rule order so the offending
+			// rule is the same at every worker count.
+			used += out.steps
+			if budget > 0 && used > budget {
+				return &BudgetError{Rule: r.name, Steps: used, Budget: budget}
 			}
 		}
 		return nil
@@ -1140,18 +1286,30 @@ func (e *Engine) advanceRules(rules []*rule, end int) error {
 	}
 	wg.Wait()
 	var firstErr error
+	var used int64
 	for i, r := range rules {
 		e.apply(r, outs[i])
 		if outs[i].err != nil && firstErr == nil {
 			firstErr = outs[i].err
 		}
+		used += outs[i].steps
+		if budget > 0 && used > budget && firstErr == nil {
+			firstErr = &BudgetError{Rule: r.name, Steps: used, Budget: budget}
+		}
 	}
 	return firstErr
 }
 
-// drainActions executes queued actions; actions may commit transactions,
-// which append states and queue further firings (bounded by the cascade
-// limit).
+// drainActions executes queued actions inside the per-rule sandbox;
+// actions may commit transactions, which append states and queue further
+// firings (bounded by the cascade limit).
+//
+// A failing action — an error, a recovered panic, an exceeded deadline —
+// is an isolated per-rule fault: it is recorded in the rule's health (and
+// counts toward quarantine), the failed firing is not entered in the
+// executed-predicate log, and the drain continues with the remaining
+// firings, so no other rule's behavior is perturbed. Only engine-level
+// failures (the cascade limit, a sealed engine) abort the drain.
 func (e *Engine) drainActions() error {
 	for len(e.pending) > 0 {
 		f := e.pending[0]
@@ -1161,20 +1319,29 @@ func (e *Engine) drainActions() error {
 			e.recordExecution(r, f, f.Time)
 			continue
 		}
+		if e.isQuarantined(r) {
+			// Condition maintained, firing recorded, action suppressed.
+			e.mu.RLock()
+			h := r.health
+			e.mu.RUnlock()
+			e.reportFault(r.name, f.Time, &QuarantineError{Rule: r.name, Failures: h.consecutive, Cause: h.lastErr})
+			continue
+		}
 		e.cascade++
 		if e.cascade > e.cascadeTo {
 			return fmt.Errorf("adb: action cascade exceeded %d firings (rule %s)", e.cascadeTo, f.Rule)
 		}
-		ctx := &ActionContext{Engine: e, Rule: f.Rule, Binding: f.Binding, FiredAt: f.Time}
 		// Operations the action runs are cascade-derived: replaying the
 		// external operation that fired it re-derives them, so they must
 		// not be logged themselves.
 		e.suppress++
-		err := r.action(ctx)
+		err := e.runAction(r, f)
 		e.suppress--
 		if err != nil {
-			return fmt.Errorf("adb: action of %s: %w", f.Rule, err)
+			e.recordFailure(r, f.Time, err)
+			continue
 		}
+		e.recordSuccess(r)
 		e.recordExecution(r, f, e.now)
 	}
 	return nil

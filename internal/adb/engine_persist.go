@@ -71,17 +71,16 @@ func (e *Engine) logging() bool {
 }
 
 // logRecord appends one record, counting it toward the next checkpoint.
-// The first append failure is also stashed so int-returning operations
-// (Compact, PruneExecutions) can surface it at the next Checkpoint/Close.
+// An append or fsync failure means the durability contract is broken: the
+// engine seals into read-only degraded mode (the in-memory state stays
+// intact and readable; recovery from disk yields the committed prefix)
+// and the sealing error is returned, ErrDegraded-wrapped.
 func (e *Engine) logRecord(rec *persist.Record) error {
 	if !e.logging() {
 		return nil
 	}
 	if _, err := e.store.Append(rec); err != nil {
-		if e.walErr == nil {
-			e.walErr = err
-		}
-		return err
+		return e.seal(err)
 	}
 	e.walSince++
 	return nil
@@ -128,8 +127,8 @@ func (e *Engine) Checkpoint() error {
 	if e.store == nil {
 		return fmt.Errorf("adb: Checkpoint requires a durable engine (use Restore)")
 	}
-	if e.walErr != nil {
-		return e.walErr
+	if err := e.healthy(); err != nil {
+		return err
 	}
 	// The checkpoint's own compaction is part of the snapshot, not an
 	// operation to replay.
@@ -163,15 +162,16 @@ func (e *Engine) SaveSnapshot(w io.Writer) error {
 }
 
 // Close releases the durability store (no-op for memory engines) and
-// surfaces any WAL write failure stashed by int-returning operations.
+// surfaces the sealing error of a degraded engine, so a fault noted by an
+// int-returning operation (Compact, PruneExecutions) is never silent.
 func (e *Engine) Close() error {
 	var err error
 	if e.store != nil {
 		err = e.store.Close()
 		e.store = nil
 	}
-	if e.walErr != nil {
-		return e.walErr
+	if deg := e.Degraded(); deg != nil {
+		return deg
 	}
 	return err
 }
@@ -361,6 +361,12 @@ func engineFromInit(cfg Config, init *persist.InitRecord) (*Engine, error) {
 		TrackItems:      init.TrackItems,
 		DisableFastPath: init.DisableFast,
 		Workers:         cfg.Workers,
+		// Behavior-shaping governance knobs come from the init record (like
+		// Initial and Start); wall-clock and observer knobs are runtime-only.
+		MaxRuleFailures: init.MaxRuleFailures,
+		SweepBudget:     init.SweepBudget,
+		ActionTimeout:   cfg.ActionTimeout,
+		OnRuleFault:     cfg.OnRuleFault,
 	})
 	e.actions = cfg.Actions
 	return e, nil

@@ -351,3 +351,120 @@ func TestConcurrentReaderStress(t *testing.T) {
 	close(done)
 	wg.Wait()
 }
+
+// TestParallelPanicIsolationEquivalence composes the sandbox with the
+// determinism property: a rule whose action alternately panics and errors
+// (and is eventually quarantined) rides along with the random rule set,
+// constraints included. The faulting rule must not perturb anything —
+// Workers=4 stays byte-identical to Workers=1, and with the chaos rule's
+// own firings filtered out, the run is byte-identical to an engine that
+// never had the rule — while both engines quarantine and revive it at the
+// same point.
+func TestParallelPanicIsolationEquivalence(t *testing.T) {
+	const seed, rules, states = 4242, 4, 40
+	p := randomEngineParams(seed, rules, true)
+	ops := randomOps(seed*31, rules, states, 0)
+
+	// Baseline: the same random run without the chaos rule.
+	base := NewEngine(p.config(1))
+	p.register(t, base)
+	var baseAborts []string
+	for _, op := range ops {
+		if name := applyOp(t, base, op); name != "" {
+			baseAborts = append(baseAborts, name)
+		}
+	}
+
+	type run struct {
+		e      *Engine
+		calls  int
+		aborts []string
+	}
+	mkRun := func(workers int) *run {
+		r := &run{}
+		cfg := p.config(workers)
+		cfg.MaxRuleFailures = 3
+		r.e = NewEngine(cfg)
+		p.register(t, r.e)
+		// Registered after the random set, so the existing rules keep their
+		// registration order. Gated on ev0, which the op mix emits routinely.
+		if err := r.e.AddTrigger("chaos", `@ev0`, func(ctx *ActionContext) error {
+			r.calls++
+			if r.calls%2 == 1 {
+				panic(fmt.Sprintf("chaos %d", r.calls))
+			}
+			return fmt.Errorf("chaos %d", r.calls)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for _, op := range ops {
+			if name := applyOp(t, r.e, op); name != "" {
+				r.aborts = append(r.aborts, name)
+			}
+		}
+		return r
+	}
+	seq, par := mkRun(1), mkRun(4)
+
+	// Worker-count equivalence of the full faulting run.
+	if !firingsEqual(seq.e.Firings(), par.e.Firings()) {
+		t.Fatalf("firings diverge between worker counts:\n seq %v\n par %v", seq.e.Firings(), par.e.Firings())
+	}
+	// EvalSteps is not compared: with constraints, the sequential abort
+	// path short-circuits where the parallel path evaluates all
+	// constraints (the documented divergence — see DESIGN.md).
+	if seq.e.Now() != par.e.Now() || !seq.e.DB().Equal(par.e.DB()) {
+		t.Fatal("engine state diverges between worker counts")
+	}
+	if !reflect.DeepEqual(seq.aborts, par.aborts) {
+		t.Fatalf("abort sequences diverge: %v vs %v", seq.aborts, par.aborts)
+	}
+	if seq.calls != par.calls {
+		t.Fatalf("chaos action invoked %d times sequentially, %d in parallel", seq.calls, par.calls)
+	}
+	if seq.calls == 0 {
+		t.Fatal("chaos rule never fired; the property was not exercised")
+	}
+
+	for _, r := range []*run{seq, par} {
+		// Isolation: dropping the chaos firings reproduces the baseline.
+		var others []Firing
+		for _, f := range r.e.Firings() {
+			if f.Rule != "chaos" {
+				others = append(others, f)
+			}
+		}
+		if !firingsEqual(others, base.Firings()) {
+			t.Fatalf("chaos rule perturbed other rules' firings:\n got %v\nwant %v", others, base.Firings())
+		}
+		if !r.e.DB().Equal(base.DB()) || r.e.Now() != base.Now() {
+			t.Fatal("chaos rule perturbed the database or clock")
+		}
+		if !reflect.DeepEqual(r.aborts, baseAborts) {
+			t.Fatalf("chaos rule perturbed constraint aborts: %v vs %v", r.aborts, baseAborts)
+		}
+
+		// Both engines trip the breaker at the same point and can revive.
+		h, ok := r.e.RuleHealth("chaos")
+		if !ok || !h.Quarantined {
+			t.Fatalf("chaos not quarantined: %+v", h)
+		}
+		if h.TotalFailures != 3 {
+			t.Fatalf("chaos failed %d times, want exactly MaxRuleFailures=3 then suppression", h.TotalFailures)
+		}
+		// Failure 3 (odd) was a panic, so the recorded cause is the sandbox's.
+		if !errors.Is(h.LastError, ErrActionPanic) {
+			t.Fatalf("LastError = %v, want the recovered panic", h.LastError)
+		}
+		before := r.calls
+		if err := r.e.ReviveRule("chaos"); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.e.Emit(r.e.Now()+1, event.New("ev0")); err != nil {
+			t.Fatalf("Emit after revive: %v", err)
+		}
+		if r.calls != before+1 {
+			t.Fatalf("revived action invoked %d times, want %d", r.calls, before+1)
+		}
+	}
+}

@@ -1,0 +1,317 @@
+package adb
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"ptlactive/internal/event"
+	"ptlactive/internal/value"
+)
+
+// sortedFirings orders firings by (rule, time) for set comparison; within
+// one rule this equals the firing order, so per-rule subsequences are
+// compared exactly.
+func sortedFirings(fs []Firing) []Firing {
+	out := append([]Firing(nil), fs...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rule != out[j].Rule {
+			return out[i].Rule < out[j].Rule
+		}
+		return out[i].Time < out[j].Time
+	})
+	return out
+}
+
+// fireOnce emits one @hit state, which fires every rule gated on @hit.
+func fireOnce(t *testing.T, e *Engine, ts int64) {
+	t.Helper()
+	if err := e.Emit(ts, event.New("hit")); err != nil {
+		t.Fatalf("Emit(%d): %v", ts, err)
+	}
+}
+
+// TestActionPanicIsolated is the sandbox property: a panicking action is
+// recovered into a typed per-rule fault, the sweep completes, and the
+// other rules' actions run exactly as if the bad rule were absent.
+func TestActionPanicIsolated(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			var goodRuns int
+			e := NewEngine(Config{
+				Initial: map[string]value.Value{"a": value.NewInt(1)},
+				Workers: workers,
+			})
+			if err := e.AddTrigger("bad", `@hit`, func(ctx *ActionContext) error {
+				panic("kaboom")
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if err := e.AddTrigger("good", `@hit`, func(ctx *ActionContext) error {
+				goodRuns++
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			fireOnce(t, e, 1)
+			fireOnce(t, e, 2)
+
+			if goodRuns != 2 {
+				t.Errorf("good action ran %d times, want 2", goodRuns)
+			}
+			// Both rules' conditions held at both states: four firings total.
+			if got := len(e.Firings()); got != 4 {
+				t.Errorf("%d firings recorded, want 4", got)
+			}
+			h, ok := e.RuleHealth("bad")
+			if !ok {
+				t.Fatal("no health for rule bad")
+			}
+			if h.TotalFailures != 2 || h.ConsecutiveFailures != 2 {
+				t.Errorf("bad health = %+v, want 2 total / 2 consecutive", h)
+			}
+			if !errors.Is(h.LastError, ErrActionPanic) {
+				t.Errorf("LastError = %v, want ErrActionPanic", h.LastError)
+			}
+			var pe *ActionPanicError
+			if !errors.As(h.LastError, &pe) || pe.Value != "kaboom" || len(pe.Stack) == 0 {
+				t.Errorf("panic detail lost: %+v", pe)
+			}
+			// The panicking action never succeeded, so it has no entry in the
+			// executed-predicate log; the good rule has both.
+			if got := len(e.Executions("bad", e.Now()+1)); got != 0 {
+				t.Errorf("bad has %d executions, want 0", got)
+			}
+			if got := len(e.Executions("good", e.Now()+1)); got != 2 {
+				t.Errorf("good has %d executions, want 2", got)
+			}
+		})
+	}
+}
+
+// TestQuarantineAndRevive is the circuit breaker: MaxRuleFailures
+// consecutive action failures quarantine the rule (condition maintained,
+// firings recorded, action suppressed), and ReviveRule re-arms it.
+func TestQuarantineAndRevive(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			var faults []RuleFault
+			calls := 0
+			fail := true
+			e := NewEngine(Config{
+				Initial:         map[string]value.Value{"a": value.NewInt(1)},
+				Workers:         workers,
+				MaxRuleFailures: 2,
+				OnRuleFault:     func(f RuleFault) { faults = append(faults, f) },
+			})
+			if err := e.AddTrigger("flaky", `@hit`, func(ctx *ActionContext) error {
+				calls++
+				if fail {
+					return errors.New("downstream unavailable")
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+
+			fireOnce(t, e, 1) // failure 1
+			fireOnce(t, e, 2) // failure 2: breaker trips
+			fireOnce(t, e, 3) // suppressed
+			fireOnce(t, e, 4) // suppressed
+
+			if calls != 2 {
+				t.Errorf("action invoked %d times, want 2 (quarantine suppresses the rest)", calls)
+			}
+			if got := len(e.Firings()); got != 4 {
+				t.Errorf("%d firings, want 4 — quarantine must not stop condition maintenance", got)
+			}
+			h, _ := e.RuleHealth("flaky")
+			if !h.Quarantined || h.ConsecutiveFailures != 2 || h.TotalFailures != 2 {
+				t.Errorf("health after trip = %+v", h)
+			}
+			if got := e.QuarantinedRules(); len(got) != 1 || got[0] != "flaky" {
+				t.Errorf("QuarantinedRules = %v, want [flaky]", got)
+			}
+			// Fault stream: 2 failures, the quarantine trip, 2 suppressions.
+			if len(faults) != 5 {
+				t.Fatalf("%d faults reported, want 5: %v", len(faults), faults)
+			}
+			if !errors.Is(faults[2].Err, ErrRuleQuarantined) {
+				t.Errorf("fault[2] = %v, want the quarantine trip", faults[2].Err)
+			}
+			for _, i := range []int{3, 4} {
+				if !errors.Is(faults[i].Err, ErrRuleQuarantined) {
+					t.Errorf("fault[%d] = %v, want a suppression fault", i, faults[i].Err)
+				}
+			}
+
+			// Revive with the downstream healthy again: the action runs.
+			fail = false
+			if err := e.ReviveRule("flaky"); err != nil {
+				t.Fatal(err)
+			}
+			h, _ = e.RuleHealth("flaky")
+			if h.Quarantined || h.ConsecutiveFailures != 0 {
+				t.Errorf("health after revive = %+v", h)
+			}
+			if h.TotalFailures != 2 {
+				t.Errorf("revive erased the lifetime total: %+v", h)
+			}
+			fireOnce(t, e, 5)
+			if calls != 3 {
+				t.Errorf("action invoked %d times after revive, want 3", calls)
+			}
+			if h, _ := e.RuleHealth("flaky"); h.Quarantined {
+				t.Error("rule re-quarantined after a success")
+			}
+			if err := e.ReviveRule("nosuch"); err == nil {
+				t.Error("ReviveRule accepted an unknown rule name")
+			}
+		})
+	}
+}
+
+// TestSweepBudget is resource governance: a sweep that exceeds
+// Config.SweepBudget fails with a typed, rule-attributed error — at any
+// worker count the same rule is blamed — and repeated invocations drain
+// the backlog incrementally (progress, never a hang), converging on the
+// exact firing sequence of an unbudgeted engine.
+func TestSweepBudget(t *testing.T) {
+	build := func(workers int, budget int64) *Engine {
+		e := NewEngine(Config{
+			Initial:     map[string]value.Value{"a": value.NewInt(1)},
+			Workers:     workers,
+			SweepBudget: budget,
+		})
+		for i := 0; i < 2; i++ {
+			// Temporal + Manual: every state must be replayed, only at Flush —
+			// so a backlog accumulates and the budget has something to govern.
+			if err := e.AddTrigger(fmt.Sprintf("m%d", i), `lasttime @go`, nil, WithScheduling(Manual)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for ts := int64(1); ts <= 4; ts++ {
+			if err := e.Emit(ts, event.New("go")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return e
+	}
+
+	ref := build(1, 0) // unbudgeted reference
+	if err := ref.Flush(); err != nil {
+		t.Fatalf("reference Flush: %v", err)
+	}
+
+	var blamed string
+	for _, workers := range []int{1, 4} {
+		e := build(workers, 3)
+		err := e.Flush()
+		if !errors.Is(err, ErrBudgetExceeded) {
+			t.Fatalf("workers=%d: first Flush err = %v, want ErrBudgetExceeded", workers, err)
+		}
+		var be *BudgetError
+		if !errors.As(err, &be) || be.Rule == "" {
+			t.Fatalf("workers=%d: budget error lacks rule attribution: %v", workers, err)
+		}
+		if blamed == "" {
+			blamed = be.Rule
+		} else if be.Rule != blamed {
+			t.Errorf("workers=%d blames %s, workers=1 blamed %s — attribution must be deterministic", workers, be.Rule, blamed)
+		}
+		// Drain: each Flush gets a fresh budget and advances the cursors, so
+		// a bounded number of retries reaches the fixpoint.
+		drained := false
+		for i := 0; i < 10; i++ {
+			if err := e.Flush(); err == nil {
+				drained = true
+				break
+			} else if !errors.Is(err, ErrBudgetExceeded) {
+				t.Fatalf("workers=%d: Flush err = %v", workers, err)
+			}
+		}
+		if !drained {
+			t.Fatalf("workers=%d: backlog not drained in 10 budgeted flushes", workers)
+		}
+		// A budget-interrupted sweep changes how firings interleave across
+		// the resumed flushes (with several workers, rules after the
+		// offending one have already advanced — the documented divergence of
+		// erroring sweeps), but no firing may be lost or invented: the sets
+		// must match, and each rule's own subsequence is identical because
+		// relative order within a rule never changes.
+		if got, want := sortedFirings(e.Firings()), sortedFirings(ref.Firings()); !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: budgeted firings diverge from reference:\n got %v\nwant %v", workers, got, want)
+		}
+	}
+}
+
+// TestActionTimeout is the deadline sandbox: an overrunning action yields
+// a typed timeout fault attributed to its rule, the sweep moves on, and a
+// late mutation attempt through the expired ActionContext is refused —
+// the runaway goroutine cannot perturb the engine after its deadline.
+func TestActionTimeout(t *testing.T) {
+	release := make(chan struct{})
+	late := make(chan error, 1)
+	e := NewEngine(Config{
+		Initial:       map[string]value.Value{"a": value.NewInt(1)},
+		ActionTimeout: 20 * time.Millisecond,
+	})
+	if err := e.AddTrigger("slow", `@hit`, func(ctx *ActionContext) error {
+		<-ctx.Context().Done() // the deadline context is visible to the action
+		<-release              // keep running well past the deadline
+		late <- ctx.Exec(map[string]value.Value{"a": value.NewInt(99)})
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddTrigger("fast", `@hit`, func(ctx *ActionContext) error {
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	fireOnce(t, e, 1) // returns once slow's deadline expires; slow still running
+
+	h, _ := e.RuleHealth("slow")
+	if !errors.Is(h.LastError, ErrActionTimeout) {
+		t.Errorf("LastError = %v, want ErrActionTimeout", h.LastError)
+	}
+	var te *TimeoutError
+	if !errors.As(h.LastError, &te) || te.Rule != "slow" {
+		t.Errorf("timeout not attributed: %v", h.LastError)
+	}
+	if hf, _ := e.RuleHealth("fast"); hf.TotalFailures != 0 {
+		t.Errorf("fast rule perturbed: %+v", hf)
+	}
+
+	// Let the runaway goroutine attempt its late mutation.
+	close(release)
+	if err := <-late; !errors.Is(err, ErrActionTimeout) {
+		t.Errorf("late Exec = %v, want refusal with ErrActionTimeout", err)
+	}
+	if v, _ := e.DB().Get("a"); !v.Equal(value.NewInt(1)) {
+		t.Errorf("late mutation reached the database: a = %v", v)
+	}
+}
+
+// TestActionErrorDoesNotFailSweep pins that a plain error return (no
+// panic, no timeout) is likewise isolated: Emit succeeds, health records
+// the failure, and no executed-predicate entry is made.
+func TestActionErrorDoesNotFailSweep(t *testing.T) {
+	e := NewEngine(Config{Initial: map[string]value.Value{"a": value.NewInt(1)}})
+	boom := errors.New("boom")
+	if err := e.AddTrigger("errs", `@hit`, func(ctx *ActionContext) error { return boom }); err != nil {
+		t.Fatal(err)
+	}
+	fireOnce(t, e, 1)
+	h, _ := e.RuleHealth("errs")
+	if !errors.Is(h.LastError, boom) || h.TotalFailures != 1 || h.LastFailureAt != 1 {
+		t.Errorf("health = %+v, want the recorded boom at t=1", h)
+	}
+	if got := len(e.Executions("errs", e.Now()+1)); got != 0 {
+		t.Errorf("failed action has %d executions, want 0", got)
+	}
+}

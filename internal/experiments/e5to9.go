@@ -378,6 +378,52 @@ func RelevanceRunWorkers(rules, states int, sched adb.Scheduling, workers int) (
 	return eng.EvalSteps(), time.Since(start)
 }
 
+// RelevanceRunGoverned is the E8 kernel with trivial (non-nil) actions,
+// so every firing passes through the action sandbox. With governed set it
+// additionally enables the full resource-governance surface — a sweep
+// budget far above the workload's real step count, a circuit-breaker
+// threshold and a one-second action deadline — so the measured delta over
+// the plain run is the overhead of the recover wrapper, the budget checks
+// and the deadline machinery, not of any fault actually occurring.
+func RelevanceRunGoverned(rules, states int, sched adb.Scheduling, workers int, governed bool) (steps int64, dur time.Duration) {
+	cfg := adb.Config{
+		Initial: map[string]value.Value{"a": value.NewInt(1)},
+		Workers: workers,
+	}
+	if governed {
+		cfg.SweepBudget = 1 << 40
+		cfg.MaxRuleFailures = 3
+		cfg.ActionTimeout = time.Second
+	}
+	eng := adb.NewEngine(cfg)
+	act := func(ctx *adb.ActionContext) error { return nil }
+	for i := 0; i < rules; i++ {
+		cond := fmt.Sprintf(`@ev%d and item("a") > 0`, i)
+		if err := eng.AddTrigger(fmt.Sprintf("r%d", i), cond, act, adb.WithScheduling(sched)); err != nil {
+			panic(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(7))
+	start := time.Now()
+	for s := 0; s < states; s++ {
+		var ev event.Event
+		if rng.Intn(10) == 0 {
+			ev = event.New(fmt.Sprintf("ev%d", rng.Intn(rules)))
+		} else {
+			ev = event.New("noise")
+		}
+		if err := eng.Emit(eng.Now()+1, ev); err != nil {
+			panic(err)
+		}
+	}
+	if sched == adb.Manual {
+		if err := eng.Flush(); err != nil {
+			panic(err)
+		}
+	}
+	return eng.EvalSteps(), time.Since(start)
+}
+
 // E8RelevanceFiltering compares eager, relevance-filtered and batched
 // (manual flush) trigger scheduling.
 func E8RelevanceFiltering(quick bool) Table {

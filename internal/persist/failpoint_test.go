@@ -1,0 +1,113 @@
+package persist
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+// emitRecord builds a minimal emit record for fault tests.
+func emitRecord(ts int64) *Record {
+	return &Record{Kind: KindEmit, TS: ts, Events: [][]json.RawMessage{{json.RawMessage(`"e"`)}}}
+}
+
+// TestFailpointAppendFault injects a write fault: the append fails, the
+// log is poisoned, and reopening recovers exactly the records before the
+// fault — the injected half-frame is truncated as a torn tail.
+func TestFailpointAppendFault(t *testing.T) {
+	dir := t.TempDir()
+	st, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.DisableSync()
+	if _, err := st.Append(&Record{Kind: KindInit, Init: &InitRecord{Start: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Append(emitRecord(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	boom := errors.New("disk full")
+	st.SetFailpoint(func(op string, lsn int64) error {
+		if op == "append" && lsn == 3 {
+			return boom
+		}
+		return nil
+	})
+	if _, err := st.Append(emitRecord(2)); !errors.Is(err, boom) {
+		t.Fatalf("faulted append: got %v, want %v", err, boom)
+	}
+	// The log is poisoned: even with the failpoint cleared, appends refuse.
+	st.SetFailpoint(nil)
+	if _, err := st.Append(emitRecord(3)); !errors.Is(err, boom) {
+		t.Fatalf("append after fault: got %v, want poisoned %v", err, boom)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, res, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if res.TruncatedAt < 0 {
+		t.Fatalf("expected a torn tail from the half-written frame, TruncatedAt=%d", res.TruncatedAt)
+	}
+	if got := len(res.Tail); got != 2 {
+		t.Fatalf("recovered %d records, want the 2 before the fault", got)
+	}
+	if res.Tail[1].LSN != 2 {
+		t.Fatalf("last recovered LSN = %d, want 2", res.Tail[1].LSN)
+	}
+	// The store stays usable: the truncated log accepts the next LSN.
+	st2.DisableSync()
+	if lsn, err := st2.Append(emitRecord(2)); err != nil || lsn != 3 {
+		t.Fatalf("append after recovery: lsn=%d err=%v, want 3, nil", lsn, err)
+	}
+}
+
+// TestFailpointSyncFault injects an fsync fault: the append fails and
+// poisons the log, but the frame itself was fully written, so reopening
+// legitimately recovers it — the record may have reached disk, and replay
+// of a possibly-durable record is the safe direction.
+func TestFailpointSyncFault(t *testing.T) {
+	dir := t.TempDir()
+	st, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sync stays enabled: the "sync" failpoint only fires on the fsync path.
+	if _, err := st.Append(&Record{Kind: KindInit, Init: &InitRecord{Start: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("fsync: I/O error")
+	st.SetFailpoint(func(op string, lsn int64) error {
+		if op == "sync" && lsn == 2 {
+			return boom
+		}
+		return nil
+	})
+	if _, err := st.Append(emitRecord(1)); !errors.Is(err, boom) {
+		t.Fatalf("faulted append: got %v, want %v", err, boom)
+	}
+	if _, err := st.Append(emitRecord(2)); !errors.Is(err, boom) {
+		t.Fatalf("append after fault: got %v, want poisoned %v", err, boom)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, res, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if res.TruncatedAt >= 0 {
+		t.Fatalf("sync fault left a torn tail at %d, want a clean log", res.TruncatedAt)
+	}
+	if got := len(res.Tail); got != 2 {
+		t.Fatalf("recovered %d records, want 2 (the un-fsynced frame was fully written)", got)
+	}
+}

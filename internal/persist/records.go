@@ -41,6 +41,12 @@ type InitRecord struct {
 	TrackItems   []string                   `json:"track,omitempty"`
 	DisableFast  bool                       `json:"nofast,omitempty"`
 	CascadeLimit int                        `json:"cascade,omitempty"`
+	// MaxRuleFailures and SweepBudget shape which actions run and which
+	// sweeps fail, so replay must use the original values; both are
+	// omitted (and decode to "disabled") in logs written before they
+	// existed.
+	MaxRuleFailures int   `json:"maxfail,omitempty"`
+	SweepBudget     int64 `json:"budget,omitempty"`
 }
 
 // Record is one WAL entry. Kind selects which of the payload fields are

@@ -165,6 +165,10 @@ func (s *Store) LastLSN() int64 { return s.log.LastLSN() }
 // DisableSync turns off per-record fsync (tests and benchmarks).
 func (s *Store) DisableSync() { s.log.DisableSync() }
 
+// SetFailpoint installs (or clears, with nil) the WAL fault-injection
+// hook; see Failpoint.
+func (s *Store) SetFailpoint(fp Failpoint) { s.log.SetFailpoint(fp) }
+
 // SaveSnapshot atomically installs snap as the newest snapshot — temp
 // file, fsync, rename, directory fsync — stamps it with the current last
 // LSN, resets the WAL (those records are now covered) and removes older

@@ -36,6 +36,15 @@ const (
 	maxRecordLen = 1 << 26
 )
 
+// Failpoint injects storage faults for testing the engine's degraded
+// mode. It is consulted at op "append" (before the frame is written) and
+// op "sync" (after the write, before the fsync) with the LSN being
+// appended; a non-nil return injects the fault. An injected append fault
+// additionally leaves a partial frame on disk — exactly the torn image a
+// crash mid-write produces — so recovery's truncation path is exercised
+// end to end.
+type Failpoint func(op string, lsn int64) error
+
 // Log is an append-only write-ahead log backed by one file.
 type Log struct {
 	f    *os.File
@@ -43,7 +52,15 @@ type Log struct {
 	next int64 // next LSN to assign
 	size int64 // current file size in bytes
 	sync bool
+	fail Failpoint
+	// broken poisons the log after a failed append or fsync: the file tail
+	// is in an unknown state, so further appends could land after garbage
+	// and turn a clean torn tail into mid-log corruption.
+	broken error
 }
+
+// SetFailpoint installs (or clears, with nil) the fault-injection hook.
+func (l *Log) SetFailpoint(fp Failpoint) { l.fail = fp }
 
 // openLog opens (creating if needed) the WAL at path, positioned at size
 // for appending. next is the LSN the next append gets.
@@ -72,8 +89,13 @@ func (l *Log) DisableSync() { l.sync = false }
 func (l *Log) LastLSN() int64 { return l.next - 1 }
 
 // Append assigns the next LSN to rec, frames and checksums it, writes it
-// and (unless disabled) fsyncs. The assigned LSN is returned.
+// and (unless disabled) fsyncs. The assigned LSN is returned. After a
+// write or fsync failure the log is poisoned: every further Append fails
+// with the original error, because the file tail is in an unknown state.
 func (l *Log) Append(rec *Record) (int64, error) {
+	if l.broken != nil {
+		return 0, l.broken
+	}
 	rec.LSN = l.next
 	payload, err := json.Marshal(rec)
 	if err != nil {
@@ -87,12 +109,30 @@ func (l *Log) Append(rec *Record) (int64, error) {
 	binary.LittleEndian.PutUint32(buf[4:], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(buf[8:], crc32.ChecksumIEEE(payload))
 	copy(buf[headerLen:], payload)
+	if l.fail != nil {
+		if err := l.fail("append", rec.LSN); err != nil {
+			// Leave the torn image a crash mid-write produces.
+			if n := len(buf) / 2; n > 0 {
+				_, _ = l.f.Write(buf[:n])
+			}
+			l.broken = fmt.Errorf("persist: append: %w", err)
+			return 0, l.broken
+		}
+	}
 	if _, err := l.f.Write(buf); err != nil {
-		return 0, fmt.Errorf("persist: append: %w", err)
+		l.broken = fmt.Errorf("persist: append: %w", err)
+		return 0, l.broken
 	}
 	if l.sync {
+		if l.fail != nil {
+			if err := l.fail("sync", rec.LSN); err != nil {
+				l.broken = fmt.Errorf("persist: sync: %w", err)
+				return 0, l.broken
+			}
+		}
 		if err := l.f.Sync(); err != nil {
-			return 0, fmt.Errorf("persist: sync: %w", err)
+			l.broken = fmt.Errorf("persist: sync: %w", err)
+			return 0, l.broken
 		}
 	}
 	l.next++

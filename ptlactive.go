@@ -234,6 +234,52 @@ type ConstraintError = adb.ConstraintError
 // NewEngine creates an engine.
 func NewEngine(cfg Config) *Engine { return adb.NewEngine(cfg) }
 
+// ---- Fault isolation, resource governance, degradation ----
+
+// Sentinel errors of the fault-isolation layer; match with errors.Is.
+var (
+	// ErrRuleQuarantined reports a rule whose action the per-rule circuit
+	// breaker suppressed (Config.MaxRuleFailures).
+	ErrRuleQuarantined = adb.ErrRuleQuarantined
+	// ErrActionPanic reports a user action panic recovered by the sandbox.
+	ErrActionPanic = adb.ErrActionPanic
+	// ErrDegraded reports an engine sealed read-only after a durability
+	// fault or broken invariant; see Engine.Degraded.
+	ErrDegraded = adb.ErrDegraded
+	// ErrBudgetExceeded reports a sweep exceeding Config.SweepBudget.
+	ErrBudgetExceeded = adb.ErrBudgetExceeded
+	// ErrActionTimeout reports an action exceeding Config.ActionTimeout.
+	ErrActionTimeout = adb.ErrActionTimeout
+	// ErrInternal reports a broken engine invariant.
+	ErrInternal = adb.ErrInternal
+)
+
+// ActionPanicError carries a recovered action panic (value and stack).
+type ActionPanicError = adb.ActionPanicError
+
+// QuarantineError reports a firing whose action was suppressed by the
+// circuit breaker.
+type QuarantineError = adb.QuarantineError
+
+// DegradedError seals an engine read-only and carries the cause.
+type DegradedError = adb.DegradedError
+
+// BudgetError attributes an exceeded sweep budget to a rule.
+type BudgetError = adb.BudgetError
+
+// TimeoutError attributes an exceeded action deadline to a rule.
+type TimeoutError = adb.TimeoutError
+
+// InternalError reports a failure on a must-not-fail engine path.
+type InternalError = adb.InternalError
+
+// RuleHealth is the inspection view of a rule's failure record; see
+// Engine.RuleHealth, Engine.QuarantinedRules and Engine.ReviveRule.
+type RuleHealth = adb.RuleHealth
+
+// RuleFault is one isolated action fault, delivered to Config.OnRuleFault.
+type RuleFault = adb.RuleFault
+
 // ---- Durability: snapshots, write-ahead log, crash recovery ----
 
 // Durability selects the engine's durability mode (see Config).
