@@ -54,7 +54,7 @@ func main() {
 	// 3. Temporal action: on the downward crossing of 80, buy 50 shares,
 	// then every 10 minutes for an hour while the price stays below 80.
 	buy := func(ctx *ptlactive.ActionContext) error {
-		sh, _ := ctx.Engine.DB().Get("shares")
+		sh, _ := ctx.DB().Get("shares")
 		n := sh.AsInt() + 50
 		fmt.Printf("%6d  BUY: 50 shares (total %d)\n", ctx.FiredAt, n)
 		return ctx.Exec(map[string]ptlactive.Value{"shares": ptlactive.Int(n)})

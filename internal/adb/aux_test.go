@@ -19,7 +19,7 @@ func TestDelayedActionReadsFiringTimeValue(t *testing.T) {
 	})
 	var sawLive, sawAsOf float64
 	err := e.AddTrigger("spike", `item("price") > 150`, func(ctx *ActionContext) error {
-		live, _ := ctx.Engine.DB().Get("price")
+		live, _ := ctx.DB().Get("price")
 		sawLive = live.AsFloat()
 		asof, ok := ctx.AsOf("price")
 		if !ok {

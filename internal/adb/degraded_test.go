@@ -285,6 +285,52 @@ func TestDegradedOnFsyncFault(t *testing.T) {
 	}
 }
 
+// TestReviveRefusedWhenDegraded pins that ReviveRule is a mutator under
+// the degraded seal: once a durability fault seals the engine, a revive
+// is refused and the quarantine stays in place — a sealed engine cannot
+// diverge from its log by re-enabling suppressed actions it can no
+// longer record.
+func TestReviveRefusedWhenDegraded(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		Initial:         map[string]value.Value{"a": value.NewInt(1)},
+		Durability:      DurabilityWAL,
+		NoFsync:         true,
+		MaxRuleFailures: 1,
+	}
+	e, err := Restore(cfg, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("broken action")
+	if err := e.AddTrigger("flaky", `@hit`, func(ctx *ActionContext) error { return boom }); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Emit(1, event.New("hit")); err != nil { // one failure: quarantined
+		t.Fatal(err)
+	}
+	if got := e.QuarantinedRules(); len(got) != 1 {
+		t.Fatalf("QuarantinedRules = %v, want [flaky]", got)
+	}
+	fault := errors.New("injected write fault")
+	e.store.SetFailpoint(func(op string, lsn int64) error {
+		if op == "append" {
+			return fault
+		}
+		return nil
+	})
+	if err := e.Emit(2, event.New("hit")); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("Emit under fault = %v, want ErrDegraded", err)
+	}
+	if err := e.ReviveRule("flaky"); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("ReviveRule on sealed engine = %v, want ErrDegraded", err)
+	}
+	if got := e.QuarantinedRules(); len(got) != 1 || got[0] != "flaky" {
+		t.Fatalf("quarantine changed on a sealed engine: %v", got)
+	}
+	_ = e.Close()
+}
+
 // Compile-time check that the failpoint type is reachable from this
 // package the way operators would use it (engine tests reach the store
 // directly; external callers go through persist.Store.SetFailpoint).

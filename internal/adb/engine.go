@@ -57,14 +57,17 @@ type Firing struct {
 
 // ActionContext is passed to trigger actions. Actions run after the rule
 // sweep of the state that fired them; they may run further transactions
-// and emit events through it.
+// and emit events through it. The engine is reachable only through the
+// context's methods: every mutating path (Exec, Begin-transactions) is
+// guarded by the deadline gate, so a timed-out action's leaked goroutine
+// is refused instead of racing the resumed sweep.
 type ActionContext struct {
-	Engine  *Engine
 	Rule    string
 	Binding core.Binding
 	// FiredAt is the timestamp of the state satisfying the condition.
 	FiredAt int64
 
+	engine *Engine
 	// ctx carries the Config.ActionTimeout deadline (Background without
 	// one); gate refuses engine mutations after the deadline fires.
 	ctx  context.Context
@@ -95,10 +98,36 @@ func (c *ActionContext) Exec(updates map[string]value.Value, events ...event.Eve
 	c.gate.mu.Lock()
 	defer c.gate.mu.Unlock()
 	if c.gate.expired {
-		return &TimeoutError{Rule: c.Rule, Timeout: c.Engine.actionTimeout}
+		return &TimeoutError{Rule: c.Rule, Timeout: c.engine.actionTimeout}
 	}
-	return c.Engine.execInternal(updates, events)
+	return c.engine.execInternal(updates, events)
 }
+
+// Begin opens a transaction on behalf of the action, for multi-item
+// commits that Exec's one-shot form cannot express. The transaction is
+// bound to the action's deadline gate: Commit and Abort after the
+// deadline are refused with ErrActionTimeout.
+func (c *ActionContext) Begin() *Txn {
+	c.gate.mu.Lock()
+	defer c.gate.mu.Unlock()
+	if c.gate.expired {
+		return &Txn{
+			e:       c.engine,
+			updates: map[string]value.Value{},
+			deletes: map[string]bool{},
+			refused: &TimeoutError{Rule: c.Rule, Timeout: c.engine.actionTimeout},
+		}
+	}
+	tx := c.engine.Begin()
+	tx.owner = c
+	return tx
+}
+
+// DB returns the current database state (an immutable snapshot).
+func (c *ActionContext) DB() history.DBState { return c.engine.DB() }
+
+// Now returns the timestamp of the latest system state.
+func (c *ActionContext) Now() int64 { return c.engine.Now() }
 
 // AsOf returns the value a tracked item (Config.TrackItems) had at the
 // instant this firing's condition was satisfied. Actions run after the
@@ -106,7 +135,7 @@ func (c *ActionContext) Exec(updates map[string]value.Value, events ...event.Eve
 // scheduling — so the current database may have moved on; AsOf reads the
 // auxiliary relation instead.
 func (c *ActionContext) AsOf(item string) (value.Value, bool) {
-	return c.Engine.ItemAsOf(item, c.FiredAt)
+	return c.engine.ItemAsOf(item, c.FiredAt)
 }
 
 // Action is the action part of a trigger.
@@ -713,6 +742,11 @@ type Txn struct {
 	deletes map[string]bool
 	events  []event.Event
 	done    bool
+	// owner is set for transactions opened through ActionContext.Begin:
+	// Commit and Abort then run under the action's deadline gate. refused
+	// is set instead when the deadline had already expired at Begin.
+	owner   *ActionContext
+	refused error
 }
 
 // Begin opens a transaction. The begin event is recorded with the commit
@@ -745,6 +779,35 @@ func (t *Txn) Emit(events ...event.Event) *Txn {
 	return t
 }
 
+// gateCheck refuses a transaction whose owning action's deadline expired
+// and, for a live action-owned transaction, acquires the deadline gate so
+// the commit (or abort) cannot overlap the resumed sweep. The gate is
+// held on a nil return with a non-nil owner; gateRelease drops it. Error
+// returns never hold the gate.
+func (t *Txn) gateCheck() error {
+	if t.refused != nil {
+		t.done = true
+		return t.refused
+	}
+	if t.owner == nil {
+		return nil
+	}
+	t.owner.gate.mu.Lock()
+	if t.owner.gate.expired {
+		t.owner.gate.mu.Unlock()
+		t.done = true
+		return &TimeoutError{Rule: t.owner.Rule, Timeout: t.e.actionTimeout}
+	}
+	return nil
+}
+
+// gateRelease drops the deadline gate acquired by a successful gateCheck.
+func (t *Txn) gateRelease() {
+	if t.owner != nil {
+		t.owner.gate.mu.Unlock()
+	}
+}
+
 // Commit attempts to commit at the given time. Integrity constraints are
 // evaluated against the tentative commit state (the attempts_to_commit
 // event); on violation the transaction aborts: the database is unchanged,
@@ -754,6 +817,10 @@ func (t *Txn) Commit(ts int64) error {
 	if t.done {
 		return fmt.Errorf("adb: transaction %d already finished", t.id)
 	}
+	if err := t.gateCheck(); err != nil {
+		return err
+	}
+	defer t.gateRelease()
 	e := t.e
 	if err := e.healthy(); err != nil {
 		return err
@@ -935,6 +1002,10 @@ func (t *Txn) Abort(ts int64) error {
 	if t.done {
 		return fmt.Errorf("adb: transaction %d already finished", t.id)
 	}
+	if err := t.gateCheck(); err != nil {
+		return err
+	}
+	defer t.gateRelease()
 	e := t.e
 	if err := e.healthy(); err != nil {
 		return err
@@ -1188,7 +1259,10 @@ func (e *Engine) advanceRule(r *rule, end int) advanceOutcome {
 		// (not at merge) so a huge backlog stops early; the cursor stays at
 		// the stopping point, so the evaluator state remains consistent and
 		// the next sweep resumes with a fresh budget (progress, no hang).
-		if budget > 0 && out.steps >= budget {
+		// The comparison matches the cumulative check at the merge (strictly
+		// over budget errors), so exactly SweepBudget steps always pass and
+		// step budget+1 always trips, whichever check fires first.
+		if budget > 0 && out.steps > budget {
 			out.err = &BudgetError{Rule: r.name, Steps: out.steps, Budget: budget}
 			return out
 		}
@@ -1236,11 +1310,11 @@ func (e *Engine) apply(r *rule, out advanceOutcome) {
 // sequence, callbacks and step counts are byte-identical to sequential
 // evaluation regardless of worker count.
 //
-// Errors also surface first-by-rule-order. With one worker a failed rule
-// stops the loop with later rules unadvanced, exactly like the historical
-// sequential engine; with more workers later rules may already have
-// advanced when an earlier rule fails — their outcomes are still merged
-// (the evaluators have moved) and the earlier rule's error is returned.
+// Errors also surface first-by-rule-order, and a failed invocation still
+// advances every rule and merges every outcome: the engine state a
+// caller observes after the error — cursors, queued firings, step counts
+// — is identical at every worker count, so retrying (a later Flush) is
+// equivalent whether the failure happened serially or in parallel.
 func (e *Engine) advanceRules(rules []*rule, end int) error {
 	if len(rules) == 0 {
 		return nil
@@ -1249,49 +1323,40 @@ func (e *Engine) advanceRules(rules []*rule, end int) error {
 	if workers > len(rules) {
 		workers = len(rules)
 	}
-	budget := e.sweepBudget
-	if workers <= 1 {
-		var used int64
-		for _, r := range rules {
-			out := e.advanceRule(r, end)
-			e.apply(r, out)
-			if out.err != nil {
-				return out.err
-			}
-			// The cumulative half of the sweep budget: total steps across
-			// the invocation, accumulated in rule order so the offending
-			// rule is the same at every worker count.
-			used += out.steps
-			if budget > 0 && used > budget {
-				return &BudgetError{Rule: r.name, Steps: used, Budget: budget}
-			}
-		}
-		return nil
-	}
 	outs := make([]advanceOutcome, len(rules))
-	var next int64 = -1
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(atomic.AddInt64(&next, 1))
-				if i >= len(rules) {
-					return
+	if workers <= 1 {
+		for i, r := range rules {
+			outs[i] = e.advanceRule(r, end)
+		}
+	} else {
+		var next int64 = -1
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(atomic.AddInt64(&next, 1))
+					if i >= len(rules) {
+						return
+					}
+					outs[i] = e.advanceRule(rules[i], end)
 				}
-				outs[i] = e.advanceRule(rules[i], end)
-			}
-		}()
+			}()
+		}
+		wg.Wait()
 	}
-	wg.Wait()
 	var firstErr error
 	var used int64
+	budget := e.sweepBudget
 	for i, r := range rules {
 		e.apply(r, outs[i])
 		if outs[i].err != nil && firstErr == nil {
 			firstErr = outs[i].err
 		}
+		// The cumulative half of the sweep budget: total steps across the
+		// invocation, accumulated in rule order so the offending rule is
+		// the same at every worker count.
 		used += outs[i].steps
 		if budget > 0 && used > budget && firstErr == nil {
 			firstErr = &BudgetError{Rule: r.name, Steps: used, Budget: budget}

@@ -210,14 +210,22 @@ func (e *Engine) buildSnapshot() (*persist.EngineSnapshot, error) {
 		if err != nil {
 			return nil, fmt.Errorf("adb: snapshot rule %s: %w", r.name, err)
 		}
-		snap.Rules = append(snap.Rules, persist.RuleSnapshot{
-			Name:       r.name,
-			Cond:       cond,
-			Constraint: r.constraint,
-			Sched:      int(r.sched),
-			Cursor:     r.cursor,
-			Eval:       ev,
-		})
+		rs := persist.RuleSnapshot{
+			Name:        r.name,
+			Cond:        cond,
+			Constraint:  r.constraint,
+			Sched:       int(r.sched),
+			Cursor:      r.cursor,
+			Eval:        ev,
+			Quarantined: r.health.quarantined,
+			ConsecFails: r.health.consecutive,
+			TotalFails:  r.health.total,
+			LastFailAt:  r.health.lastAt,
+		}
+		if r.health.lastErr != nil {
+			rs.LastFailure = r.health.lastErr.Error()
+		}
+		snap.Rules = append(snap.Rules, rs)
 	}
 	for _, f := range e.firings {
 		binding, err := histio.EncodeItems(f.Binding)
@@ -445,6 +453,18 @@ func engineFromSnapshot(cfg Config, snap *persist.EngineSnapshot) (*Engine, erro
 			return nil, fmt.Errorf("adb: snapshot rule %s: %w", rs.Name, err)
 		}
 		r.cursor = rs.Cursor
+		// Health travels with the snapshot: a quarantined rule stays
+		// suppressed after recovery, and the failure run resumes where it
+		// stood — replay reproduces the original run's governance decisions.
+		r.health = ruleHealth{
+			quarantined: rs.Quarantined,
+			consecutive: rs.ConsecFails,
+			total:       rs.TotalFails,
+			lastAt:      rs.LastFailAt,
+		}
+		if rs.LastFailure != "" {
+			r.health.lastErr = errors.New(rs.LastFailure)
+		}
 	}
 
 	for _, f := range snap.Firings {
@@ -539,6 +559,8 @@ func (e *Engine) applyRecord(rec *persist.Record) (opErr, fatal error) {
 	case persist.KindPrune:
 		e.PruneExecutions(rec.Arg)
 		return nil, nil
+	case persist.KindRevive:
+		return e.ReviveRule(rec.Name), nil
 	}
 	return nil, fmt.Errorf("adb: replay LSN %d: unknown kind %q", rec.LSN, rec.Kind)
 }

@@ -187,7 +187,7 @@ func TestTemporalActionEveryTenMinutes(t *testing.T) {
 	// minutes for the next hour. r1 buys once; r2 repeats.
 	e := newTestEngine(t, map[string]value.Value{"price": value.NewFloat(100), "bought": value.NewInt(0)})
 	buy := func(ctx *ActionContext) error {
-		v, _ := ctx.Engine.DB().Get("bought")
+		v, _ := ctx.DB().Get("bought")
 		return ctx.Exec(map[string]value.Value{"bought": value.NewInt(v.AsInt() + 50)})
 	}
 	// r1: the condition edge (price drops below 60 having been above).
@@ -307,7 +307,7 @@ func TestCascadeLimit(t *testing.T) {
 	})
 	// Self-perpetuating rule: every update of n fires and updates n again.
 	err := e.AddTrigger("loop", `item("n") >= 0`, func(ctx *ActionContext) error {
-		v, _ := ctx.Engine.DB().Get("n")
+		v, _ := ctx.DB().Get("n")
 		return ctx.Exec(map[string]value.Value{"n": value.NewInt(v.AsInt() + 1)})
 	})
 	if err != nil {

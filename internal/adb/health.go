@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sync"
+
+	"ptlactive/internal/persist"
 )
 
 // RuleFault is one isolated action failure (or suppression), reported to
@@ -86,16 +88,25 @@ func (e *Engine) QuarantinedRules() []string {
 // ReviveRule re-arms a rule: the quarantine is lifted and the consecutive
 // failure count reset (the lifetime total and last error are kept for
 // forensics). Reviving a healthy rule just resets its failure run.
+//
+// Revival re-enables suppressed actions — a behavior-shaping mutation —
+// so on a durable engine it is written to the WAL and replayed at the
+// same point during recovery, and a degraded engine refuses it like any
+// other mutator.
 func (e *Engine) ReviveRule(name string) error {
+	if err := e.healthy(); err != nil {
+		return err
+	}
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	r, ok := e.index[name]
 	if !ok {
+		e.mu.Unlock()
 		return fmt.Errorf("adb: unknown rule %q", name)
 	}
 	r.health.quarantined = false
 	r.health.consecutive = 0
-	return nil
+	e.mu.Unlock()
+	return e.logRecord(&persist.Record{Kind: persist.KindRevive, Name: name})
 }
 
 // isQuarantined reads the breaker state under the lock (ReviveRule may be
@@ -148,7 +159,7 @@ func (e *Engine) reportFault(rule string, at int64, err error) {
 // refused, and the expiry handshake (the context mutex) guarantees no
 // mutation is in flight when control returns to the sweep.
 func (e *Engine) runAction(r *rule, f Firing) error {
-	ctx := &ActionContext{Engine: e, Rule: f.Rule, Binding: f.Binding, FiredAt: f.Time, ctx: context.Background()}
+	ctx := &ActionContext{engine: e, Rule: f.Rule, Binding: f.Binding, FiredAt: f.Time, ctx: context.Background()}
 	if e.actionTimeout <= 0 {
 		return e.invokeAction(r, ctx)
 	}

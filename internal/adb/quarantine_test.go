@@ -207,6 +207,7 @@ func TestSweepBudget(t *testing.T) {
 	}
 
 	var blamed string
+	var afterFail []Firing
 	for _, workers := range []int{1, 4} {
 		e := build(workers, 3)
 		err := e.Flush()
@@ -221,6 +222,14 @@ func TestSweepBudget(t *testing.T) {
 			blamed = be.Rule
 		} else if be.Rule != blamed {
 			t.Errorf("workers=%d blames %s, workers=1 blamed %s — attribution must be deterministic", workers, be.Rule, blamed)
+		}
+		// A failed sweep still advances and merges every rule, so the engine
+		// state after the error — here the recorded firings — is identical at
+		// every worker count, not just the error attribution.
+		if afterFail == nil {
+			afterFail = append([]Firing(nil), e.Firings()...)
+		} else if got := e.Firings(); !reflect.DeepEqual(got, afterFail) {
+			t.Errorf("workers=%d: state after failed Flush diverges from workers=1:\n got %v\nwant %v", workers, got, afterFail)
 		}
 		// Drain: each Flush gets a fresh budget and advances the cursors, so
 		// a bounded number of retries reaches the fixpoint.
@@ -237,11 +246,10 @@ func TestSweepBudget(t *testing.T) {
 			t.Fatalf("workers=%d: backlog not drained in 10 budgeted flushes", workers)
 		}
 		// A budget-interrupted sweep changes how firings interleave across
-		// the resumed flushes (with several workers, rules after the
-		// offending one have already advanced — the documented divergence of
-		// erroring sweeps), but no firing may be lost or invented: the sets
-		// must match, and each rule's own subsequence is identical because
-		// relative order within a rule never changes.
+		// the resumed flushes (rules after the attributed one have already
+		// advanced when the error surfaces), but no firing may be lost or
+		// invented: the sets must match, and each rule's own subsequence is
+		// identical because relative order within a rule never changes.
 		if got, want := sortedFirings(e.Firings()), sortedFirings(ref.Firings()); !reflect.DeepEqual(got, want) {
 			t.Errorf("workers=%d: budgeted firings diverge from reference:\n got %v\nwant %v", workers, got, want)
 		}
@@ -255,6 +263,7 @@ func TestSweepBudget(t *testing.T) {
 func TestActionTimeout(t *testing.T) {
 	release := make(chan struct{})
 	late := make(chan error, 1)
+	lateTx := make(chan error, 1)
 	e := NewEngine(Config{
 		Initial:       map[string]value.Value{"a": value.NewInt(1)},
 		ActionTimeout: 20 * time.Millisecond,
@@ -263,6 +272,9 @@ func TestActionTimeout(t *testing.T) {
 		<-ctx.Context().Done() // the deadline context is visible to the action
 		<-release              // keep running well past the deadline
 		late <- ctx.Exec(map[string]value.Value{"a": value.NewInt(99)})
+		tx := ctx.Begin() // transactions opened after expiry are refused too
+		tx.Set("a", value.NewInt(77))
+		lateTx <- tx.Commit(ctx.Now() + 1)
 		return nil
 	}); err != nil {
 		t.Fatal(err)
@@ -287,10 +299,13 @@ func TestActionTimeout(t *testing.T) {
 		t.Errorf("fast rule perturbed: %+v", hf)
 	}
 
-	// Let the runaway goroutine attempt its late mutation.
+	// Let the runaway goroutine attempt its late mutations.
 	close(release)
 	if err := <-late; !errors.Is(err, ErrActionTimeout) {
 		t.Errorf("late Exec = %v, want refusal with ErrActionTimeout", err)
+	}
+	if err := <-lateTx; !errors.Is(err, ErrActionTimeout) {
+		t.Errorf("late Commit = %v, want refusal with ErrActionTimeout", err)
 	}
 	if v, _ := e.DB().Get("a"); !v.Equal(value.NewInt(1)) {
 		t.Errorf("late mutation reached the database: a = %v", v)

@@ -1,6 +1,7 @@
 package adb
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -232,7 +233,7 @@ func TestRestoreTornTail(t *testing.T) {
 // the executed-predicate log.
 func TestRecoveryWithActionCascade(t *testing.T) {
 	bump := func(ctx *ActionContext) error {
-		n, _ := ctx.Engine.DB().Get("n")
+		n, _ := ctx.DB().Get("n")
 		return ctx.Exec(map[string]value.Value{"n": value.NewInt(n.AsInt() + 1)})
 	}
 	run := func(e *Engine) {
@@ -289,6 +290,147 @@ func TestRecoveryWithActionCascade(t *testing.T) {
 	}
 	if n, _ := e2.DB().Get("n"); n.AsInt() != 4 {
 		t.Fatalf("post-recovery cascade: n = %v, want 4", n)
+	}
+}
+
+// flakyAction fails while item "bad" is 1 and otherwise bumps "n" —
+// deterministic over the database, so replay re-derives the same failure
+// pattern.
+func flakyAction(ctx *ActionContext) error {
+	if v, _ := ctx.DB().Get("bad"); v.AsInt() == 1 {
+		return errors.New("downstream unavailable")
+	}
+	n, _ := ctx.DB().Get("n")
+	return ctx.Exec(map[string]value.Value{"n": value.NewInt(n.AsInt() + 1)})
+}
+
+// TestRecoveryPreservesRuleHealth pins that rule health is part of the
+// snapshot: after a checkpoint covers the failures that quarantined a
+// rule, recovery replays zero records — so the quarantine, the failure
+// counters and the forensic record must come from the snapshot itself,
+// and the recovered engine must keep suppressing the action.
+func TestRecoveryPreservesRuleHealth(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		Initial:         map[string]value.Value{"bad": value.NewInt(1), "n": value.NewInt(0)},
+		Durability:      DurabilityWAL,
+		NoFsync:         true,
+		MaxRuleFailures: 2,
+		Actions:         map[string]Action{"flaky": flakyAction},
+	}
+	e, err := Restore(cfg, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddTrigger("flaky", `@hit`, flakyAction); err != nil {
+		t.Fatal(err)
+	}
+	for _, ts := range []int64{1, 2} { // two failures: the breaker trips
+		if err := e.Emit(ts, event.New("hit")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, err := Restore(cfg, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	if rec := e2.Recovery(); rec.ReplayedRecords != 0 {
+		t.Fatalf("replayed %d records, want 0 — health must come from the snapshot", rec.ReplayedRecords)
+	}
+	h, ok := e2.RuleHealth("flaky")
+	if !ok {
+		t.Fatal("no health for rule flaky")
+	}
+	if !h.Quarantined || h.ConsecutiveFailures != 2 || h.TotalFailures != 2 || h.LastFailureAt != 2 {
+		t.Fatalf("recovered health = %+v, want quarantined with 2/2 failures at t=2", h)
+	}
+	if h.LastError == nil || h.LastError.Error() != "downstream unavailable" {
+		t.Fatalf("recovered LastError = %v, want the forensic text", h.LastError)
+	}
+	if got := e2.QuarantinedRules(); len(got) != 1 || got[0] != "flaky" {
+		t.Fatalf("QuarantinedRules = %v, want [flaky]", got)
+	}
+	// The quarantine keeps suppressing post-recovery: even with the
+	// downstream healthy again, the action must not run.
+	if err := e2.Exec(3, map[string]value.Value{"bad": value.NewInt(0)}, event.New("hit")); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := e2.DB().Get("n"); n.AsInt() != 0 {
+		t.Fatalf("quarantined action ran after recovery: n = %v", n)
+	}
+}
+
+// TestReviveReplayed pins that ReviveRule is WAL-logged: replay re-trips
+// the quarantine at the same point, then the revive record lifts it at
+// the same point, so actions that ran after the original revive run
+// during replay too.
+func TestReviveReplayed(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		Initial:         map[string]value.Value{"bad": value.NewInt(1), "n": value.NewInt(0)},
+		Durability:      DurabilityWAL,
+		NoFsync:         true,
+		MaxRuleFailures: 2,
+		Actions:         map[string]Action{"flaky": flakyAction},
+	}
+	e, err := Restore(cfg, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddTrigger("flaky", `@hit`, flakyAction); err != nil {
+		t.Fatal(err)
+	}
+	for _, ts := range []int64{1, 2} { // two failures: the breaker trips
+		if err := e.Emit(ts, event.New("hit")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Downstream healthy again, but the firing at t=3 is still suppressed.
+	if err := e.Exec(3, map[string]value.Value{"bad": value.NewInt(0)}, event.New("hit")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ReviveRule("flaky"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Emit(4, event.New("hit")); err != nil { // action runs: n=1
+		t.Fatal(err)
+	}
+	if n, _ := e.DB().Get("n"); n.AsInt() != 1 {
+		t.Fatalf("n = %v before crash, want 1", n)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, err := Restore(cfg, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	// Without the revive record, replay would keep the rule quarantined at
+	// t=4 and n would recover as 0.
+	if n, _ := e2.DB().Get("n"); n.AsInt() != 1 {
+		t.Fatalf("recovered n = %v, want 1 — the revive was not replayed", n)
+	}
+	h, _ := e2.RuleHealth("flaky")
+	if h.Quarantined || h.ConsecutiveFailures != 0 || h.TotalFailures != 2 {
+		t.Fatalf("recovered health = %+v, want revived with lifetime total 2", h)
+	}
+	// The recovered engine keeps running the action. (The revived action's
+	// own cascade committed at t=5, so the next external instant is 6.)
+	if err := e2.Emit(6, event.New("hit")); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := e2.DB().Get("n"); n.AsInt() != 2 {
+		t.Fatalf("post-recovery n = %v, want 2", n)
 	}
 }
 

@@ -225,14 +225,14 @@ func (r *rewriter) rewriteAgg(a *ptl.Agg) (ptl.Term, error) {
 	// the empty aggregate reads as undefined (Null), matching the direct
 	// semantics.
 	reset := func(ctx *adb.ActionContext) error {
-		tx := ctx.Engine.Begin()
+		tx := ctx.Begin()
 		tx.Set(sumItem, value.NewFloat(0))
 		tx.Set(cntItem, value.NewInt(0))
 		tx.Delete(avgItem)
 		// The start state is itself a sampling candidate: when the
 		// sampling formula holds at the same state, the accumulate rule
 		// (registered after this one) runs next and sees the reset values.
-		return tx.Commit(ctx.Engine.Now() + 1)
+		return tx.Commit(ctx.Now() + 1)
 	}
 	r1 := fmt.Sprintf("%s$reset%d", r.rule, r.n)
 	if err := r.eng.AddTriggerFormula(r1, a.Start, reset); err != nil {
@@ -242,14 +242,15 @@ func (r *rewriter) rewriteAgg(a *ptl.Agg) (ptl.Term, error) {
 	// r2: sampling formula -> accumulate. Samples before the first reset
 	// are ignored (the aggregate is undefined until phi holds), hence the
 	// presence check.
+	eng := r.eng
 	accumulate := func(ctx *adb.ActionContext) error {
-		db := ctx.Engine.DB()
+		db := ctx.DB()
 		s, ok := db.Get(sumItem)
 		if !ok {
 			return nil // not started yet
 		}
 		c, _ := db.Get(cntItem)
-		qv, err := evalGroundTerm(ctx.Engine, qTerm)
+		qv, err := evalGroundTerm(eng, qTerm)
 		if err != nil {
 			return err
 		}
@@ -261,11 +262,11 @@ func (r *rewriter) rewriteAgg(a *ptl.Agg) (ptl.Term, error) {
 		}
 		ns := value.NewFloat(s.AsFloat() + qv.AsFloat())
 		nc := value.NewInt(c.AsInt() + 1)
-		tx := ctx.Engine.Begin()
+		tx := ctx.Begin()
 		tx.Set(sumItem, ns)
 		tx.Set(cntItem, nc)
 		tx.Set(avgItem, value.NewFloat(ns.AsFloat()/float64(nc.AsInt())))
-		return tx.Commit(ctx.Engine.Now() + 1)
+		return tx.Commit(ctx.Now() + 1)
 	}
 	r2 := fmt.Sprintf("%s$accum%d", r.rule, r.n)
 	if err := r.eng.AddTriggerFormula(r2, a.Sample, accumulate); err != nil {
@@ -431,7 +432,7 @@ func InstallIndexed(eng *adb.Engine, spec IndexedSpec) error {
 		k := key.Key()
 		keys[k] = key
 		if spec.Fn != ptl.AggCount {
-			v, err := spec.Value(ctx.Engine, key)
+			v, err := spec.Value(eng, key)
 			if err != nil {
 				return err
 			}

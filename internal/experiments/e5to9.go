@@ -470,7 +470,7 @@ func TemporalActionRun(states int) (buys int64, dur time.Duration) {
 		},
 	})
 	buy := func(ctx *adb.ActionContext) error {
-		v, _ := ctx.Engine.DB().Get("bought")
+		v, _ := ctx.DB().Get("bought")
 		return ctx.Exec(map[string]value.Value{"bought": value.NewInt(v.AsInt() + 50)})
 	}
 	if err := eng.AddTrigger("buy_start",

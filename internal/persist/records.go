@@ -29,6 +29,10 @@ const (
 	KindCompact = "compact"
 	// KindPrune discards executed-predicate records older than Arg.
 	KindPrune = "prune"
+	// KindRevive lifts the named rule's quarantine (Engine.ReviveRule).
+	// Revival re-enables suppressed actions, so replay must re-apply it at
+	// the same point to reproduce the original run.
+	KindRevive = "revive"
 )
 
 // InitRecord carries the Config parameters that shape observable engine
@@ -83,7 +87,7 @@ type Record struct {
 // validKind reports whether k is a known record kind.
 func validKind(k string) bool {
 	switch k {
-	case KindInit, KindAddRule, KindExec, KindAbort, KindEmit, KindFlush, KindCompact, KindPrune:
+	case KindInit, KindAddRule, KindExec, KindAbort, KindEmit, KindFlush, KindCompact, KindPrune, KindRevive:
 		return true
 	}
 	return false
@@ -91,8 +95,11 @@ func validKind(k string) bool {
 
 // RuleSnapshot is one registered rule in snapshot form: its condition (the
 // engine-internal, possibly negated formula), registration parameters, the
-// history cursor and the compiled evaluator's incremental state — the
-// F_{g,i} registers whose boundedness Theorem 1 establishes.
+// history cursor, the compiled evaluator's incremental state — the
+// F_{g,i} registers whose boundedness Theorem 1 establishes — and the
+// rule's health record. Quarantine shapes which actions run, so recovery
+// from a snapshot must restore it or replay would re-run actions the
+// original engine suppressed.
 type RuleSnapshot struct {
 	Name       string          `json:"name"`
 	Cond       json.RawMessage `json:"cond"`
@@ -100,6 +107,15 @@ type RuleSnapshot struct {
 	Sched      int             `json:"sched,omitempty"`
 	Cursor     int             `json:"cursor"`
 	Eval       json.RawMessage `json:"eval"`
+
+	// Health fields. LastFailure keeps only the error text: typed error
+	// identity (errors.Is/As against the sandbox types) does not survive a
+	// snapshot, the forensic message does.
+	Quarantined bool   `json:"quarantined,omitempty"`
+	ConsecFails int    `json:"consecFails,omitempty"`
+	TotalFails  int    `json:"totalFails,omitempty"`
+	LastFailure string `json:"lastFailure,omitempty"`
+	LastFailAt  int64  `json:"lastFailAt,omitempty"`
 }
 
 // IntervalJSON is one auxiliary-relation interval row in wire form.
