@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench race vet fmtcheck vulncheck stress verify tables
+.PHONY: build test bench race vet fmtcheck vulncheck stress verify tables profile benchcheck bench-baselines
 
 build:
 	$(GO) build ./...
@@ -40,8 +40,27 @@ stress:
 # verify is the full pre-merge tier: static checks plus the whole suite
 # under the race detector (the concurrent engine and the durability
 # layer's crash tests make -race load-bearing, not optional), then the
-# repeated fault-isolation stress pass.
+# repeated fault-isolation stress pass. benchcheck is advisory (the
+# baselines are wall-clock numbers from the machine of record), so its
+# failure does not fail the tier.
 verify: vet fmtcheck vulncheck race stress
+	-$(MAKE) benchcheck
 
 tables:
 	$(GO) run ./cmd/benchtables
+
+# profile captures pprof CPU and heap profiles of the scheduling and
+# durability experiments; inspect with `go tool pprof cpu.prof`.
+profile:
+	$(GO) run ./cmd/benchtables -only E10,E12 -cpuprofile cpu.prof -memprofile mem.prof
+	@echo "wrote cpu.prof and mem.prof (go tool pprof cpu.prof)"
+
+# benchcheck re-runs the experiments behind the committed benchmark
+# baselines and reports any time column more than 20% over baseline.
+benchcheck:
+	$(GO) run ./cmd/benchcheck BENCH_sched.json BENCH_persist.json
+
+# bench-baselines regenerates the committed baselines on this machine.
+bench-baselines:
+	$(GO) run ./cmd/benchtables -only E12 -json BENCH_sched.json >/dev/null
+	$(GO) run ./cmd/benchtables -only E10 -json BENCH_persist.json >/dev/null

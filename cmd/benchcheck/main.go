@@ -1,0 +1,121 @@
+// Command benchcheck guards the committed benchmark baselines. It reads
+// one or more baseline JSON files written by `benchtables -json`
+// (BENCH_sched.json, BENCH_persist.json), re-runs exactly the experiments
+// whose tables appear in them, and compares every time-valued column
+// (headers containing "ms" or "us/"). A fresh value more than -tolerance
+// above the baseline (default 20%) is reported as a regression and the
+// exit status is 1; faster-than-baseline rows are reported as headroom.
+//
+//	go run ./cmd/benchcheck BENCH_sched.json BENCH_persist.json
+//	go run ./cmd/benchcheck -tolerance 50 BENCH_sched.json
+//
+// Wall-clock baselines are machine-dependent, so `make verify` runs this
+// as a non-fatal advisory step; regenerate a baseline on the machine of
+// record with `make bench-baselines`.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ptlactive/internal/experiments"
+)
+
+func main() {
+	tolerance := flag.Float64("tolerance", 20, "allowed slowdown over baseline, in percent")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchcheck [-tolerance pct] baseline.json...")
+		os.Exit(2)
+	}
+
+	runners := map[string]func(bool) experiments.Table{}
+	for _, e := range experiments.Catalog {
+		runners[strings.ToUpper(e.ID)] = e.Run
+	}
+
+	regressions := 0
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchcheck:", err)
+			os.Exit(2)
+		}
+		var baselines []experiments.Table
+		if err := json.Unmarshal(data, &baselines); err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %s: %v\n", path, err)
+			os.Exit(2)
+		}
+		for _, base := range baselines {
+			run, ok := runners[strings.ToUpper(base.ID)]
+			if !ok {
+				fmt.Printf("%s: %s: unknown experiment id, skipping\n", path, base.ID)
+				continue
+			}
+			fresh := run(false)
+			regressions += compare(path, base, fresh, *tolerance/100)
+		}
+	}
+	if regressions > 0 {
+		fmt.Printf("benchcheck: %d regression(s) beyond tolerance\n", regressions)
+		os.Exit(1)
+	}
+	fmt.Println("benchcheck: all time columns within tolerance")
+}
+
+// timeColumn reports whether a header labels a wall-clock measurement.
+func timeColumn(h string) bool {
+	h = strings.ToLower(h)
+	return strings.Contains(h, "ms") || strings.Contains(h, "us/")
+}
+
+// compare checks fresh against base row by row (keyed on the first
+// column's label) and returns the number of regressions found.
+func compare(path string, base, fresh experiments.Table, tol float64) int {
+	freshRows := map[string][]string{}
+	for _, row := range fresh.Rows {
+		if len(row) > 0 {
+			freshRows[row[0]] = row
+		}
+	}
+	bad := 0
+	for _, brow := range base.Rows {
+		if len(brow) == 0 {
+			continue
+		}
+		frow, ok := freshRows[brow[0]]
+		if !ok {
+			fmt.Printf("%s: %s[%s]: row missing from fresh run\n", path, base.ID, brow[0])
+			bad++
+			continue
+		}
+		for i, h := range base.Header {
+			if i >= len(brow) || i >= len(frow) || !timeColumn(h) {
+				continue
+			}
+			b, errB := strconv.ParseFloat(strings.TrimSpace(brow[i]), 64)
+			f, errF := strconv.ParseFloat(strings.TrimSpace(frow[i]), 64)
+			if errB != nil || errF != nil {
+				continue // "-" cells and ratio columns
+			}
+			// Sub-50us cells are scheduler noise; don't flag them.
+			if b < 0.05 {
+				continue
+			}
+			switch {
+			case f > b*(1+tol):
+				fmt.Printf("%s: %s[%s] %q regressed: %.2f -> %.2f (+%.0f%%)\n",
+					path, base.ID, brow[0], h, b, f, (f/b-1)*100)
+				bad++
+			case f < b*(1-tol):
+				fmt.Printf("%s: %s[%s] %q improved: %.2f -> %.2f (%.0f%%)\n",
+					path, base.ID, brow[0], h, b, f, (f/b-1)*100)
+			}
+		}
+	}
+	return bad
+}

@@ -1,7 +1,9 @@
 // Command benchtables regenerates every experiment table of
 // EXPERIMENTS.md (E1-E9, one per reproduced claim of the paper) and prints
 // them. Use -quick for reduced sweeps and -markdown for the format
-// EXPERIMENTS.md embeds.
+// EXPERIMENTS.md embeds. -only runs just the named experiments (the rest
+// are skipped, not merely hidden), and -cpuprofile/-memprofile capture
+// pprof profiles of the selected runs.
 //
 //	go run ./cmd/benchtables            # full sweeps, aligned text
 //	go run ./cmd/benchtables -quick
@@ -9,6 +11,7 @@
 //	go run ./cmd/benchtables -only E1,E7
 //	go run ./cmd/benchtables -only E8 -workers 4
 //	go run ./cmd/benchtables -only E10 -json BENCH_persist.json
+//	go run ./cmd/benchtables -only E12 -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
@@ -16,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"ptlactive/internal/experiments"
@@ -27,6 +32,8 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. E1,E7)")
 	workers := flag.Int("workers", 0, "worker pool for the parallel E8 columns (0 = all cores)")
 	jsonPath := flag.String("json", "", "also write the selected tables as JSON to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile taken after the runs to this file")
 	flag.Parse()
 
 	if *workers > 0 {
@@ -40,11 +47,24 @@ func main() {
 			want[id] = true
 		}
 	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	var selected []experiments.Table
-	for _, t := range experiments.All(*quick) {
-		if len(want) > 0 && !want[strings.ToUpper(t.ID)] {
+	for _, e := range experiments.Catalog {
+		if len(want) > 0 && !want[strings.ToUpper(e.ID)] {
 			continue
 		}
+		t := e.Run(*quick)
 		selected = append(selected, t)
 		if *markdown {
 			fmt.Println(t.Markdown())
@@ -52,15 +72,31 @@ func main() {
 			fmt.Println(t)
 		}
 	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fail(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fail(err)
+		}
+		f.Close()
+	}
+
 	if *jsonPath != "" {
 		data, err := json.MarshalIndent(selected, "", "  ")
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchtables:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "benchtables:", err)
-			os.Exit(1)
+			fail(err)
 		}
 	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchtables:", err)
+	os.Exit(1)
 }

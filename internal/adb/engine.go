@@ -175,6 +175,41 @@ type rule struct {
 	// health is the rule's isolated failure record (guarded by Engine.mu);
 	// health.quarantined suppresses the action, never the condition.
 	health ruleHealth
+
+	// Scheduling-index metadata (see readset.go). rs and class are fixed at
+	// registration; contiguous marks rules whose evaluator steps every
+	// state in order (temporal, Eager or Manual — never the non-temporal
+	// Relevant jump), the precondition for the dbUnchanged hint. hinted is
+	// ev when it supports hinted stepping.
+	rs         readSet
+	class      ruleClass
+	contiguous bool
+	hinted     core.HintedEvaluator
+	// wakeGen / dirtyGen are sweep-generation marks: sweepOnce stamps them
+	// through the event and item indexes so the assembly pass over the rule
+	// table costs O(1) per rule. Only the sweep goroutine touches them.
+	wakeGen  uint64
+	dirtyGen uint64
+	// Quiescent-replay memo (guarded by Engine.mu): the outcome of the last
+	// evaluation at a commit state. While every later commit leaves the
+	// rule's read set untouched, re-evaluating would reproduce exactly this
+	// outcome, so the sweep replays it instead. Persisted in snapshots so a
+	// recovered engine evaluates the same states the original did.
+	memoValid    bool
+	memoFired    bool
+	memoBindings []core.Binding
+}
+
+// dirtySet records which database items one history state changed relative
+// to its predecessor. known is false when the engine cannot tell (the
+// initial state, states restored from a snapshot); an unknown dirty set
+// disables every read-set refinement for that state but never changes
+// results. items is nil for states that change nothing (events, aborts);
+// it is a small slice, not a map — commits touch few items, and one slice
+// allocation per commit is the whole bookkeeping cost.
+type dirtySet struct {
+	known bool
+	items []string
 }
 
 // Engine is an active database: a current database state, a growing
@@ -208,6 +243,7 @@ type Engine struct {
 	index map[string]*rule
 
 	execs     []ptl.Execution
+	execIdx   map[string][]ptl.Execution // secondary index of execs by rule
 	firings   []Firing
 	onFiring  func(Firing)
 	nextTxn   int64
@@ -236,6 +272,19 @@ type Engine struct {
 	// stats for the E8 benchmark.
 	evalSteps int64
 	noFast    bool
+
+	// Read-set scheduling index (see readset.go). dirty runs parallel to
+	// hist: dirty[i] is what state i changed. eventIndex and itemIndex map
+	// event names and item names to the rules whose conditions mention
+	// them; sweepGen is the generation counter the indexes stamp into
+	// rule.wakeGen/dirtyGen. noIndex (Config.DisableReadSetIndex) keeps the
+	// historical coarse sweep, for the E12 ablation and recovery of logs
+	// written by it.
+	noIndex    bool
+	dirty      []dirtySet
+	eventIndex map[string][]*rule
+	itemIndex  map[string][]*rule
+	sweepGen   uint64
 
 	// Fault isolation and resource governance (see health.go): the
 	// circuit-breaker threshold, the per-sweep step budget, the per-action
@@ -282,6 +331,13 @@ type Config struct {
 	// DisableFastPath forces the general constraint-graph evaluator even
 	// for decomposable conditions; the A1 ablation uses it.
 	DisableFastPath bool
+	// DisableReadSetIndex forces the coarse Section-8 relevance filter:
+	// every database-reading rule is evaluated at every commit, with no
+	// event gating, quiescent replay or query-cache hints. Firings are
+	// identical either way; only the work differs. The E12 ablation uses
+	// it. Persisted in the init record: the setting shapes the evaluation
+	// step sequence, which recovery verification compares.
+	DisableReadSetIndex bool
 	// Workers bounds the worker pool the temporal component uses to
 	// evaluate independent rules concurrently during sweeps, flushes and
 	// constraint checks. 0 means GOMAXPROCS; 1 forces fully sequential
@@ -298,6 +354,13 @@ type Config struct {
 	// NoFsync disables the per-record WAL fsync; crash-equivalence tests
 	// and benchmarks use it, production durability should not.
 	NoFsync bool
+	// GroupCommit, when > 1, batches WAL appends: records are buffered and
+	// written+fsynced together every GroupCommit records (and on SyncWAL,
+	// checkpoints and Close). A crash loses at most the buffered suffix;
+	// the flushed prefix recovers exactly. Runtime-only (a durability
+	// latency/throughput trade, not behavior-shaping): the logged record
+	// sequence is identical at every batch size.
+	GroupCommit int
 	// MaxRuleFailures trips the per-rule circuit breaker: after this many
 	// consecutive action failures (errors, panics, timeouts) the rule is
 	// quarantined — its condition stays incrementally maintained and its
@@ -351,10 +414,14 @@ func NewEngine(cfg Config) *Engine {
 		db:            history.NewDB(cfg.Initial),
 		now:           cfg.Start,
 		index:         map[string]*rule{},
+		execIdx:       map[string][]ptl.Execution{},
 		onFiring:      cfg.OnFiring,
 		cascadeTo:     limit,
 		workers:       workers,
 		noFast:        cfg.DisableFastPath,
+		noIndex:       cfg.DisableReadSetIndex,
+		eventIndex:    map[string][]*rule{},
+		itemIndex:     map[string][]*rule{},
 		maxFailures:   cfg.MaxRuleFailures,
 		sweepBudget:   cfg.SweepBudget,
 		actionTimeout: cfg.ActionTimeout,
@@ -384,11 +451,15 @@ func NewEngine(cfg Config) *Engine {
 		Start:           cfg.Start,
 		TrackItems:      append([]string(nil), e.trackedNames...),
 		DisableFast:     cfg.DisableFastPath,
+		DisableIndex:    cfg.DisableReadSetIndex,
 		CascadeLimit:    limit,
 		MaxRuleFailures: cfg.MaxRuleFailures,
 		SweepBudget:     cfg.SweepBudget,
 	}
 	e.hist.MustAppend(history.SystemState{DB: e.db, Events: event.NewSet(), TS: cfg.Start})
+	// The initial state's delta from "before the engine existed" is not a
+	// meaningful dirty set; leave it unknown so no refinement applies.
+	e.dirty = append(e.dirty, dirtySet{})
 	if err := e.capture(cfg.Start); err != nil {
 		e.seal(err)
 	}
@@ -509,16 +580,37 @@ func (e *Engine) Workers() int { return e.workers }
 // Executions implements ptl.ExecLog over the engine's execution record.
 // Safe for concurrent use; the evaluation workers read it through this
 // method while no lock is held for writing.
+// The per-rule secondary index keeps the lookup proportional to the named
+// rule's own executions; the historical scan walked the whole log, which
+// made every executed(R, ...) atom O(total executions) per state.
 func (e *Engine) Executions(ruleName string, before int64) []ptl.Execution {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	var out []ptl.Execution
-	for _, ex := range e.execs {
-		if ex.Rule == ruleName && ex.Time < before {
+	for _, ex := range e.execIdx[ruleName] {
+		if ex.Time < before {
 			out = append(out, ex)
 		}
 	}
 	return out
+}
+
+// appendExecutionLocked appends to the execution log and its per-rule
+// index; the caller holds mu. execs stays the source of truth (snapshots
+// serialize it); execIdx is derived and rebuilt wherever execs is replaced
+// wholesale (restore, prune).
+func (e *Engine) appendExecutionLocked(ex ptl.Execution) {
+	e.execs = append(e.execs, ex)
+	e.execIdx[ex.Rule] = append(e.execIdx[ex.Rule], ex)
+}
+
+// rebuildExecIdxLocked rederives the per-rule index from execs; the caller
+// holds mu (or has exclusive access during construction).
+func (e *Engine) rebuildExecIdxLocked() {
+	e.execIdx = make(map[string][]ptl.Execution, len(e.execIdx))
+	for _, ex := range e.execs {
+		e.execIdx[ex.Rule] = append(e.execIdx[ex.Rule], ex)
+	}
 }
 
 // RuleOption configures a rule at registration.
@@ -612,6 +704,16 @@ func (e *Engine) add(name string, condition ptl.Formula, action Action, isConstr
 	for _, o := range opts {
 		o(r)
 	}
+	// Classification reads the scheduling, so it runs after the options.
+	r.rs = extractReadSet(info, e.reg)
+	r.class = classify(r)
+	if e.noIndex {
+		r.class = classExact
+	}
+	r.contiguous = r.info.Temporal || r.sched != Relevant
+	if h, ok := ev.(core.HintedEvaluator); ok {
+		r.hinted = h
+	}
 	// Encode the registration for the WAL before committing it, so an
 	// unencodable condition fails the whole registration.
 	var walRec *persist.Record
@@ -636,6 +738,16 @@ func (e *Engine) add(name string, condition ptl.Formula, action Action, isConstr
 	r.cursor = e.hist.Len() - 1
 	e.rules = append(e.rules, r)
 	e.index[name] = r
+	for n := range r.events {
+		e.eventIndex[n] = append(e.eventIndex[n], r)
+	}
+	if r.class == classQuiescent {
+		// Only quiescent rules consume dirty-hit marks; exact rules are
+		// evaluated whenever woken regardless.
+		for item := range r.rs.items {
+			e.itemIndex[item] = append(e.itemIndex[item], r)
+		}
+	}
 	e.mu.Unlock()
 	if walRec != nil {
 		return e.logRecord(walRec)
@@ -713,6 +825,7 @@ func (e *Engine) Emit(ts int64, events ...event.Event) error {
 		e.mu.Unlock()
 		return err
 	}
+	e.dirty = append(e.dirty, dirtySet{known: true})
 	e.now = ts
 	e.mu.Unlock()
 	if walRec != nil {
@@ -875,6 +988,7 @@ func (t *Txn) Commit(ts int64) error {
 			e.mu.Unlock()
 			return err
 		}
+		e.dirty = append(e.dirty, dirtySet{known: true})
 		e.now = ts
 		e.mu.Unlock()
 		if walRec != nil {
@@ -893,6 +1007,17 @@ func (t *Txn) Commit(ts int64) error {
 		e.mu.Unlock()
 		return err
 	}
+	d := dirtySet{known: true}
+	if n := len(t.updates) + len(t.deletes); n > 0 {
+		d.items = make([]string, 0, n)
+		for item := range t.updates {
+			d.items = append(d.items, item)
+		}
+		for item := range t.deletes {
+			d.items = append(d.items, item)
+		}
+	}
+	e.dirty = append(e.dirty, d)
 	e.db = tentative.DB
 	e.now = ts
 	e.mu.Unlock()
@@ -1021,6 +1146,7 @@ func (t *Txn) Abort(ts int64) error {
 		e.mu.Unlock()
 		return err
 	}
+	e.dirty = append(e.dirty, dirtySet{known: true})
 	e.now = ts
 	e.mu.Unlock()
 	if err := e.logRecord(&persist.Record{Kind: persist.KindAbort, Txn: t.id, TS: ts}); err != nil {
@@ -1101,6 +1227,7 @@ func (e *Engine) Compact() int {
 		trimmed.AppendUnchecked(e.hist.At(i))
 	}
 	e.hist = trimmed
+	e.dirty = append([]dirtySet(nil), e.dirty[min:]...)
 	e.base += min
 	for _, r := range e.rules {
 		r.cursor -= min
@@ -1147,6 +1274,9 @@ func (e *Engine) PruneExecutions(t int64) int {
 		kept = append(kept, ex)
 	}
 	e.execs = kept
+	if dropped > 0 {
+		e.rebuildExecIdxLocked()
+	}
 	e.mu.Unlock()
 	_ = e.logRecord(&persist.Record{Kind: persist.KindPrune, Arg: t})
 	return dropped
@@ -1180,28 +1310,156 @@ func (e *Engine) sweep() error {
 func (e *Engine) sweepOnce() error {
 	newest := e.hist.Len() - 1
 	st := e.hist.At(newest)
-	var jobs []*rule
+	if e.noIndex {
+		var jobs []*rule
+		for _, r := range e.rules {
+			if r.constraint {
+				// The constraint's own evaluator advances lazily (at commits
+				// and aborts); Txn.Commit catches it up before cloning anyway.
+				if st.Events.CommitCount() > 0 || len(st.Events.ByName(event.TransactionAbort)) > 0 {
+					jobs = append(jobs, r)
+				}
+				continue
+			}
+			switch r.sched {
+			case Eager:
+				jobs = append(jobs, r)
+			case Relevant:
+				if e.relevant(r, st) {
+					jobs = append(jobs, r)
+				}
+			case Manual:
+				// Only Flush advances.
+			}
+		}
+		return e.advanceRules(jobs, newest+1)
+	}
+	return e.sweepIndexed(newest, st)
+}
+
+// sweepJob is one rule's share of an indexed sweep: either a real
+// evaluator advance or a memo replay whose outcome is computed inline.
+type sweepJob struct {
+	r      *rule
+	replay bool
+}
+
+// sweepIndexed is the read-set refined sweep. It reproduces the wake
+// decisions of the coarse filter (relevant) exactly, then strengthens
+// them per rule class: gated rules woken only by a commit have their
+// evaluation skipped (the condition is provably false without their
+// events), and quiescent rules whose read set the commit left untouched
+// replay their memoized outcome. Firings, cursors and engine state are
+// byte-identical to the coarse sweep; only evaluator steps differ.
+//
+// The indexes turn the per-sweep cost into O(rules) pointer work plus
+// O(matching rules) for the event and dirty-item marks; the expensive
+// part — evaluator steps — is paid only by rules the state concerns.
+func (e *Engine) sweepIndexed(newest int, st history.SystemState) error {
+	end := newest + 1
+	commit := st.Events.CommitCount() > 0
+	aborted := len(st.Events.ByName(event.TransactionAbort)) > 0
+	e.sweepGen++
+	gen := e.sweepGen
+	for _, name := range st.Events.Names() {
+		for _, r := range e.eventIndex[name] {
+			r.wakeGen = gen
+		}
+	}
+	d := e.dirty[newest]
+	if commit && d.known {
+		for _, item := range d.items {
+			for _, r := range e.itemIndex[item] {
+				r.dirtyGen = gen
+			}
+		}
+	}
+	var jobs []sweepJob
+	var bumps, invalidate []*rule
 	for _, r := range e.rules {
 		if r.constraint {
-			// The constraint's own evaluator advances lazily (at commits
-			// and aborts); Txn.Commit catches it up before cloning anyway.
-			if st.Events.CommitCount() > 0 || len(st.Events.ByName(event.TransactionAbort)) > 0 {
-				jobs = append(jobs, r)
+			if commit || aborted {
+				jobs = append(jobs, sweepJob{r: r})
 			}
 			continue
 		}
 		switch r.sched {
 		case Eager:
-			jobs = append(jobs, r)
+			jobs = append(jobs, sweepJob{r: r})
 		case Relevant:
-			if e.relevant(r, st) {
-				jobs = append(jobs, r)
+			eventWake := r.wakeGen == gen
+			commitWake := r.readsDB && commit
+			alwaysWake := len(r.events) == 0 && !r.readsDB
+			if !eventWake && !commitWake && !alwaysWake {
+				continue
+			}
+			switch {
+			case r.class == classGated && !eventWake:
+				// Woken by the commit alone; with none of its events in
+				// the state the condition is provably false, so the only
+				// effect of evaluating — the cursor jump — is applied
+				// directly.
+				bumps = append(bumps, r)
+			case r.class == classQuiescent:
+				if r.cursor >= end {
+					continue
+				}
+				switch {
+				case !d.known || r.dirtyGen == gen || !r.memoValid:
+					// The memo goes stale the moment the rule is selected
+					// for re-evaluation: if the evaluation errors, a later
+					// clean commit must not replay the pre-change outcome.
+					invalidate = append(invalidate, r)
+					jobs = append(jobs, sweepJob{r: r})
+				case !r.memoFired:
+					// A non-firing memo replays to nothing but a cursor
+					// move, which is order-independent; skip the job
+					// machinery and batch it with the gated bumps.
+					bumps = append(bumps, r)
+				default:
+					jobs = append(jobs, sweepJob{r: r, replay: true})
+				}
+			default:
+				jobs = append(jobs, sweepJob{r: r})
 			}
 		case Manual:
 			// Only Flush advances.
 		}
 	}
-	return e.advanceRules(jobs, newest+1)
+	if len(bumps)+len(invalidate) > 0 {
+		e.mu.Lock()
+		for _, r := range bumps {
+			if r.cursor < end {
+				r.cursor = end
+			}
+		}
+		for _, r := range invalidate {
+			r.memoValid = false
+			r.memoBindings = nil
+		}
+		e.mu.Unlock()
+	}
+	return e.runJobs(jobs, end)
+}
+
+// replayOutcome reproduces, without evaluation, the outcome re-evaluating
+// a quiescent rule at the newest state would yield: the memoized firings
+// at the new timestamp. Binding maps are copied so replays never alias
+// the memo (or each other) in the firing log.
+func (e *Engine) replayOutcome(r *rule, end int) advanceOutcome {
+	out := advanceOutcome{cursor: end}
+	if !r.memoFired {
+		return out
+	}
+	st := e.hist.At(end - 1)
+	for _, b := range r.memoBindings {
+		nb := make(core.Binding, len(b))
+		for k, v := range b {
+			nb[k] = v
+		}
+		out.firings = append(out.firings, Firing{Rule: r.name, Binding: nb, Time: st.TS, StateIndex: e.base + end - 1})
+	}
+	return out
 }
 
 // relevant implements the Section-8 filter: a state concerns a rule when
@@ -1232,6 +1490,12 @@ type advanceOutcome struct {
 	steps   int64
 	cursor  int
 	err     error
+	// memoSet carries a fresh quiescent-replay memo back to the merge:
+	// the rule was evaluated at a commit state, so memoFired/memoBindings
+	// are the outcome any read-set-untouched commit may replay.
+	memoSet      bool
+	memoFired    bool
+	memoBindings []core.Binding
 }
 
 // advanceRule advances r's evaluator through pending states up to (but
@@ -1267,7 +1531,19 @@ func (e *Engine) advanceRule(r *rule, end int) advanceOutcome {
 			return out
 		}
 		st := e.hist.At(out.cursor)
-		res, err := r.ev.StepResult(st)
+		var res core.Result
+		var err error
+		if r.hinted != nil {
+			// The dbUnchanged hint lets the evaluator keep its query-result
+			// cache across states whose dirty set is disjoint from the
+			// rule's read set. Only contiguous rules qualify: a cursor jump
+			// would leave the cache describing a state the evaluator never
+			// stepped past.
+			hint := !e.noIndex && r.contiguous && e.stateClean(r, out.cursor)
+			res, err = r.hinted.StepResultHinted(st, hint)
+		} else {
+			res, err = r.ev.StepResult(st)
+		}
 		out.steps++
 		if err != nil {
 			out.err = fmt.Errorf("adb: rule %s at state %d: %w", r.name, out.cursor, err)
@@ -1278,9 +1554,37 @@ func (e *Engine) advanceRule(r *rule, end int) advanceOutcome {
 				out.firings = append(out.firings, Firing{Rule: r.name, Binding: b, Time: st.TS, StateIndex: e.base + out.cursor})
 			}
 		}
+		if r.class == classQuiescent && out.cursor == end-1 && st.Events.CommitCount() > 0 {
+			out.memoSet = true
+			out.memoFired = res.Fired
+			out.memoBindings = res.Bindings
+		}
 		out.cursor++
 	}
 	return out
+}
+
+// stateClean reports whether history state i left every item in r's read
+// set unchanged: the dirty set is known and either empty (event or abort
+// states — the database pointer is untouched) or, for analyzable rules,
+// disjoint from the extracted footprint.
+func (e *Engine) stateClean(r *rule, i int) bool {
+	d := e.dirty[i]
+	if !d.known {
+		return false
+	}
+	if len(d.items) == 0 {
+		return true
+	}
+	if !r.rs.analyzable {
+		return false
+	}
+	for _, item := range d.items {
+		if r.rs.items[item] {
+			return false
+		}
+	}
+	return true
 }
 
 // apply merges one rule's advance outcome into engine state: cursor and
@@ -1291,6 +1595,11 @@ func (e *Engine) apply(r *rule, out advanceOutcome) {
 	e.mu.Lock()
 	r.cursor = out.cursor
 	e.evalSteps += out.steps
+	if out.memoSet {
+		r.memoValid = true
+		r.memoFired = out.memoFired
+		r.memoBindings = out.memoBindings
+	}
 	e.mu.Unlock()
 	for _, f := range out.firings {
 		e.mu.Lock()
@@ -1319,14 +1628,36 @@ func (e *Engine) advanceRules(rules []*rule, end int) error {
 	if len(rules) == 0 {
 		return nil
 	}
-	workers := e.workers
-	if workers > len(rules) {
-		workers = len(rules)
+	jobs := make([]sweepJob, len(rules))
+	for i, r := range rules {
+		jobs[i] = sweepJob{r: r}
 	}
-	outs := make([]advanceOutcome, len(rules))
+	return e.runJobs(jobs, end)
+}
+
+// runJobs executes a sweep's job list: evaluation jobs are dealt to the
+// worker pool, replay jobs are resolved inline (they are pure memo reads),
+// and every outcome is merged strictly in job order — the registration
+// order at every call site — so the firing sequence is independent of both
+// the worker count and the eval/replay split.
+func (e *Engine) runJobs(jobs []sweepJob, end int) error {
+	if len(jobs) == 0 {
+		return nil
+	}
+	evalIdx := make([]int, 0, len(jobs))
+	for i, j := range jobs {
+		if !j.replay {
+			evalIdx = append(evalIdx, i)
+		}
+	}
+	outs := make([]advanceOutcome, len(jobs))
+	workers := e.workers
+	if workers > len(evalIdx) {
+		workers = len(evalIdx)
+	}
 	if workers <= 1 {
-		for i, r := range rules {
-			outs[i] = e.advanceRule(r, end)
+		for _, i := range evalIdx {
+			outs[i] = e.advanceRule(jobs[i].r, end)
 		}
 	} else {
 		var next int64 = -1
@@ -1336,21 +1667,27 @@ func (e *Engine) advanceRules(rules []*rule, end int) error {
 			go func() {
 				defer wg.Done()
 				for {
-					i := int(atomic.AddInt64(&next, 1))
-					if i >= len(rules) {
+					k := int(atomic.AddInt64(&next, 1))
+					if k >= len(evalIdx) {
 						return
 					}
-					outs[i] = e.advanceRule(rules[i], end)
+					i := evalIdx[k]
+					outs[i] = e.advanceRule(jobs[i].r, end)
 				}
 			}()
 		}
 		wg.Wait()
 	}
+	for i, j := range jobs {
+		if j.replay {
+			outs[i] = e.replayOutcome(j.r, end)
+		}
+	}
 	var firstErr error
 	var used int64
 	budget := e.sweepBudget
-	for i, r := range rules {
-		e.apply(r, outs[i])
+	for i, j := range jobs {
+		e.apply(j.r, outs[i])
 		if outs[i].err != nil && firstErr == nil {
 			firstErr = outs[i].err
 		}
@@ -1359,7 +1696,7 @@ func (e *Engine) advanceRules(rules []*rule, end int) error {
 		// the same at every worker count.
 		used += outs[i].steps
 		if budget > 0 && used > budget && firstErr == nil {
-			firstErr = &BudgetError{Rule: r.name, Steps: used, Budget: budget}
+			firstErr = &BudgetError{Rule: j.r.name, Steps: used, Budget: budget}
 		}
 	}
 	return firstErr
@@ -1424,7 +1761,7 @@ func (e *Engine) recordExecution(r *rule, f Firing, ts int64) {
 		params[i] = f.Binding[name]
 	}
 	e.mu.Lock()
-	e.execs = append(e.execs, ptl.Execution{Rule: f.Rule, Params: params, Time: ts})
+	e.appendExecutionLocked(ptl.Execution{Rule: f.Rule, Params: params, Time: ts})
 	e.mu.Unlock()
 }
 

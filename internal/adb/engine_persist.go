@@ -161,6 +161,20 @@ func (e *Engine) SaveSnapshot(w io.Writer) error {
 	return persist.EncodeSnapshot(w, snap)
 }
 
+// SyncWAL forces any buffered (group-commit) WAL records to stable
+// storage; a no-op for memory engines and per-record durability. A flush
+// failure breaks the durability contract, so it seals the engine exactly
+// like a failed per-record append.
+func (e *Engine) SyncWAL() error {
+	if e.store == nil {
+		return nil
+	}
+	if err := e.store.Flush(); err != nil {
+		return e.seal(err)
+	}
+	return nil
+}
+
 // Close releases the durability store (no-op for memory engines) and
 // surfaces the sealing error of a degraded engine, so a fault noted by an
 // int-returning operation (Compact, PruneExecutions) is never silent.
@@ -224,6 +238,17 @@ func (e *Engine) buildSnapshot() (*persist.EngineSnapshot, error) {
 		}
 		if r.health.lastErr != nil {
 			rs.LastFailure = r.health.lastErr.Error()
+		}
+		if r.memoValid {
+			rs.MemoValid = true
+			rs.MemoFired = r.memoFired
+			for _, b := range r.memoBindings {
+				raw, err := histio.EncodeItems(b)
+				if err != nil {
+					return nil, fmt.Errorf("adb: snapshot rule %s memo: %w", r.name, err)
+				}
+				rs.MemoBindings = append(rs.MemoBindings, raw)
+			}
 		}
 		snap.Rules = append(snap.Rules, rs)
 	}
@@ -323,6 +348,12 @@ func Restore(cfg Config, dir string) (*Engine, error) {
 	if e.snapEvery <= 0 {
 		e.snapEvery = 64
 	}
+	if cfg.GroupCommit > 1 {
+		if err := st.SetGroupCommit(cfg.GroupCommit); err != nil {
+			st.Close()
+			return nil, err
+		}
+	}
 	if res.Snapshot == nil && replayed == 0 {
 		// Fresh directory: the init record opens the log.
 		if err := e.logRecord(&persist.Record{Kind: persist.KindInit, Init: e.initRec}); err != nil {
@@ -361,14 +392,15 @@ func engineFromInit(cfg Config, init *persist.InitRecord) (*Engine, error) {
 		return nil, fmt.Errorf("adb: init record: %w", err)
 	}
 	e := NewEngine(Config{
-		Registry:        cfg.Registry,
-		Initial:         items,
-		Start:           init.Start,
-		CascadeLimit:    init.CascadeLimit,
-		OnFiring:        cfg.OnFiring,
-		TrackItems:      init.TrackItems,
-		DisableFastPath: init.DisableFast,
-		Workers:         cfg.Workers,
+		Registry:            cfg.Registry,
+		Initial:             items,
+		Start:               init.Start,
+		CascadeLimit:        init.CascadeLimit,
+		OnFiring:            cfg.OnFiring,
+		TrackItems:          init.TrackItems,
+		DisableFastPath:     init.DisableFast,
+		DisableReadSetIndex: init.DisableIndex,
+		Workers:             cfg.Workers,
 		// Behavior-shaping governance knobs come from the init record (like
 		// Initial and Start); wall-clock and observer knobs are runtime-only.
 		MaxRuleFailures: init.MaxRuleFailures,
@@ -403,6 +435,10 @@ func engineFromSnapshot(cfg Config, snap *persist.EngineSnapshot) (*Engine, erro
 		return nil, fmt.Errorf("adb: snapshot clock %d does not match last state %d", snap.Now, last.TS)
 	}
 	e.hist = h
+	// The snapshot does not carry per-state dirty sets; mark the restored
+	// window unknown so no read-set refinement applies to it. Results are
+	// unaffected, and states appended after recovery track dirtiness again.
+	e.dirty = make([]dirtySet, h.Len())
 	e.db = last.DB
 	e.now = snap.Now
 	e.base = snap.Base
@@ -453,6 +489,20 @@ func engineFromSnapshot(cfg Config, snap *persist.EngineSnapshot) (*Engine, erro
 			return nil, fmt.Errorf("adb: snapshot rule %s: %w", rs.Name, err)
 		}
 		r.cursor = rs.Cursor
+		// The quiescent-replay memo travels with the snapshot so the
+		// recovered engine makes the same replay-vs-evaluate decisions the
+		// original would have (and so their step counts stay comparable).
+		if rs.MemoValid {
+			r.memoValid = true
+			r.memoFired = rs.MemoFired
+			for i, raw := range rs.MemoBindings {
+				items, err := histio.DecodeItems(raw)
+				if err != nil {
+					return nil, fmt.Errorf("adb: snapshot rule %s memo binding %d: %w", rs.Name, i, err)
+				}
+				r.memoBindings = append(r.memoBindings, core.Binding(items))
+			}
+		}
 		// Health travels with the snapshot: a quarantined rule stays
 		// suppressed after recovery, and the failure run resumes where it
 		// stood — replay reproduces the original run's governance decisions.
@@ -489,6 +539,7 @@ func engineFromSnapshot(cfg Config, snap *persist.EngineSnapshot) (*Engine, erro
 		}
 		e.execs = append(e.execs, ptl.Execution{Rule: ex.Rule, Params: params, Time: ex.Time})
 	}
+	e.rebuildExecIdxLocked()
 	return e, nil
 }
 

@@ -1,0 +1,74 @@
+package adb
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"ptlactive/internal/event"
+	"ptlactive/internal/ptl"
+	"ptlactive/internal/value"
+)
+
+// TestExecutionsIndexPerRule is the regression test for the per-rule
+// execution index: interleaved executions of several rules come back
+// per-rule, in recording order, matching a scan of the full log — and
+// the index survives a prune-triggered rebuild.
+func TestExecutionsIndexPerRule(t *testing.T) {
+	e := NewEngine(Config{Initial: map[string]value.Value{"c": value.NewInt(0)}})
+	for i := 0; i < 3; i++ {
+		err := e.AddTrigger(fmt.Sprintf("r%d", i), fmt.Sprintf("@fire%d", i),
+			func(ctx *ActionContext) error { return nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Interleave: r0, r1, r0, r2, r1, r0 ...
+	order := []int{0, 1, 0, 2, 1, 0, 2, 2, 1, 0}
+	for i, ri := range order {
+		if err := e.Emit(int64(i+1), event.New(fmt.Sprintf("fire%d", ri))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Reference: filter the raw log (the pre-index semantics).
+	scan := func(rule string, before int64) []ptl.Execution {
+		var out []ptl.Execution
+		for _, ex := range e.execs {
+			if ex.Rule == rule && ex.Time < before {
+				out = append(out, ex)
+			}
+		}
+		return out
+	}
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("r%d", i)
+		for _, before := range []int64{0, 3, 7, 100} {
+			got := e.Executions(name, before)
+			want := scan(name, before)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("Executions(%s, %d) = %v, want %v", name, before, got, want)
+			}
+		}
+	}
+	if n := len(e.Executions("r0", 100)); n != 4 {
+		t.Fatalf("r0 executions = %d, want 4", n)
+	}
+
+	// Prune rebuilds the index; lookups must agree with the shrunk log.
+	if d := e.PruneExecutions(6); d == 0 {
+		t.Fatal("prune dropped nothing")
+	}
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("r%d", i)
+		if got, want := e.Executions(name, 100), scan(name, 100); !reflect.DeepEqual(got, want) {
+			t.Fatalf("after prune: Executions(%s) = %v, want %v", name, got, want)
+		}
+	}
+	if n := len(e.Executions("r0", 100)); n != 2 {
+		t.Fatalf("after prune: r0 executions = %d, want 2", n)
+	}
+	if n := len(e.Executions("nosuch", 100)); n != 0 {
+		t.Fatalf("unknown rule returned %d executions", n)
+	}
+}

@@ -25,6 +25,9 @@ func (e *Evaluator) Clone() *Evaluator {
 		aggOrder:  e.aggOrder,
 		optimize:  e.optimize,
 		steps:     e.steps,
+		// cacheable is immutable and shared; the query cache starts empty
+		// (it refills on the clone's first unhinted step).
+		cacheable: e.cacheable,
 	}
 	for k, v := range e.sincePrev {
 		c.sincePrev[k] = v

@@ -23,6 +23,7 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"ptlactive/internal/value"
@@ -46,6 +47,7 @@ type cterm struct {
 	op   value.ArithOp // ctArith
 	l, r *cterm        // ctArith
 	key  string
+	vars []string // sorted distinct variable names, nil when ground
 }
 
 func constTerm(v value.Value) *cterm {
@@ -53,7 +55,7 @@ func constTerm(v value.Value) *cterm {
 }
 
 func varTerm(name string) *cterm {
-	return &cterm{kind: ctVar, name: name, key: "v" + name + ";"}
+	return &cterm{kind: ctVar, name: name, key: "v" + name + ";", vars: []string{name}}
 }
 
 // arithTerm builds an arithmetic term, folding when both sides are
@@ -71,7 +73,8 @@ func arithTerm(op value.ArithOp, l, r *cterm) (*cterm, error) {
 		return constTerm(v), nil
 	}
 	return &cterm{kind: ctArith, op: op, l: l, r: r,
-		key: "a" + op.String() + "(" + l.key + r.key + ")"}, nil
+		key:  "a" + op.String() + "(" + l.key + r.key + ")",
+		vars: mergeVars(l.vars, r.vars)}, nil
 }
 
 // hasVar reports whether the term mentions any variable.
@@ -177,7 +180,10 @@ const memberExpandLimit = 100000
 // cnode is an immutable constraint-formula node. Nodes are shared freely:
 // the Since recurrence links each new formula to the previous one, so the
 // stored state forms a DAG ("the formulas F can be maintained as an and-or
-// graph", Section 5).
+// graph", Section 5). Construction is hash-consed through the process-wide
+// intern table (intern.go): structurally equal formulas are one pointer,
+// which makes pointer-keyed memoization effective across rules and lets
+// and/or keys use compact node ids instead of concatenated subtree keys.
 type cnode struct {
 	kind  nodeKind
 	op    value.CmpOp // nkAtom
@@ -187,11 +193,13 @@ type cnode struct {
 	kids  []*cnode    // nkAnd, nkOr (flattened, deduplicated)
 	sub   *cnode      // nkNot
 	key   string
+	id    uint64   // interner-assigned, unique per live node
+	vars  []string // sorted distinct variable names, nil when ground
 }
 
 var (
-	nodeTrue  = &cnode{kind: nkTrue, key: "T"}
-	nodeFalse = &cnode{kind: nkFalse, key: "F"}
+	nodeTrue  = &cnode{kind: nkTrue, key: "T", id: 1}
+	nodeFalse = &cnode{kind: nkFalse, key: "F", id: 2}
 )
 
 func nodeBool(b bool) *cnode {
@@ -222,8 +230,11 @@ func mkAtom(op value.CmpOp, l, r *cterm) (*cnode, error) {
 		}
 		return nodeBool(b), nil
 	}
-	return &cnode{kind: nkAtom, op: op, l: l, r: r,
-		key: "@" + op.String() + "(" + l.key + r.key + ")"}, nil
+	key := "@" + op.String() + "(" + l.key + r.key + ")"
+	return internNode(key, func() *cnode {
+		return &cnode{kind: nkAtom, op: op, l: l, r: r,
+			vars: mergeVars(l.vars, r.vars)}
+	}), nil
 }
 
 // mkMember builds a membership atom (elems) in rel. When the relation
@@ -271,7 +282,14 @@ func mkMember(elems []*cterm, rel *cterm) (*cnode, error) {
 	sb.WriteString(":")
 	sb.WriteString(rel.key)
 	sb.WriteString(")")
-	return &cnode{kind: nkMember, elems: elems, rel: rel, key: sb.String()}, nil
+	return internNode(sb.String(), func() *cnode {
+		lists := make([][]string, 0, len(elems)+1)
+		for _, e := range elems {
+			lists = append(lists, e.vars)
+		}
+		lists = append(lists, rel.vars)
+		return &cnode{kind: nkMember, elems: elems, rel: rel, vars: mergeVars(lists...)}
+	}), nil
 }
 
 // mkAnd conjoins nodes with flattening, constant folding, deduplication
@@ -316,7 +334,9 @@ func mkAnd(kids ...*cnode) *cnode {
 	case 1:
 		return flat[0]
 	}
-	return &cnode{kind: nkAnd, kids: flat, key: andKey(flat)}
+	return internNode(junctionKey('&', flat), func() *cnode {
+		return &cnode{kind: nkAnd, kids: flat, vars: kidVars(flat)}
+	})
 }
 
 // mkOr disjoins nodes, dual to mkAnd.
@@ -360,7 +380,9 @@ func mkOr(kids ...*cnode) *cnode {
 	case 1:
 		return flat[0]
 	}
-	return &cnode{kind: nkOr, kids: flat, key: orKey(flat)}
+	return internNode(junctionKey('|', flat), func() *cnode {
+		return &cnode{kind: nkOr, kids: flat, vars: kidVars(flat)}
+	})
 }
 
 // mkNot negates a node. Atoms negate into their complementary operator so
@@ -381,7 +403,9 @@ func mkNot(n *cnode) *cnode {
 		}
 		return neg
 	default:
-		return &cnode{kind: nkNot, sub: n, key: "!(" + n.key + ")"}
+		return internNode(notKey(n), func() *cnode {
+			return &cnode{kind: nkNot, sub: n, vars: n.vars}
+		})
 	}
 }
 
@@ -394,34 +418,51 @@ func complementKey(n *cnode) string {
 	case nkNot:
 		return n.sub.key
 	default:
-		return "!(" + n.key + ")"
+		return notKey(n)
 	}
 }
 
-func andKey(kids []*cnode) string {
+// junctionKey builds an and/or intern key from the children's interner
+// ids. Children are interned before parents, so structurally equal child
+// lists yield identical keys within an intern epoch, at O(#kids) cost
+// instead of the O(subtree) churn of concatenating full child keys.
+func junctionKey(tag byte, kids []*cnode) string {
 	var sb strings.Builder
-	sb.WriteString("&(")
-	for _, k := range kids {
-		sb.WriteString(k.key)
+	sb.Grow(3 + len(kids)*8)
+	sb.WriteByte(tag)
+	sb.WriteByte('(')
+	for i, k := range kids {
+		if i > 0 {
+			sb.WriteByte('.')
+		}
+		sb.WriteString(strconv.FormatUint(k.id, 10))
 	}
-	sb.WriteString(")")
+	sb.WriteByte(')')
 	return sb.String()
 }
 
-func orKey(kids []*cnode) string {
-	var sb strings.Builder
-	sb.WriteString("|(")
-	for _, k := range kids {
-		sb.WriteString(k.key)
+// notKey is the intern key of the negation of n; complementKey relies on
+// the two producing the same string.
+func notKey(n *cnode) string {
+	return "!" + strconv.FormatUint(n.id, 10)
+}
+
+// kidVars merges the variable lists of the children.
+func kidVars(kids []*cnode) []string {
+	lists := make([][]string, len(kids))
+	for i, k := range kids {
+		lists[i] = k.vars
 	}
-	sb.WriteString(")")
-	return sb.String()
+	return mergeVars(lists...)
 }
 
 // substNode substitutes a constant for a variable throughout the node,
 // re-simplifying. A memo table keyed by node pointer keeps the cost
 // proportional to the DAG size, not the tree size.
 func substNode(n *cnode, name string, v value.Value, memo map[*cnode]*cnode) (*cnode, error) {
+	if !n.mentions(name) {
+		return n, nil
+	}
 	if cached, ok := memo[n]; ok {
 		return cached, nil
 	}
@@ -590,7 +631,7 @@ func evalNode(n *cnode, env map[string]value.Value) (bool, error) {
 // t >= c is permanently satisfied once now >= c and folds to true. The
 // memo is keyed by node pointer and is valid for one value of now.
 func timeBoundPrune(n *cnode, now int64, timeVars map[string]bool, memo map[*cnode]*cnode) *cnode {
-	if len(timeVars) == 0 {
+	if len(timeVars) == 0 || !n.mentionsAny(timeVars) {
 		return n
 	}
 	if cached, ok := memo[n]; ok {

@@ -56,8 +56,17 @@ type Evaluator struct {
 	steps int
 	// current state during a Step call.
 	st history.SystemState
-	// per-step memo for time-bound pruning.
+	// per-step memo for time-bound pruning, cleared and reused across
+	// steps instead of reallocated.
 	pruneMemo map[*cnode]*cnode
+	// free list of substitution memos (Assign can nest, so one reusable
+	// map is not enough).
+	memoPool []map[*cnode]*cnode
+	// qcache holds results of cacheable query calls, valid while the
+	// database is unchanged (see qcache.go); cacheable is the static
+	// analysis, immutable after New and shared by clones.
+	qcache    map[*ptl.Call]value.Value
+	cacheable map[*ptl.Call]bool
 }
 
 // Option configures an Evaluator.
@@ -118,6 +127,7 @@ func New(info *ptl.Info, reg *query.Registry, log ptl.ExecLog, opts ...Option) (
 	if regErr != nil {
 		return nil, regErr
 	}
+	e.cacheable = cacheableCalls(info.Normalized, reg)
 	return e, nil
 }
 
@@ -173,21 +183,50 @@ func (e *Evaluator) Registers() int {
 // evaluator and reports whether the condition fires at that state,
 // together with the satisfying parameter bindings.
 func (e *Evaluator) Step(st history.SystemState) (Result, error) {
+	return e.stepHinted(st, false)
+}
+
+// stepHinted is Step with the database-unchanged hint of HintedEvaluator:
+// when dbUnchanged is false any cached query results are discarded first.
+func (e *Evaluator) stepHinted(st history.SystemState, dbUnchanged bool) (Result, error) {
+	if !dbUnchanged {
+		clear(e.qcache)
+	}
 	// Aggregate machines advance first: the aggregate value at state i
 	// includes state i itself as a potential start/sample point.
 	for _, a := range e.aggOrder {
-		if err := e.aggs[a].step(st); err != nil {
+		if err := e.aggs[a].step(st, dbUnchanged); err != nil {
 			return Result{}, err
 		}
 	}
 	e.st = st
-	e.pruneMemo = make(map[*cnode]*cnode)
+	if e.pruneMemo == nil {
+		e.pruneMemo = make(map[*cnode]*cnode)
+	} else {
+		clear(e.pruneMemo)
+	}
 	node, err := e.build(e.info.Normalized)
 	if err != nil {
 		return Result{}, err
 	}
 	e.steps++
 	return e.resolve(node)
+}
+
+// getMemo pops a cleared substitution memo off the free list.
+func (e *Evaluator) getMemo() map[*cnode]*cnode {
+	if n := len(e.memoPool); n > 0 {
+		m := e.memoPool[n-1]
+		e.memoPool = e.memoPool[:n-1]
+		return m
+	}
+	return make(map[*cnode]*cnode)
+}
+
+// putMemo returns a substitution memo to the free list.
+func (e *Evaluator) putMemo(m map[*cnode]*cnode) {
+	clear(m)
+	e.memoPool = append(e.memoPool, m)
 }
 
 // resolve turns the final constraint formula into a firing decision.
@@ -377,7 +416,10 @@ func (e *Evaluator) build(f ptl.Formula) (*cnode, error) {
 		if err != nil {
 			return nil, err
 		}
-		return substNode(body, x.Var, qv, make(map[*cnode]*cnode))
+		memo := e.getMemo()
+		out, err := substNode(body, x.Var, qv, memo)
+		e.putMemo(memo)
+		return out, err
 	default:
 		return nil, fmt.Errorf("core: unsupported formula %T (did it pass ptl.Check?)", f)
 	}
@@ -392,6 +434,11 @@ func (e *Evaluator) buildTerm(t ptl.Term) (*cterm, error) {
 	case *ptl.Var:
 		return varTerm(x.Name), nil
 	case *ptl.Call:
+		if e.cacheable[x] {
+			if v, hit := e.qcache[x]; hit {
+				return constTerm(v), nil
+			}
+		}
 		args := make([]value.Value, len(x.Args))
 		for i, a := range x.Args {
 			at, err := e.buildTerm(a)
@@ -407,6 +454,12 @@ func (e *Evaluator) buildTerm(t ptl.Term) (*cterm, error) {
 		v, err := e.reg.Eval(x.Fn, e.st, args)
 		if err != nil {
 			return nil, err
+		}
+		if e.cacheable[x] {
+			if e.qcache == nil {
+				e.qcache = make(map[*ptl.Call]value.Value)
+			}
+			e.qcache[x] = v
 		}
 		return constTerm(v), nil
 	case *ptl.Arith:
@@ -568,7 +621,7 @@ func newAggState(a *ptl.Agg, reg *query.Registry, log ptl.ExecLog, optimize bool
 	return st, nil
 }
 
-func (s *aggState) step(st history.SystemState) error {
+func (s *aggState) step(st history.SystemState, dbUnchanged bool) error {
 	s.cur, s.has = st, true
 	if s.agg.Window >= 0 {
 		s.started = true
@@ -590,7 +643,7 @@ func (s *aggState) step(st history.SystemState) error {
 			s.times = append([]int64{}, s.times[drop:]...)
 		}
 	} else {
-		res, err := s.startEv.Step(st)
+		res, err := s.startEv.stepHinted(st, dbUnchanged)
 		if err != nil {
 			return err
 		}
@@ -602,7 +655,7 @@ func (s *aggState) step(st history.SystemState) error {
 			s.count = 0
 		}
 	}
-	res, err := s.sampEv.Step(st)
+	res, err := s.sampEv.stepHinted(st, dbUnchanged)
 	if err != nil {
 		return err
 	}

@@ -32,6 +32,11 @@ type FastEvaluator struct {
 	lastReg  map[*ptl.Lasttime]*bool
 	steps    int
 	st       history.SystemState
+
+	// Query cache, valid while the database is unchanged (qcache.go);
+	// cacheable is immutable after NewFast and shared by clones.
+	qcache    map[*ptl.Call]value.Value
+	cacheable map[*ptl.Call]bool
 }
 
 // NewFast compiles a checked condition into a fast evaluator. It returns
@@ -72,6 +77,7 @@ func NewFast(info *ptl.Info, reg *query.Registry, log ptl.ExecLog) (*FastEvaluat
 			e.lastReg[x] = new(bool)
 		}
 	})
+	e.cacheable = cacheableCalls(info.Normalized, reg)
 	return e, nil
 }
 
@@ -93,6 +99,13 @@ func (e *FastEvaluator) Steps() int { return e.steps }
 // Step feeds the next system state and reports whether the condition is
 // satisfied at it.
 func (e *FastEvaluator) Step(st history.SystemState) (bool, error) {
+	return e.stepHinted(st, false)
+}
+
+func (e *FastEvaluator) stepHinted(st history.SystemState, dbUnchanged bool) (bool, error) {
+	if !dbUnchanged {
+		clear(e.qcache)
+	}
 	e.st = st
 	fired, err := e.eval(e.info.Normalized, nil)
 	if err != nil {
@@ -281,6 +294,11 @@ func (e *FastEvaluator) term(t ptl.Term, env *fastEnv) (value.Value, error) {
 		}
 		return v, nil
 	case *ptl.Call:
+		if e.cacheable[x] {
+			if v, hit := e.qcache[x]; hit {
+				return v, nil
+			}
+		}
 		args := make([]value.Value, len(x.Args))
 		for i, a := range x.Args {
 			v, err := e.term(a, env)
@@ -289,7 +307,17 @@ func (e *FastEvaluator) term(t ptl.Term, env *fastEnv) (value.Value, error) {
 			}
 			args[i] = v
 		}
-		return e.reg.Eval(x.Fn, e.st, args)
+		v, err := e.reg.Eval(x.Fn, e.st, args)
+		if err != nil {
+			return value.Value{}, err
+		}
+		if e.cacheable[x] {
+			if e.qcache == nil {
+				e.qcache = make(map[*ptl.Call]value.Value)
+			}
+			e.qcache[x] = v
+		}
+		return v, nil
 	case *ptl.Arith:
 		l, err := e.term(x.L, env)
 		if err != nil {
@@ -318,12 +346,13 @@ func (e *FastEvaluator) term(t ptl.Term, env *fastEnv) (value.Value, error) {
 // registers copied).
 func (e *FastEvaluator) Clone() *FastEvaluator {
 	c := &FastEvaluator{
-		info:     e.info,
-		reg:      e.reg,
-		log:      e.log,
-		sinceReg: make(map[*ptl.Since]*bool, len(e.sinceReg)),
-		lastReg:  make(map[*ptl.Lasttime]*bool, len(e.lastReg)),
-		steps:    e.steps,
+		info:      e.info,
+		reg:       e.reg,
+		log:       e.log,
+		sinceReg:  make(map[*ptl.Since]*bool, len(e.sinceReg)),
+		lastReg:   make(map[*ptl.Lasttime]*bool, len(e.lastReg)),
+		steps:     e.steps,
+		cacheable: e.cacheable,
 	}
 	for k, v := range e.sinceReg {
 		b := *v
@@ -339,7 +368,12 @@ func (e *FastEvaluator) Clone() *FastEvaluator {
 // StepResult adapts Step to the general evaluator's Result shape, so the
 // engine can use either implementation behind one interface.
 func (e *FastEvaluator) StepResult(st history.SystemState) (Result, error) {
-	ok, err := e.Step(st)
+	return e.StepResultHinted(st, false)
+}
+
+// StepResultHinted implements HintedEvaluator.
+func (e *FastEvaluator) StepResultHinted(st history.SystemState, dbUnchanged bool) (Result, error) {
+	ok, err := e.stepHinted(st, dbUnchanged)
 	if err != nil {
 		return Result{}, err
 	}
@@ -359,6 +393,11 @@ type ConditionEvaluator interface {
 // StepResult adapts the general evaluator to ConditionEvaluator.
 func (e *Evaluator) StepResult(st history.SystemState) (Result, error) {
 	return e.Step(st)
+}
+
+// StepResultHinted implements HintedEvaluator.
+func (e *Evaluator) StepResultHinted(st history.SystemState, dbUnchanged bool) (Result, error) {
+	return e.stepHinted(st, dbUnchanged)
 }
 
 // CloneEvaluator adapts Clone to ConditionEvaluator.

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+)
+
+// Hash-consing for constraint-formula nodes. Section 5 keeps the
+// constraint formulas "as an and-or graph" shared across subformulas; the
+// intern table extends that sharing across rules and across sweeps:
+// structurally equal cnodes constructed anywhere in the process resolve to
+// one pointer, so the pointer-keyed memo tables in substNode and
+// timeBoundPrune hit across evaluators, and the and/or constructor keys
+// can be built from compact node ids instead of concatenated subtree keys.
+//
+// The table is sharded to keep parallel sweeps off a single lock, and each
+// shard is capped: when a shard fills up it is dropped wholesale and
+// re-grown. A reset only forfeits future sharing — nodes already handed
+// out stay valid (they are immutable and never point back into the table),
+// and a structurally equal node built after the reset simply gets a fresh
+// id. Missed deduplication weakens simplification opportunities but never
+// changes evaluation results.
+
+const (
+	internShards   = 64
+	internShardCap = 4096
+)
+
+type internShard struct {
+	mu sync.Mutex
+	m  map[string]*cnode
+}
+
+var (
+	internTab  [internShards]internShard
+	internSeed = maphash.MakeSeed()
+	// nodeIDs starts above the reserved ids of the true/false singletons.
+	nodeIDs atomic.Uint64
+)
+
+func init() {
+	nodeIDs.Store(2)
+}
+
+// internNode returns the canonical node for key, calling build to
+// construct it on a miss. build must not re-enter the interner (all our
+// constructors intern children before parents, so it never does). The
+// lock is held across build: construction is allocation plus a vars
+// merge, and holding it closes the duplicate-build race.
+func internNode(key string, build func() *cnode) *cnode {
+	var h maphash.Hash
+	h.SetSeed(internSeed)
+	h.WriteString(key)
+	s := &internTab[h.Sum64()&(internShards-1)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n, ok := s.m[key]; ok {
+		return n
+	}
+	n := build()
+	n.key = key
+	n.id = nodeIDs.Add(1)
+	if s.m == nil || len(s.m) >= internShardCap {
+		s.m = make(map[string]*cnode, 128)
+	}
+	s.m[key] = n
+	return n
+}
+
+// internedNodes reports the live entry count across shards (tests only).
+func internedNodes() int {
+	total := 0
+	for i := range internTab {
+		internTab[i].mu.Lock()
+		total += len(internTab[i].m)
+		internTab[i].mu.Unlock()
+	}
+	return total
+}
+
+// resetIntern drops every shard (tests only; production shards reset
+// individually when they hit their cap).
+func resetIntern() {
+	for i := range internTab {
+		internTab[i].mu.Lock()
+		internTab[i].m = nil
+		internTab[i].mu.Unlock()
+	}
+}
+
+// mergeVars merges sorted, deduplicated variable-name lists into one.
+// Returns nil for an empty result so ground nodes carry no slice.
+func mergeVars(lists ...[]string) []string {
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]string, 0, total)
+	for _, l := range lists {
+		out = mergeInto(out, l)
+	}
+	return out
+}
+
+// mergeInto merges sorted list l into sorted acc, keeping order and
+// dropping duplicates.
+func mergeInto(acc, l []string) []string {
+	if len(l) == 0 {
+		return acc
+	}
+	if len(acc) == 0 {
+		return append(acc, l...)
+	}
+	// Fast path: l entirely after acc (common when merging event params).
+	if l[0] > acc[len(acc)-1] {
+		return append(acc, l...)
+	}
+	out := make([]string, 0, len(acc)+len(l))
+	i, j := 0, 0
+	for i < len(acc) && j < len(l) {
+		switch {
+		case acc[i] < l[j]:
+			out = append(out, acc[i])
+			i++
+		case acc[i] > l[j]:
+			out = append(out, l[j])
+			j++
+		default:
+			out = append(out, acc[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, acc[i:]...)
+	out = append(out, l[j:]...)
+	return out
+}
+
+// mentions reports whether the node's formula mentions the variable, via
+// binary search over the sorted vars list. It lets substNode and
+// timeBoundPrune skip whole sub-DAGs without touching their memo tables.
+func (n *cnode) mentions(name string) bool {
+	lo, hi := 0, len(n.vars)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if n.vars[mid] < name {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(n.vars) && n.vars[lo] == name
+}
+
+// mentionsAny reports whether any of the node's variables is in set.
+func (n *cnode) mentionsAny(set map[string]bool) bool {
+	for _, v := range n.vars {
+		if set[v] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"ptlactive/internal/history"
+	"ptlactive/internal/ptl"
+	"ptlactive/internal/query"
+)
+
+// Query-result caching across states. A registered query that is pure
+// (query.Registry.Pure) and whose arguments are stable — built from
+// constants and other cacheable calls, never from variables or aggregates
+// — evaluates to the same value at every state with the same database.
+// The engine knows which appended states leave the database untouched
+// (event-only states, and replayed states a rule's read set is disjoint
+// from), and passes that down through StepResultHinted; the evaluator
+// then reuses the cached results instead of re-running the query.
+
+// HintedEvaluator is implemented by evaluators that can exploit the
+// engine's knowledge that the database portion of the state stream is
+// unchanged since the previous state this evaluator stepped.
+type HintedEvaluator interface {
+	ConditionEvaluator
+	// StepResultHinted is StepResult with a validity hint: dbUnchanged
+	// asserts that every database item read by this condition has the
+	// same value as at the previously stepped state. The hint never
+	// changes results — it only allows query-cache reuse.
+	StepResultHinted(st history.SystemState, dbUnchanged bool) (Result, error)
+}
+
+// cacheableCalls computes, for every query call in the formula, whether
+// its result may be cached while the database is unchanged: the function
+// must be pure and every argument stable (constants, arithmetic over
+// stable terms, or nested cacheable calls — never variables, aggregates,
+// or the timestamp-reading "time").
+func cacheableCalls(f ptl.Formula, reg *query.Registry) map[*ptl.Call]bool {
+	if reg == nil {
+		return nil
+	}
+	out := make(map[*ptl.Call]bool)
+	var stable func(t ptl.Term) bool
+	stable = func(t ptl.Term) bool {
+		switch x := t.(type) {
+		case *ptl.Const:
+			return true
+		case *ptl.Arith:
+			return stable(x.L) && stable(x.R)
+		case *ptl.Neg:
+			return stable(x.X)
+		case *ptl.Call:
+			if c, seen := out[x]; seen {
+				return c
+			}
+			ok := reg.Pure(x.Fn)
+			for _, a := range x.Args {
+				if !ok {
+					break
+				}
+				ok = stable(a)
+			}
+			out[x] = ok
+			return ok
+		default: // Var, Agg: value changes per binding / per state
+			return false
+		}
+	}
+	ptl.WalkTerms(f, func(t ptl.Term) {
+		if c, ok := t.(*ptl.Call); ok {
+			stable(c)
+		}
+	})
+	return out
+}

@@ -79,23 +79,36 @@ func (t Table) Markdown() string {
 	return sb.String()
 }
 
+// Catalog lists every experiment with its table ID in report order, so
+// callers (cmd/benchtables -only, cmd/benchcheck) can run a subset
+// without paying for the rest.
+var Catalog = []struct {
+	ID  string
+	Run func(quick bool) Table
+}{
+	{"E1", E1IncrementalVsNaive},
+	{"E2", E2BoundedState},
+	{"E3", E3AggregateMaintenance},
+	{"E4", E4FiringThroughput},
+	{"E5", E5ValidTime},
+	{"E6", E6OnlineOffline},
+	{"E7", E7StateBlowup},
+	{"E7B", E7bRelativeTiming},
+	{"E8", E8RelevanceFiltering},
+	{"E9", E9TemporalActions},
+	{"E10", E10Durability},
+	{"E12", E12ReadSetIndex},
+	{"A1", A1DecomposableFastPath},
+	{"A2", A2FutureProgression},
+}
+
 // All runs every experiment. quick shrinks the sweeps for CI-speed runs.
 func All(quick bool) []Table {
-	return []Table{
-		E1IncrementalVsNaive(quick),
-		E2BoundedState(quick),
-		E3AggregateMaintenance(quick),
-		E4FiringThroughput(quick),
-		E5ValidTime(quick),
-		E6OnlineOffline(quick),
-		E7StateBlowup(quick),
-		E7bRelativeTiming(quick),
-		E8RelevanceFiltering(quick),
-		E9TemporalActions(quick),
-		E10Durability(quick),
-		A1DecomposableFastPath(quick),
-		A2FutureProgression(quick),
+	tables := make([]Table, 0, len(Catalog))
+	for _, e := range Catalog {
+		tables = append(tables, e.Run(quick))
 	}
+	return tables
 }
 
 // fmtDur renders a per-op duration in microseconds.

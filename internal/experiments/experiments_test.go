@@ -14,8 +14,8 @@ func TestAllExperimentsRun(t *testing.T) {
 		t.Skip("experiments are slow")
 	}
 	tables := All(true)
-	if len(tables) != 13 {
-		t.Fatalf("expected 13 tables (E1-E10, E7b, A1, A2), got %d", len(tables))
+	if len(tables) != 14 {
+		t.Fatalf("expected 14 tables (E1-E10, E7b, E12, A1, A2), got %d", len(tables))
 	}
 	byID := map[string]Table{}
 	for _, tab := range tables {
@@ -88,13 +88,22 @@ func TestAllExperimentsRun(t *testing.T) {
 	// fewer records than the wal-only row, which replays the whole run.
 	e10 := byID["E10"]
 	walReplayed := atoi(t, e10.Rows[1][4])
-	snapReplayed := atoi(t, e10.Rows[2][4])
+	snapReplayed := atoi(t, e10.Rows[3][4])
 	commits := atoi(t, e10.Rows[1][1])
 	if walReplayed < commits {
 		t.Errorf("E10: wal-only replayed %d records for %d commits", walReplayed, commits)
 	}
 	if snapReplayed*4 >= walReplayed {
 		t.Errorf("E10: snapshots did not bound replay: %d vs %d", snapReplayed, walReplayed)
+	}
+
+	// E12: the read-set index must evaluate strictly fewer steps than the
+	// coarse relevance filter on the sparse-touch workload.
+	e12 := byID["E12"]
+	idxSteps := atoi(t, e12.Rows[0][3])
+	coarseSteps := atoi(t, e12.Rows[0][5])
+	if idxSteps >= coarseSteps {
+		t.Errorf("E12: index did not reduce steps: %d vs %d", idxSteps, coarseSteps)
 	}
 }
 

@@ -40,11 +40,16 @@ const (
 // persisted: the engine's results are independent of the worker count by
 // construction, and callbacks/queries are re-supplied at restore.
 type InitRecord struct {
-	Initial      map[string]json.RawMessage `json:"initial,omitempty"`
-	Start        int64                      `json:"start"`
-	TrackItems   []string                   `json:"track,omitempty"`
-	DisableFast  bool                       `json:"nofast,omitempty"`
-	CascadeLimit int                        `json:"cascade,omitempty"`
+	Initial     map[string]json.RawMessage `json:"initial,omitempty"`
+	Start       int64                      `json:"start"`
+	TrackItems  []string                   `json:"track,omitempty"`
+	DisableFast bool                       `json:"nofast,omitempty"`
+	// DisableIndex (Config.DisableReadSetIndex) changes which states each
+	// rule's evaluator actually steps, so replay must match; logs written
+	// before the index existed decode to false, the indexed default, and
+	// replay equivalently because firings are index-independent.
+	DisableIndex bool `json:"noindex,omitempty"`
+	CascadeLimit int  `json:"cascade,omitempty"`
 	// MaxRuleFailures and SweepBudget shape which actions run and which
 	// sweeps fail, so replay must use the original values; both are
 	// omitted (and decode to "disabled") in logs written before they
@@ -107,6 +112,16 @@ type RuleSnapshot struct {
 	Sched      int             `json:"sched,omitempty"`
 	Cursor     int             `json:"cursor"`
 	Eval       json.RawMessage `json:"eval"`
+
+	// Quiescent-replay memo (see adb rule classification): the outcome of
+	// the rule's last evaluation at a commit state. Restoring it keeps a
+	// recovered engine's evaluation schedule identical to the original's —
+	// without it the first post-recovery commit would re-evaluate rules
+	// the original engine replayed. Absent in older snapshots (decodes to
+	// invalid), which only costs one re-evaluation per rule.
+	MemoValid    bool                         `json:"memoValid,omitempty"`
+	MemoFired    bool                         `json:"memoFired,omitempty"`
+	MemoBindings []map[string]json.RawMessage `json:"memoBindings,omitempty"`
 
 	// Health fields. LastFailure keeps only the error text: typed error
 	// identity (errors.Is/As against the sandbox types) does not survive a

@@ -165,6 +165,14 @@ func (s *Store) LastLSN() int64 { return s.log.LastLSN() }
 // DisableSync turns off per-record fsync (tests and benchmarks).
 func (s *Store) DisableSync() { s.log.DisableSync() }
 
+// SetGroupCommit sets the WAL batch size (n > 1 buffers records and
+// fsyncs once per batch; n <= 1 restores per-record durability), flushing
+// any buffered records first.
+func (s *Store) SetGroupCommit(n int) error { return s.log.SetGroupCommit(n) }
+
+// Flush forces any buffered group-commit WAL records to stable storage.
+func (s *Store) Flush() error { return s.log.Flush() }
+
 // SetFailpoint installs (or clears, with nil) the WAL fault-injection
 // hook; see Failpoint.
 func (s *Store) SetFailpoint(fp Failpoint) { s.log.SetFailpoint(fp) }

@@ -46,13 +46,27 @@ const (
 type Failpoint func(op string, lsn int64) error
 
 // Log is an append-only write-ahead log backed by one file.
+//
+// With group commit enabled (SetGroupCommit n, n > 1), appended frames are
+// buffered in memory and written — and fsynced — as one batch every n
+// records, or on an explicit Flush, a snapshot reset, or Close. A crash
+// loses at most the buffered suffix; the flushed prefix recovers exactly,
+// so the durability contract weakens from "every record" to "every
+// flushed record" in exchange for one write+fsync per batch.
 type Log struct {
 	f    *os.File
 	path string
 	next int64 // next LSN to assign
-	size int64 // current file size in bytes
+	size int64 // current durable file size in bytes (excludes the buffer)
 	sync bool
 	fail Failpoint
+	// Group-commit state: group is the batch size (<=1 means per-record),
+	// buf accumulates framed records, bufLSNs/bufOffs track each buffered
+	// record's LSN and frame offset within buf (for fault injection).
+	group   int
+	buf     []byte
+	bufLSNs []int64
+	bufOffs []int
 	// broken poisons the log after a failed append or fsync: the file tail
 	// is in an unknown state, so further appends could land after garbage
 	// and turn a clean torn tail into mid-log corruption.
@@ -84,31 +98,66 @@ func openLog(path string, next, size int64) (*Log, error) {
 // use it, production durability should not.
 func (l *Log) DisableSync() { l.sync = false }
 
-// LastLSN returns the LSN of the most recently appended record, 0 when
-// the log is empty.
+// LastLSN returns the LSN of the most recently appended record — buffered
+// records included — or 0 when the log is empty.
 func (l *Log) LastLSN() int64 { return l.next - 1 }
 
-// Append assigns the next LSN to rec, frames and checksums it, writes it
-// and (unless disabled) fsyncs. The assigned LSN is returned. After a
-// write or fsync failure the log is poisoned: every further Append fails
-// with the original error, because the file tail is in an unknown state.
-func (l *Log) Append(rec *Record) (int64, error) {
-	if l.broken != nil {
-		return 0, l.broken
+// SetGroupCommit sets the batch size: n > 1 buffers appended records and
+// writes+fsyncs them together every n records (or on Flush / snapshot
+// reset / Close); n <= 1 restores per-record durability. Any buffered
+// records are flushed before the mode changes.
+func (l *Log) SetGroupCommit(n int) error {
+	if err := l.Flush(); err != nil {
+		return err
 	}
-	rec.LSN = l.next
+	l.group = n
+	return nil
+}
+
+// frame encodes rec (with its LSN already assigned) into WAL frame bytes.
+func frame(rec *Record) ([]byte, error) {
 	payload, err := json.Marshal(rec)
 	if err != nil {
-		return 0, fmt.Errorf("persist: encode record: %w", err)
+		return nil, fmt.Errorf("persist: encode record: %w", err)
 	}
 	if len(payload) > maxRecordLen {
-		return 0, fmt.Errorf("persist: record of %d bytes exceeds limit %d", len(payload), maxRecordLen)
+		return nil, fmt.Errorf("persist: record of %d bytes exceeds limit %d", len(payload), maxRecordLen)
 	}
 	buf := make([]byte, headerLen+len(payload))
 	copy(buf, walMagic)
 	binary.LittleEndian.PutUint32(buf[4:], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(buf[8:], crc32.ChecksumIEEE(payload))
 	copy(buf[headerLen:], payload)
+	return buf, nil
+}
+
+// Append assigns the next LSN to rec, frames and checksums it, and either
+// writes it durably (per-record mode: write + fsync unless disabled) or
+// buffers it for the next group-commit Flush. The assigned LSN is
+// returned. After a write or fsync failure the log is poisoned: every
+// further Append fails with the original error, because the file tail is
+// in an unknown state.
+func (l *Log) Append(rec *Record) (int64, error) {
+	if l.broken != nil {
+		return 0, l.broken
+	}
+	rec.LSN = l.next
+	buf, err := frame(rec)
+	if err != nil {
+		return 0, err
+	}
+	if l.group > 1 {
+		l.bufOffs = append(l.bufOffs, len(l.buf))
+		l.buf = append(l.buf, buf...)
+		l.bufLSNs = append(l.bufLSNs, rec.LSN)
+		l.next++
+		if len(l.bufLSNs) >= l.group {
+			if err := l.Flush(); err != nil {
+				return 0, err
+			}
+		}
+		return rec.LSN, nil
+	}
 	if l.fail != nil {
 		if err := l.fail("append", rec.LSN); err != nil {
 			// Leave the torn image a crash mid-write produces.
@@ -140,9 +189,67 @@ func (l *Log) Append(rec *Record) (int64, error) {
 	return rec.LSN, nil
 }
 
+// Flush writes and (unless disabled) fsyncs all buffered group-commit
+// records as one batch. The failpoints are consulted per buffered LSN, in
+// order, so fault tests written against per-record appends inject at the
+// same LSN under group commit; an injected append fault leaves the batch
+// prefix before the failing record plus half of its frame — exactly the
+// torn image a crash mid-batch-write produces.
+func (l *Log) Flush() error {
+	if l.broken != nil {
+		return l.broken
+	}
+	if len(l.bufLSNs) == 0 {
+		return nil
+	}
+	if l.fail != nil {
+		for i, lsn := range l.bufLSNs {
+			if err := l.fail("append", lsn); err != nil {
+				frameEnd := len(l.buf)
+				if i+1 < len(l.bufOffs) {
+					frameEnd = l.bufOffs[i+1]
+				}
+				if torn := l.bufOffs[i] + (frameEnd-l.bufOffs[i])/2; torn > 0 {
+					_, _ = l.f.Write(l.buf[:torn])
+				}
+				l.broken = fmt.Errorf("persist: append: %w", err)
+				return l.broken
+			}
+		}
+	}
+	if _, err := l.f.Write(l.buf); err != nil {
+		l.broken = fmt.Errorf("persist: append: %w", err)
+		return l.broken
+	}
+	if l.sync {
+		if l.fail != nil {
+			for _, lsn := range l.bufLSNs {
+				if err := l.fail("sync", lsn); err != nil {
+					l.broken = fmt.Errorf("persist: sync: %w", err)
+					return l.broken
+				}
+			}
+		}
+		if err := l.f.Sync(); err != nil {
+			l.broken = fmt.Errorf("persist: sync: %w", err)
+			return l.broken
+		}
+	}
+	l.size += int64(len(l.buf))
+	l.buf = l.buf[:0]
+	l.bufLSNs = l.bufLSNs[:0]
+	l.bufOffs = l.bufOffs[:0]
+	return nil
+}
+
 // ResetTo truncates the log to empty after a snapshot at LSN snapLSN; the
-// next record appended gets snapLSN+1.
+// next record appended gets snapLSN+1. Buffered group-commit records are
+// dropped — the snapshot was stamped with LastLSN, which includes them, so
+// their effects are covered.
 func (l *Log) ResetTo(snapLSN int64) error {
+	l.buf = l.buf[:0]
+	l.bufLSNs = l.bufLSNs[:0]
+	l.bufOffs = l.bufOffs[:0]
 	if err := l.f.Truncate(0); err != nil {
 		return fmt.Errorf("persist: reset wal: %w", err)
 	}
@@ -159,13 +266,23 @@ func (l *Log) ResetTo(snapLSN int64) error {
 	return nil
 }
 
-// Close closes the underlying file.
+// Close flushes any buffered group-commit records and closes the
+// underlying file. A poisoned log closes without flushing — the tail
+// state is unknown, and the poisoning error already surfaced at the
+// append that caused it.
 func (l *Log) Close() error {
 	if l.f == nil {
 		return nil
 	}
+	var ferr error
+	if l.broken == nil {
+		ferr = l.Flush()
+	}
 	err := l.f.Close()
 	l.f = nil
+	if ferr != nil {
+		return ferr
+	}
 	return err
 }
 

@@ -38,12 +38,23 @@ type Registry struct {
 type entry struct {
 	fn    Func
 	arity int // -1 means variadic
+	// pure marks a function whose result depends only on database items
+	// (never on the timestamp, events, or external state). The evaluator
+	// may cache pure calls across states while the database is unchanged.
+	// readsKnown additionally certifies that reads lists every item the
+	// function can touch, letting the engine's read-set scheduler skip
+	// rules whose declared footprint an update leaves alone.
+	pure       bool
+	readsKnown bool
+	reads      []string
 }
 
 // NewRegistry returns a registry with the built-in symbols installed.
 func NewRegistry() *Registry {
 	r := &Registry{funcs: make(map[string]entry)}
-	r.mustRegister("item", 1, func(st history.SystemState, args []value.Value) (value.Value, error) {
+	// "item" is pure but its read set depends on its argument; callers
+	// with a constant argument can resolve the item name themselves.
+	r.mustRegisterPure("item", 1, nil, func(st history.SystemState, args []value.Value) (value.Value, error) {
 		if args[0].Kind() != value.String {
 			return value.Value{}, fmt.Errorf("query: item() wants a string name, got %s", args[0].Kind())
 		}
@@ -58,6 +69,49 @@ func NewRegistry() *Registry {
 		return st.Time(), nil
 	})
 	return r
+}
+
+// RegisterPure installs a query function that is pure over the named
+// database items: its result depends only on the current values of reads
+// (which must list every item the function can touch). Purity enables the
+// evaluator's per-DB-state query cache and the engine's read-set
+// scheduling.
+func (r *Registry) RegisterPure(name string, arity int, reads []string, fn Func) error {
+	if err := r.Register(name, arity, fn); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	e := r.funcs[name]
+	e.pure = true
+	e.readsKnown = true
+	e.reads = append([]string(nil), reads...)
+	sort.Strings(e.reads)
+	r.funcs[name] = e
+	r.mu.Unlock()
+	return nil
+}
+
+// Pure reports whether the named function's result depends only on
+// database items (so its value is stable while the database is
+// unchanged). The built-in "item" is pure; "time" is not.
+func (r *Registry) Pure(name string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.funcs[name].pure
+}
+
+// ReadSet returns the declared database-item footprint of a pure
+// function. ok is false when the footprint is unknown — either the
+// function was registered without one, or (like the built-in "item") the
+// items it touches depend on its arguments.
+func (r *Registry) ReadSet(name string) (reads []string, ok bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e := r.funcs[name]
+	if !e.readsKnown {
+		return nil, false
+	}
+	return e.reads, true
 }
 
 // Register installs a query function with a fixed arity (use -1 for
@@ -83,6 +137,18 @@ func (r *Registry) mustRegister(name string, arity int, fn Func) {
 	if err := r.Register(name, arity, fn); err != nil {
 		panic(err)
 	}
+}
+
+// mustRegisterPure installs a built-in that is pure but has an
+// argument-dependent footprint (readsKnown stays false).
+func (r *Registry) mustRegisterPure(name string, arity int, reads []string, fn Func) {
+	r.mustRegister(name, arity, fn)
+	r.mu.Lock()
+	e := r.funcs[name]
+	e.pure = true
+	e.reads = reads
+	r.funcs[name] = e
+	r.mu.Unlock()
 }
 
 // Has reports whether a symbol is registered.
@@ -139,7 +205,7 @@ func (r *Registry) RegisterItemField(name, itemName string, schema *relation.Sch
 	if ki < 0 || vi < 0 {
 		return fmt.Errorf("query: item field columns %q/%q not in schema %s", keyCol, valCol, schema)
 	}
-	return r.Register(name, 1, func(st history.SystemState, args []value.Value) (value.Value, error) {
+	return r.RegisterPure(name, 1, []string{itemName}, func(st history.SystemState, args []value.Value) (value.Value, error) {
 		iv, ok := st.GetItem(itemName)
 		if !ok {
 			return value.Value{}, fmt.Errorf("query: %s: unknown database item %q", name, itemName)
@@ -166,7 +232,7 @@ func (r *Registry) RegisterSelect(name, itemName string, schema *relation.Schema
 			return fmt.Errorf("query: select projection column %q not in schema %s", c, schema)
 		}
 	}
-	return r.Register(name, 0, func(st history.SystemState, args []value.Value) (value.Value, error) {
+	return r.RegisterPure(name, 0, []string{itemName}, func(st history.SystemState, args []value.Value) (value.Value, error) {
 		iv, ok := st.GetItem(itemName)
 		if !ok {
 			return value.Value{}, fmt.Errorf("query: %s: unknown database item %q", name, itemName)
