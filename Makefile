@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench race vet fmtcheck vulncheck stress verify tables profile benchcheck bench-baselines
+.PHONY: build test bench race vet fmtcheck vulncheck stress verify tables profile benchcheck bench-baselines serve-smoke
 
 build:
 	$(GO) build ./...
@@ -43,8 +43,14 @@ stress:
 # repeated fault-isolation stress pass. benchcheck is advisory (the
 # baselines are wall-clock numbers from the machine of record), so its
 # failure does not fail the tier.
-verify: vet fmtcheck vulncheck race stress
+verify: vet fmtcheck vulncheck race stress serve-smoke
 	-$(MAKE) benchcheck
+
+# serve-smoke boots adbserverd on a random port, drives a scripted client
+# session through adbsh -connect (rules, commits, firing subscription),
+# then SIGTERMs the server and asserts a clean graceful drain (exit 0).
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 tables:
 	$(GO) run ./cmd/benchtables
@@ -58,9 +64,10 @@ profile:
 # benchcheck re-runs the experiments behind the committed benchmark
 # baselines and reports any time column more than 20% over baseline.
 benchcheck:
-	$(GO) run ./cmd/benchcheck BENCH_sched.json BENCH_persist.json
+	$(GO) run ./cmd/benchcheck BENCH_sched.json BENCH_persist.json BENCH_server.json
 
 # bench-baselines regenerates the committed baselines on this machine.
 bench-baselines:
 	$(GO) run ./cmd/benchtables -only E12 -json BENCH_sched.json >/dev/null
 	$(GO) run ./cmd/benchtables -only E10 -json BENCH_persist.json >/dev/null
+	$(GO) run ./cmd/benchtables -only E13 -json BENCH_server.json >/dev/null

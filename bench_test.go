@@ -237,6 +237,30 @@ func BenchmarkSweepWithSandbox(b *testing.B) {
 
 // BenchmarkE9TemporalActions measures the executed-predicate machinery
 // driving the Section-7 BUY-STOCK temporal action.
+// BenchmarkE13Server measures commit round-trips through the network
+// service layer's serializing pipeline, with and without subscriber
+// fan-out.
+func BenchmarkE13Server(b *testing.B) {
+	for _, cfg := range []struct {
+		name             string
+		clients, commits int
+		subs             int
+	}{
+		{"1client", 1, 100, 0},
+		{"4clients", 4, 25, 0},
+		{"fanout4", 1, 100, 4},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				dur, _ := experiments.E13Run(cfg.clients, cfg.commits, cfg.subs)
+				_ = dur
+			}
+			total := cfg.clients * cfg.commits
+			b.ReportMetric(float64(b.Elapsed().Microseconds())/float64(b.N*total), "us/commit")
+		})
+	}
+}
+
 func BenchmarkE9TemporalActions(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		buys, _ := experiments.TemporalActionRun(500)

@@ -1,0 +1,482 @@
+// Package client is the Go client for the active-database server: it
+// dials a server, performs the versioned hello handshake, and exposes the
+// engine's operations — batched transactions, event emission, rule
+// registration and revival, state/firing/health queries, and asynchronous
+// firing subscriptions — over one multiplexed connection.
+//
+// All methods are safe for concurrent use. Requests carry ids; a single
+// read loop routes responses back to their callers and delivers pushed
+// firing, gap and bye frames to the subscription channel. Server errors
+// come back as the same taxonomy the engine raises in-process: errors.Is
+// against ptlactive's sentinels (ErrDegraded, ErrConstraintViolation,
+// ErrRuleQuarantined, ...) and errors.As against *adb.ConstraintError work
+// across the network.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"ptlactive/internal/adb"
+	"ptlactive/internal/event"
+	"ptlactive/internal/histio"
+	"ptlactive/internal/server/wire"
+	"ptlactive/internal/value"
+)
+
+// StreamEvent is one delivery on a subscription: either a firing (Gap ==
+// 0) or a gap marker counting firings the server dropped under the
+// drop-with-gap overflow policy.
+type StreamEvent struct {
+	Firing adb.Firing
+	// Seq is the firing's absolute index in the server's firing log.
+	Seq int
+	// Gap, when nonzero, means this event is a gap marker: Gap firings
+	// were dropped before the next delivered one.
+	Gap int
+}
+
+// Subscription is a live firing stream.
+type Subscription struct {
+	// C delivers firings and gap markers in server order. It closes when
+	// the connection ends — after the server's graceful drain has flushed
+	// the queued backlog, or abruptly on failure.
+	C <-chan StreamEvent
+	c chan StreamEvent
+}
+
+// Client is one session with an active-database server.
+type Client struct {
+	conn net.Conn
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan *wire.Msg
+	sub     *Subscription
+	err     error // terminal failure, set once by the read loop
+	closed  bool
+	done    chan struct{}
+	// closing aborts blocked subscription deliveries when the user calls
+	// Close: a consumer that stopped draining must not wedge teardown.
+	closing   chan struct{}
+	closeOnce sync.Once
+}
+
+// Dial connects to an active-database server and performs the protocol
+// handshake.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return New(conn)
+}
+
+// New runs the client protocol over an established connection (tests and
+// custom transports dial themselves).
+func New(conn net.Conn) (*Client, error) {
+	if err := wire.WriteFrame(conn, wire.Hello()); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	m, err := wire.ReadFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("client: handshake: %w", err)
+	}
+	conn.SetReadDeadline(time.Time{})
+	if m.T == wire.TypeError {
+		conn.Close()
+		return nil, remoteErr(m)
+	}
+	if err := wire.CheckHello(m); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c := &Client{
+		conn:    conn,
+		pending: map[uint64]chan *wire.Msg{},
+		done:    make(chan struct{}),
+		closing: make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// readLoop routes every inbound frame: responses to their waiting caller
+// by id, pushed firings/gaps/bye to the subscription. Subscription
+// delivery blocks — that is deliberate: a slow consumer exerts TCP
+// backpressure and the server's overflow policy, not the client, decides
+// what to do about the lag.
+func (c *Client) readLoop() {
+	var cause error
+	for {
+		m, err := wire.ReadFrame(c.conn)
+		if err != nil {
+			cause = err
+			break
+		}
+		switch m.T {
+		case wire.TypeFiring:
+			if sub := c.subscription(); sub != nil && m.Firing != nil {
+				f, err := wire.DecodeFiring(*m.Firing)
+				if err != nil {
+					cause = err
+					break
+				}
+				select {
+				case sub.c <- StreamEvent{Firing: f, Seq: m.Firing.Seq}:
+				case <-c.closing:
+					// Close was called with the stream undrained; discard.
+				}
+			}
+		case wire.TypeGap:
+			if sub := c.subscription(); sub != nil {
+				select {
+				case sub.c <- StreamEvent{Gap: m.Missed}:
+				case <-c.closing:
+				}
+			}
+		case wire.TypeBye:
+			// Graceful drain: the server flushed everything it owed us.
+			cause = wire.ErrSessionClosed
+		default:
+			c.mu.Lock()
+			ch := c.pending[m.ID]
+			delete(c.pending, m.ID)
+			c.mu.Unlock()
+			if ch != nil {
+				ch <- m
+			}
+		}
+		if cause != nil {
+			break
+		}
+	}
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = cause
+	}
+	c.closed = true
+	waiting := c.pending
+	c.pending = map[uint64]chan *wire.Msg{}
+	sub := c.sub
+	c.sub = nil
+	c.mu.Unlock()
+	c.conn.Close()
+	for _, ch := range waiting {
+		close(ch)
+	}
+	if sub != nil {
+		close(sub.c)
+	}
+	close(c.done)
+}
+
+func (c *Client) subscription() *Subscription {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sub
+}
+
+// Close tears the session down. If the server is still up this is a
+// client-initiated graceful drain: the server flushes what it owes (a
+// subscription keeps delivering until its channel closes) and then closes
+// the connection.
+func (c *Client) Close() error {
+	c.closeOnce.Do(func() { close(c.closing) })
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		<-c.done
+		return nil
+	}
+	c.mu.Unlock()
+	wire.WriteFrame(c.conn, &wire.Msg{T: wire.TypeBye})
+	select {
+	case <-c.done:
+	case <-time.After(10 * time.Second):
+		c.conn.Close()
+		<-c.done
+	}
+	return nil
+}
+
+// Err reports why the session ended (nil while it is alive;
+// ErrSessionClosed after a graceful close).
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// call sends one request frame and waits for its response.
+func (c *Client) call(m *wire.Msg) (*wire.Msg, error) {
+	ch := make(chan *wire.Msg, 1)
+	c.mu.Lock()
+	if c.closed {
+		err := c.err
+		c.mu.Unlock()
+		if err == nil {
+			err = wire.ErrSessionClosed
+		}
+		return nil, err
+	}
+	c.nextID++
+	m.ID = c.nextID
+	c.pending[m.ID] = ch
+	c.mu.Unlock()
+	if err := wire.WriteFrame(c.conn, m); err != nil {
+		c.mu.Lock()
+		delete(c.pending, m.ID)
+		c.mu.Unlock()
+		return nil, err
+	}
+	resp, ok := <-ch
+	if !ok {
+		if err := c.Err(); err != nil && !errors.Is(err, wire.ErrSessionClosed) {
+			return nil, fmt.Errorf("%w (%v)", wire.ErrSessionClosed, err)
+		}
+		return nil, wire.ErrSessionClosed
+	}
+	if resp.T == wire.TypeError {
+		return resp, remoteErr(resp)
+	}
+	return resp, nil
+}
+
+// remoteErr reconstructs a server error frame as a client-side error.
+// Constraint violations come back as *adb.ConstraintError (errors.As
+// works); every other code is a *wire.RemoteError whose Unwrap maps onto
+// the matching sentinel (errors.Is works).
+func remoteErr(m *wire.Msg) error {
+	if m.Code == wire.CodeConstraint && m.Name != "" {
+		return &adb.ConstraintError{Constraint: m.Name, Txn: m.Txn}
+	}
+	return &wire.RemoteError{Code: m.Code, Msg: m.Err}
+}
+
+// Txn is a batched transaction: sets, deletes and events accumulated
+// client-side and committed in one round trip.
+type Txn struct {
+	c       *Client
+	ts      int64
+	updates map[string]value.Value
+	deletes []string
+	events  []event.Event
+	err     error
+}
+
+// Txn starts a batched transaction.
+func (c *Client) Txn() *Txn {
+	return &Txn{c: c, updates: map[string]value.Value{}}
+}
+
+// At pins the commit timestamp; without it the server assigns the next
+// tick.
+func (t *Txn) At(ts int64) *Txn { t.ts = ts; return t }
+
+// Set records an item write.
+func (t *Txn) Set(name string, v value.Value) *Txn { t.updates[name] = v; return t }
+
+// Delete records an item removal.
+func (t *Txn) Delete(name string) *Txn { t.deletes = append(t.deletes, name); return t }
+
+// Emit records events to be part of the committed state.
+func (t *Txn) Emit(events ...event.Event) *Txn { t.events = append(t.events, events...); return t }
+
+// Commit sends the batch and returns the timestamp the server applied it
+// at.
+func (t *Txn) Commit() (int64, error) {
+	if t.err != nil {
+		return 0, t.err
+	}
+	updates, err := histio.EncodeItems(t.updates)
+	if err != nil {
+		return 0, err
+	}
+	events, err := histio.EncodeEvents(t.events)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := t.c.call(&wire.Msg{
+		T: wire.TypeTxn, TS: t.ts,
+		Updates: updates, Deletes: t.deletes, Events: events,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return resp.TS, nil
+}
+
+// Exec commits a one-shot transaction of item updates at ts (0 = server
+// assigns) and returns the applied timestamp.
+func (c *Client) Exec(ts int64, updates map[string]value.Value) (int64, error) {
+	t := c.Txn().At(ts)
+	for k, v := range updates {
+		t.Set(k, v)
+	}
+	return t.Commit()
+}
+
+// Emit appends an event-only state at ts (0 = server assigns) and returns
+// the applied timestamp.
+func (c *Client) Emit(ts int64, events ...event.Event) (int64, error) {
+	raw, err := histio.EncodeEvents(events)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.call(&wire.Msg{T: wire.TypeEmit, TS: ts, Events: raw})
+	if err != nil {
+		return 0, err
+	}
+	return resp.TS, nil
+}
+
+// AddTrigger registers a trigger rule on the server; an optional
+// scheduling mode overrides the default Eager evaluation. Server-side
+// rules have no action body — firings are observed through subscriptions.
+func (c *Client) AddTrigger(name, condition string, sched ...adb.Scheduling) error {
+	return c.addRule(name, condition, false, sched)
+}
+
+// AddConstraint registers an integrity constraint; violating transactions
+// fail with *adb.ConstraintError.
+func (c *Client) AddConstraint(name, constraint string, sched ...adb.Scheduling) error {
+	return c.addRule(name, constraint, true, sched)
+}
+
+func (c *Client) addRule(name, cond string, constraint bool, sched []adb.Scheduling) error {
+	s := adb.Eager
+	if len(sched) > 0 {
+		s = sched[len(sched)-1]
+	}
+	_, err := c.call(&wire.Msg{
+		T: wire.TypeRule, Name: name, Cond: cond,
+		Constraint: constraint, Sched: int(s),
+	})
+	return err
+}
+
+// ReviveRule clears a quarantined rule's circuit breaker.
+func (c *Client) ReviveRule(name string) error {
+	_, err := c.call(&wire.Msg{T: wire.TypeRevive, Name: name})
+	return err
+}
+
+// Ping round-trips a no-op frame.
+func (c *Client) Ping() error {
+	_, err := c.call(&wire.Msg{T: wire.TypePing})
+	return err
+}
+
+// Now returns the engine's current (latest) timestamp.
+func (c *Client) Now() (int64, error) {
+	resp, err := c.call(&wire.Msg{T: wire.TypeQuery, What: "now"})
+	if err != nil {
+		return 0, err
+	}
+	return resp.TS, nil
+}
+
+// DB returns the current database state as an item map.
+func (c *Client) DB() (map[string]value.Value, error) {
+	resp, err := c.call(&wire.Msg{T: wire.TypeQuery, What: "db"})
+	if err != nil {
+		return nil, err
+	}
+	return histio.DecodeItems(resp.Items)
+}
+
+// Firings returns the recorded rule firings starting at index from.
+func (c *Client) Firings(from int) ([]adb.Firing, error) {
+	resp, err := c.call(&wire.Msg{T: wire.TypeQuery, What: "firings", From: from})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]adb.Firing, 0, len(resp.Firings))
+	for _, fj := range resp.Firings {
+		f, err := wire.DecodeFiring(fj)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// RuleInfo describes one registered rule as reported by the server.
+type RuleInfo struct {
+	Name       string
+	Condition  string
+	Constraint bool
+	Scheduling adb.Scheduling
+	Parameters []string
+	Pending    int
+}
+
+// Rules lists the registered rules in registration order.
+func (c *Client) Rules() ([]RuleInfo, error) {
+	resp, err := c.call(&wire.Msg{T: wire.TypeQuery, What: "rules"})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]RuleInfo, 0, len(resp.Rules))
+	for _, r := range resp.Rules {
+		out = append(out, RuleInfo{
+			Name:       r.Name,
+			Condition:  r.Condition,
+			Constraint: r.Constraint,
+			Scheduling: adb.Scheduling(r.Scheduling),
+			Parameters: r.Parameters,
+			Pending:    r.Pending,
+		})
+	}
+	return out, nil
+}
+
+// Health is the server's health report: per-rule failure records plus the
+// engine's degradation state.
+type Health struct {
+	Rules []wire.HealthJSON
+	// Degraded is the engine's seal message ("" while healthy): writes
+	// fail with ErrDegraded but reads and subscriptions stay alive.
+	Degraded string
+}
+
+// Health queries rule health and engine degradation.
+func (c *Client) Health() (Health, error) {
+	resp, err := c.call(&wire.Msg{T: wire.TypeQuery, What: "health"})
+	if err != nil {
+		return Health{}, err
+	}
+	return Health{Rules: resp.Health, Degraded: resp.Degraded}, nil
+}
+
+// Subscribe opens the session's firing stream starting at absolute firing
+// index from: the backlog is replayed, then live firings follow in engine
+// order. One subscription per session.
+func (c *Client) Subscribe(from int) (*Subscription, error) {
+	sub := &Subscription{c: make(chan StreamEvent, 16)}
+	sub.C = sub.c
+	c.mu.Lock()
+	if c.sub != nil {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("client: already subscribed")
+	}
+	c.sub = sub
+	c.mu.Unlock()
+	if _, err := c.call(&wire.Msg{T: wire.TypeSubscribe, From: from}); err != nil {
+		c.mu.Lock()
+		if c.sub == sub {
+			c.sub = nil
+		}
+		c.mu.Unlock()
+		return nil, err
+	}
+	return sub, nil
+}

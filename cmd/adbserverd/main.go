@@ -1,0 +1,133 @@
+// Command adbserverd serves one active database engine over the network:
+// clients connect with the ptlactive wire protocol (package client, or
+// adbsh -connect), run transactions, register rules, query state and
+// subscribe to rule firings.
+//
+//	adbserverd -addr 127.0.0.1:7411 -data /var/lib/adb
+//
+// All mutations are serialized through one commit pipeline, so the firing
+// stream every subscriber sees is the deterministic stream a single
+// process would produce for the same commit order. With -data the engine
+// is durable (write-ahead log + snapshots) and a restart recovers it.
+//
+// Subscription queues are bounded (-sub-queue); -overflow picks what
+// happens to a lagging subscriber: "drop" delivers a gap marker counting
+// the missed firings, "disconnect" severs the connection.
+//
+// SIGTERM or SIGINT drains gracefully: stop accepting, finish queued
+// commits, flush every subscriber queue, close the engine, exit 0.
+//
+// -port-file writes the actually bound address (useful with -addr :0) so
+// scripts can find the server.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ptlactive/internal/adb"
+	"ptlactive/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7411", "listen address (use :0 for a random port with -port-file)")
+	portFile := flag.String("port-file", "", "write the bound address to this file once listening")
+	dataDir := flag.String("data", "", "durable engine directory (write-ahead log + snapshots); empty = memory-only")
+	workers := flag.Int("workers", 0, "worker pool size for rule evaluation (0 = all cores, 1 = sequential)")
+	maxConns := flag.Int("max-conns", 64, "maximum concurrent client sessions")
+	idleTimeout := flag.Duration("idle-timeout", 0, "drop sessions idle longer than this (0 = never)")
+	subQueue := flag.Int("sub-queue", 256, "bounded firing queue per subscriber")
+	overflow := flag.String("overflow", "drop", "subscriber overflow policy: drop (gap markers) or disconnect")
+	maxFailures := flag.Int("max-failures", 0, "quarantine a rule after this many consecutive action failures (0 = never)")
+	sweepBudget := flag.Int64("sweep-budget", 0, "max evaluator steps per sweep (0 = unlimited)")
+	actionTimeout := flag.Duration("action-timeout", 0, "per-action deadline (0 = none)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown bound")
+	flag.Parse()
+
+	var policy server.OverflowPolicy
+	switch *overflow {
+	case "drop":
+		policy = server.DropWithGap
+	case "disconnect":
+		policy = server.Disconnect
+	default:
+		fatal(fmt.Errorf("bad -overflow %q: want drop or disconnect", *overflow))
+	}
+
+	cfg := adb.Config{
+		Workers:         *workers,
+		MaxRuleFailures: *maxFailures,
+		SweepBudget:     *sweepBudget,
+		ActionTimeout:   *actionTimeout,
+	}
+	var eng *adb.Engine
+	if *dataDir != "" {
+		cfg.Durability = adb.DurabilityWAL
+		var err error
+		eng, err = adb.Restore(cfg, *dataDir)
+		if err != nil {
+			fatal(err)
+		}
+		info := eng.Recovery()
+		if info.SnapshotLSN > 0 || info.ReplayedRecords > 1 {
+			logf("recovered: snapshot LSN %d, %d wal records replayed", info.SnapshotLSN, info.ReplayedRecords)
+		}
+	} else {
+		eng = adb.NewEngine(cfg)
+	}
+
+	srv, err := server.New(server.Config{
+		Engine:          eng,
+		MaxConns:        *maxConns,
+		IdleTimeout:     *idleTimeout,
+		SubscriberQueue: *subQueue,
+		Overflow:        policy,
+		Logf:            logf,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	if *portFile != "" {
+		if err := os.WriteFile(*portFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	logf("listening on %s", ln.Addr())
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case sig := <-sigs:
+		logf("%v: draining (bound %v)", sig, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fatal(fmt.Errorf("drain: %w", err))
+		}
+		logf("clean drain")
+	case err := <-serveErr:
+		fatal(err)
+	}
+}
+
+func logf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "adbserverd: "+format+"\n", args...)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "adbserverd:", err)
+	os.Exit(1)
+}

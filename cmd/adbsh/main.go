@@ -41,6 +41,12 @@
 // per-rule circuit breaker (a rule with that many consecutive action
 // failures is quarantined until `revive`), -sweep-budget bounds evaluator
 // steps per sweep, and -action-timeout bounds each action's runtime.
+//
+// Remote mode: -connect host:port runs the same commands against an
+// adbserverd over the network instead of an in-process engine. The
+// engine-local commands (item, save, recover, eval, export, show
+// history) are unavailable there; `follow <n>` is added, subscribing to
+// the server's firing stream and printing the next n firings.
 package main
 
 import (
@@ -62,6 +68,7 @@ func main() {
 	maxFailures := flag.Int("max-failures", 0, "quarantine a rule after this many consecutive action failures (0 = never)")
 	sweepBudget := flag.Int64("sweep-budget", 0, "max evaluator steps per sweep (0 = unlimited)")
 	actionTimeout := flag.Duration("action-timeout", 0, "per-action deadline (0 = none)")
+	connect := flag.String("connect", "", "run against a remote adbserverd at host:port instead of an in-process engine")
 	flag.Parse()
 	in := os.Stdin
 	if flag.NArg() > 0 {
@@ -72,13 +79,24 @@ func main() {
 		defer fh.Close()
 		in = fh
 	}
-	sh := &shell{
-		initial:       map[string]ptlactive.Value{},
-		workers:       *workers,
-		dataDir:       *dataDir,
-		maxFailures:   *maxFailures,
-		sweepBudget:   *sweepBudget,
-		actionTimeout: *actionTimeout,
+	var run func(line string) error
+	if *connect != "" {
+		r, err := newRemote(*connect)
+		if err != nil {
+			fatal(err)
+		}
+		defer r.close()
+		run = r.exec
+	} else {
+		sh := &shell{
+			initial:       map[string]ptlactive.Value{},
+			workers:       *workers,
+			dataDir:       *dataDir,
+			maxFailures:   *maxFailures,
+			sweepBudget:   *sweepBudget,
+			actionTimeout: *actionTimeout,
+		}
+		run = sh.exec
 	}
 	sc := bufio.NewScanner(in)
 	lineNo := 0
@@ -88,7 +106,7 @@ func main() {
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		if err := sh.exec(line); err != nil {
+		if err := run(line); err != nil {
 			fmt.Fprintf(os.Stderr, "adbsh: line %d: %v\n", lineNo, err)
 			os.Exit(1)
 		}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"context"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"ptlactive/internal/adb"
+	"ptlactive/internal/server"
+	"ptlactive/internal/value"
+)
+
+// startTestServer runs an adbserverd-equivalent in-process and returns
+// its address.
+func startTestServer(t *testing.T) string {
+	t.Helper()
+	eng := adb.NewEngine(adb.Config{
+		Initial: map[string]value.Value{"ibm": value.NewInt(10)},
+	})
+	srv, err := server.New(server.Config{Engine: eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return ln.Addr().String()
+}
+
+func runRemote(t *testing.T, r *remote, lines ...string) {
+	t.Helper()
+	for i, line := range lines {
+		if err := r.exec(line); err != nil {
+			t.Fatalf("line %d (%q): %v", i+1, line, err)
+		}
+	}
+}
+
+func TestRemoteShellSession(t *testing.T) {
+	addr := startTestServer(t)
+	r, err := newRemote(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.close()
+	runRemote(t, r,
+		`trigger doubled :: [t <- time] [x <- item("ibm")] previously (item("ibm") <= 0.5 * x and time >= t - 10)`,
+		`commit 2 ibm=15`,
+		`commit 5 ibm=18`,
+		`commit 8 ibm=25`,
+		`show db`,
+		`show firings`,
+		`show rules`,
+		`health`,
+		`follow 1`,
+	)
+	fs, err := r.cli.Firings(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 1 || fs[0].Time != 8 {
+		t.Fatalf("firings = %v", fs)
+	}
+}
+
+func TestRemoteShellConstraintAbort(t *testing.T) {
+	addr := startTestServer(t)
+	r, err := newRemote(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.close()
+	runRemote(t, r,
+		`constraint nonneg :: item("ibm") >= 0`,
+		`commit 1 ibm=5`,
+		`commit 2 ibm=-1`, // abort is reported, not an error
+	)
+	db, err := r.cli.DB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db["ibm"].AsInt() != 5 {
+		t.Fatalf("ibm = %v, want 5 (abort must not apply)", db["ibm"])
+	}
+}
+
+func TestRemoteShellUnsupported(t *testing.T) {
+	addr := startTestServer(t)
+	r, err := newRemote(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.close()
+	for _, line := range []string{"item x 1", "save", "recover", "eval :: true", "export", "show history"} {
+		err := r.exec(line)
+		if err == nil || !strings.Contains(err.Error(), "not supported in remote mode") {
+			t.Fatalf("%q: err = %v, want a remote-mode refusal", line, err)
+		}
+	}
+}

@@ -21,6 +21,7 @@ func TestExamplesRun(t *testing.T) {
 		"./examples/stockmonitor": "run finished",
 		"./examples/futurewatch":  "SLA VIOLATED",
 		"./examples/recovery":     "recovered",
+		"./examples/remote":       "server drained cleanly",
 	}
 	for path, want := range cases {
 		path, want := path, want

@@ -242,10 +242,16 @@ type Engine struct {
 	rules []*rule
 	index map[string]*rule
 
-	execs     []ptl.Execution
-	execIdx   map[string][]ptl.Execution // secondary index of execs by rule
-	firings   []Firing
-	onFiring  func(Firing)
+	execs    []ptl.Execution
+	execIdx  map[string][]ptl.Execution // secondary index of execs by rule
+	firings  []Firing
+	onFiring func(Firing)
+	// observers are the OnFiring-registered firing observers, notified
+	// after the Config.OnFiring callback in registration order. Guarded by
+	// mu; mutation is copy-on-write so the sweep can call a snapshot of the
+	// list without holding the lock.
+	observers []firingObserver
+	nextObsID uint64
 	nextTxn   int64
 	inSweep   bool
 	pending   []Firing // firings awaiting action execution
@@ -558,6 +564,40 @@ func (e *Engine) Now() int64 {
 	return e.now
 }
 
+// firingObserver is one OnFiring registration.
+type firingObserver struct {
+	id uint64
+	fn func(Firing)
+}
+
+// OnFiring registers an observer called synchronously for every subsequent
+// firing, after the Config.OnFiring callback, in registration order; the
+// network layer's subscription fan-out hangs off this hook. The returned
+// cancel function removes the observer. Observers run on the mutating
+// goroutine in the middle of a sweep, so they must not call engine
+// mutators and should return quickly (hand the firing to a queue rather
+// than doing slow work inline). Safe for concurrent registration.
+func (e *Engine) OnFiring(fn func(Firing)) (cancel func()) {
+	e.mu.Lock()
+	e.nextObsID++
+	id := e.nextObsID
+	e.observers = append(e.observers, firingObserver{id: id, fn: fn})
+	e.mu.Unlock()
+	return func() {
+		e.mu.Lock()
+		// Copy-on-write removal: a sweep may be iterating the old slice
+		// outside the lock.
+		out := make([]firingObserver, 0, len(e.observers))
+		for _, o := range e.observers {
+			if o.id != id {
+				out = append(out, o)
+			}
+		}
+		e.observers = out
+		e.mu.Unlock()
+	}
+}
+
 // Firings returns a copy of every firing recorded so far. Safe for
 // concurrent use.
 func (e *Engine) Firings() []Firing {
@@ -864,10 +904,17 @@ type Txn struct {
 
 // Begin opens a transaction. The begin event is recorded with the commit
 // (the model adds system states only when events occur; an explicit begin
-// state can be created with Emit if a condition needs it).
+// state can be created with Emit if a condition needs it). Transaction ids
+// are allocated under the lock, so concurrent sessions may Begin safely;
+// the buffered Txn itself is still single-goroutine, and commits must be
+// serialized by the caller (the network server's commit pipeline does
+// exactly that).
 func (e *Engine) Begin() *Txn {
+	e.mu.Lock()
 	e.nextTxn++
-	return &Txn{e: e, id: e.nextTxn, updates: map[string]value.Value{}, deletes: map[string]bool{}}
+	id := e.nextTxn
+	e.mu.Unlock()
+	return &Txn{e: e, id: id, updates: map[string]value.Value{}, deletes: map[string]bool{}}
 }
 
 // ID returns the transaction id.
@@ -1162,6 +1209,21 @@ func (e *Engine) Exec(ts int64, updates map[string]value.Value, events ...event.
 	tx := e.Begin()
 	for k, v := range updates {
 		tx.Set(k, v)
+	}
+	tx.Emit(events...)
+	return tx.Commit(ts)
+}
+
+// ExecTxn runs a one-shot transaction with updates, deletes and events —
+// the session-scoped exec primitive the network layer maps one batched
+// Begin/Set/Delete/Emit/Commit round-trip onto.
+func (e *Engine) ExecTxn(ts int64, updates map[string]value.Value, deletes []string, events ...event.Event) error {
+	tx := e.Begin()
+	for k, v := range updates {
+		tx.Set(k, v)
+	}
+	for _, d := range deletes {
+		tx.Delete(d)
 	}
 	tx.Emit(events...)
 	return tx.Commit(ts)
@@ -1604,9 +1666,13 @@ func (e *Engine) apply(r *rule, out advanceOutcome) {
 	for _, f := range out.firings {
 		e.mu.Lock()
 		e.firings = append(e.firings, f)
+		obs := e.observers // snapshot; mutation is copy-on-write
 		e.mu.Unlock()
 		if e.onFiring != nil {
 			e.onFiring(f)
+		}
+		for _, o := range obs {
+			o.fn(f)
 		}
 		e.pending = append(e.pending, f)
 	}

@@ -175,6 +175,16 @@ func (e *Engine) SyncWAL() error {
 	return nil
 }
 
+// SetWALFailpoint installs (or clears, with nil) the WAL fault-injection
+// hook of a durable engine; a no-op for memory engines. It exists for
+// degraded-mode tests outside this package (the network layer's
+// writes-fail-reads-survive scenarios); see persist.Failpoint.
+func (e *Engine) SetWALFailpoint(fp persist.Failpoint) {
+	if e.store != nil {
+		e.store.SetFailpoint(fp)
+	}
+}
+
 // Close releases the durability store (no-op for memory engines) and
 // surfaces the sealing error of a degraded engine, so a fault noted by an
 // int-returning operation (Compact, PruneExecutions) is never silent.

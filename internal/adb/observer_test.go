@@ -1,0 +1,122 @@
+package adb
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"ptlactive/internal/value"
+)
+
+// TestOnFiringObservers checks the public observer hook: observers see
+// every firing after the Config callback, in registration order, and a
+// canceled observer stops receiving.
+func TestOnFiringObservers(t *testing.T) {
+	var order []string
+	e := NewEngine(Config{
+		Initial:  map[string]value.Value{"x": value.NewInt(0)},
+		OnFiring: func(f Firing) { order = append(order, "cfg:"+f.Rule) },
+	})
+	if err := e.AddTrigger("up", `item("x") > 0`, nil); err != nil {
+		t.Fatal(err)
+	}
+	cancelA := e.OnFiring(func(f Firing) { order = append(order, "a:"+f.Rule) })
+	cancelB := e.OnFiring(func(f Firing) { order = append(order, "b:"+f.Rule) })
+	defer cancelB()
+
+	if err := e.Exec(1, map[string]value.Value{"x": value.NewInt(1)}); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"cfg:up", "a:up", "b:up"}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+
+	cancelA()
+	order = nil
+	if err := e.Exec(2, map[string]value.Value{"x": value.NewInt(2)}); err != nil {
+		t.Fatal(err)
+	}
+	want = []string{"cfg:up", "b:up"}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Fatalf("after cancel: order = %v, want %v", order, want)
+	}
+}
+
+// TestOnFiringConcurrentRegistration registers and cancels observers from
+// other goroutines while the mutator commits; run under -race this guards
+// the copy-on-write discipline.
+func TestOnFiringConcurrentRegistration(t *testing.T) {
+	e := NewEngine(Config{Initial: map[string]value.Value{"x": value.NewInt(0)}})
+	if err := e.AddTrigger("up", `item("x") >= 0`, nil); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				cancel := e.OnFiring(func(Firing) {})
+				cancel()
+			}
+		}()
+	}
+	for ts := int64(1); ts <= 200; ts++ {
+		if err := e.Exec(ts, map[string]value.Value{"x": value.NewInt(ts)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestExecTxnDeletes checks the session-scoped one-shot form applies
+// deletes like an explicit Begin/Delete/Commit.
+func TestExecTxnDeletes(t *testing.T) {
+	e := NewEngine(Config{Initial: map[string]value.Value{
+		"a": value.NewInt(1), "b": value.NewInt(2),
+	}})
+	if err := e.ExecTxn(1, map[string]value.Value{"a": value.NewInt(10)}, []string{"b"}); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := e.DB().Get("a"); !ok || v.AsInt() != 10 {
+		t.Fatalf("a = %v, %v", v, ok)
+	}
+	if _, ok := e.DB().Get("b"); ok {
+		t.Fatalf("b survived its delete")
+	}
+}
+
+// TestBeginConcurrent allocates transaction ids from many goroutines; ids
+// must be unique (run under -race).
+func TestBeginConcurrent(t *testing.T) {
+	e := NewEngine(Config{})
+	const n, per = 8, 50
+	ids := make(chan int64, n*per)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				ids <- e.Begin().ID()
+			}
+		}()
+	}
+	wg.Wait()
+	close(ids)
+	seen := map[int64]bool{}
+	for id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate txn id %d", id)
+		}
+		seen[id] = true
+	}
+}

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"ptlactive/client"
+	"ptlactive/internal/adb"
+	"ptlactive/internal/server"
+	"ptlactive/internal/value"
+)
+
+// E13Run is the E13 kernel: an in-process server on a loopback listener,
+// nclients concurrent sessions each committing ncommits server-timestamped
+// transactions (every commit fires one trigger), and nsubs subscribers
+// that must each receive the full firing stream before the clock stops.
+// It returns the wall time and the total firing deliveries.
+func E13Run(nclients, ncommits, nsubs int) (time.Duration, int) {
+	eng := adb.NewEngine(adb.Config{
+		Initial: map[string]value.Value{"a": value.NewInt(0)},
+	})
+	if err := eng.AddTrigger("every", `item("a") > 0`, nil); err != nil {
+		panic(err)
+	}
+	srv, err := server.New(server.Config{Engine: eng})
+	if err != nil {
+		panic(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	go srv.Serve(ln)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+	addr := ln.Addr().String()
+
+	total := nclients * ncommits
+	start := time.Now()
+
+	var subWG sync.WaitGroup
+	delivered := 0
+	var deliveredMu sync.Mutex
+	for s := 0; s < nsubs; s++ {
+		c, err := client.Dial(addr)
+		if err != nil {
+			panic(err)
+		}
+		defer c.Close()
+		sub, err := c.Subscribe(0)
+		if err != nil {
+			panic(err)
+		}
+		subWG.Add(1)
+		go func() {
+			defer subWG.Done()
+			got := 0
+			for ev := range sub.C {
+				if ev.Gap > 0 {
+					got += ev.Gap // dropped firings still count as seen
+				} else {
+					got++
+				}
+				if got >= total {
+					break
+				}
+			}
+			deliveredMu.Lock()
+			delivered += got
+			deliveredMu.Unlock()
+		}()
+	}
+
+	var wg sync.WaitGroup
+	for ci := 0; ci < nclients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			c, err := client.Dial(addr)
+			if err != nil {
+				panic(err)
+			}
+			defer c.Close()
+			for i := 0; i < ncommits; i++ {
+				if _, err := c.Exec(0, map[string]value.Value{
+					"a": value.NewInt(int64(ci*ncommits + i + 1)),
+				}); err != nil {
+					panic(err)
+				}
+			}
+		}(ci)
+	}
+	wg.Wait()
+	subWG.Wait()
+	return time.Since(start), delivered
+}
+
+// E13Server measures the network service layer: commit throughput through
+// the serializing pipeline as concurrent sessions increase, and firing
+// fan-out to multiple subscribers.
+func E13Server(quick bool) Table {
+	ncommits := 300
+	if quick {
+		ncommits = 40
+	}
+	t := Table{
+		ID:    "E13",
+		Title: "server throughput and subscriber fan-out",
+		Header: []string{"scenario", "clients", "commits", "subs", "deliveries",
+			"total ms", "us/commit"},
+		Notes: "loopback TCP, one trigger firing per commit, server-assigned timestamps. " +
+			"All mutations serialize through the commit pipeline, so added clients contend " +
+			"for one writer; subscriber rows stop the clock only when every subscriber has " +
+			"received the full firing stream.",
+	}
+	for _, nc := range []int{1, 2, 4} {
+		per := ncommits / nc
+		dur, _ := E13Run(nc, per, 0)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d committer(s)", nc), fmt.Sprint(nc), fmt.Sprint(nc * per), "0", "0",
+			fmtMs(dur), fmtDur(dur, nc*per),
+		})
+	}
+	for _, ns := range []int{1, 4} {
+		dur, delivered := E13Run(1, ncommits, ns)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("fan-out %d sub(s)", ns), "1", fmt.Sprint(ncommits), fmt.Sprint(ns),
+			fmt.Sprint(delivered), fmtMs(dur), fmtDur(dur, ncommits),
+		})
+	}
+	return t
+}

@@ -98,6 +98,7 @@ var Catalog = []struct {
 	{"E9", E9TemporalActions},
 	{"E10", E10Durability},
 	{"E12", E12ReadSetIndex},
+	{"E13", E13Server},
 	{"A1", A1DecomposableFastPath},
 	{"A2", A2FutureProgression},
 }

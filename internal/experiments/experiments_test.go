@@ -14,8 +14,8 @@ func TestAllExperimentsRun(t *testing.T) {
 		t.Skip("experiments are slow")
 	}
 	tables := All(true)
-	if len(tables) != 14 {
-		t.Fatalf("expected 14 tables (E1-E10, E7b, E12, A1, A2), got %d", len(tables))
+	if len(tables) != 15 {
+		t.Fatalf("expected 15 tables (E1-E10, E7b, E12, E13, A1, A2), got %d", len(tables))
 	}
 	byID := map[string]Table{}
 	for _, tab := range tables {
@@ -104,6 +104,18 @@ func TestAllExperimentsRun(t *testing.T) {
 	coarseSteps := atoi(t, e12.Rows[0][5])
 	if idxSteps >= coarseSteps {
 		t.Errorf("E12: index did not reduce steps: %d vs %d", idxSteps, coarseSteps)
+	}
+
+	// E13: every fan-out row must deliver the full firing stream to every
+	// subscriber (deliveries = commits × subs).
+	e13 := byID["E13"]
+	for _, row := range e13.Rows {
+		commits := atoi(t, row[2])
+		subs := atoi(t, row[3])
+		delivered := atoi(t, row[4])
+		if delivered != commits*subs {
+			t.Errorf("E13 %s: delivered %d of %d firings", row[0], delivered, commits*subs)
+		}
 	}
 }
 

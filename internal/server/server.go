@@ -1,0 +1,569 @@
+// Package server is the network service layer of the active database: a
+// TCP server speaking the length-prefixed, versioned protocol of
+// internal/server/wire, over which clients open sessions, run batched
+// transactions, register and revive rules, query state and health, and
+// subscribe to rule firings pushed asynchronously.
+//
+// One adb.Engine sits behind a serializing commit pipeline: every
+// mutating request — transactions, emits, rule registration, revival,
+// subscription starts — executes on a single goroutine, so the engine's
+// deterministic firing order is preserved and the firing stream every
+// subscriber observes is exactly the stream a single-process engine
+// produces for the same commit order. Read-only queries bypass the
+// pipeline (the engine's reader accessors are safe concurrently), which
+// keeps reads and subscriptions alive while writes are refused on a
+// degraded engine — graceful degradation over the wire.
+//
+// Subscribers have bounded per-session queues with an explicit overflow
+// policy: DropWithGap drops firings and delivers a gap marker in their
+// place, Disconnect drops the lagging connection with ErrSubscriberLagged.
+// Shutdown drains gracefully: stop accepting, finish queued mutations,
+// flush subscriber queues, send bye frames, close the engine.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"ptlactive/internal/adb"
+	"ptlactive/internal/histio"
+	"ptlactive/internal/server/wire"
+	"ptlactive/internal/value"
+)
+
+// OverflowPolicy selects what happens to a subscriber whose bounded
+// firing queue is full when the next firing arrives.
+type OverflowPolicy int
+
+const (
+	// DropWithGap drops the firing and delivers a gap marker (the count of
+	// dropped firings) in its place once the queue has room again: the
+	// subscriber keeps its connection and knows exactly how much it missed.
+	DropWithGap OverflowPolicy = iota
+	// Disconnect closes the lagging subscriber's connection with
+	// ErrSubscriberLagged: the subscriber never observes a silently
+	// incomplete stream.
+	Disconnect
+)
+
+// ErrServerClosed is returned by Serve after Shutdown begins.
+var ErrServerClosed = errors.New("server: closed")
+
+// Config configures a Server.
+type Config struct {
+	// Engine is the active database to serve. Required; the server becomes
+	// its only mutator.
+	Engine *adb.Engine
+	// MaxConns bounds concurrent sessions (default 64); connections beyond
+	// it are refused with a busy error frame.
+	MaxConns int
+	// IdleTimeout is the per-session read deadline between frames; a
+	// session idle longer is closed. 0 means no deadline.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each outbound frame write (default 10s), so a
+	// peer that stops reading cannot stall broadcast or drain.
+	WriteTimeout time.Duration
+	// SubscriberQueue bounds each subscriber's firing queue (default 256).
+	SubscriberQueue int
+	// Overflow selects the policy when a subscriber's queue is full.
+	Overflow OverflowPolicy
+	// Logf, when set, receives server diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// Server serves one engine over the wire protocol.
+type Server struct {
+	cfg Config
+	eng *adb.Engine
+
+	// ops is the serializing commit pipeline: all engine mutations execute
+	// on the goroutine draining it, in submission order.
+	ops chan func()
+	// seq is the next firing's absolute index; touched only on the
+	// pipeline goroutine (the engine observer runs inside pipeline ops).
+	seq int
+
+	quit      chan struct{} // closed when Shutdown begins
+	quitOnce  sync.Once
+	pipeDone  chan struct{}
+	cancelObs func()
+
+	mu       sync.Mutex
+	ln       net.Listener
+	sessions map[*session]struct{}
+	wg       sync.WaitGroup // session goroutines
+	shutdown bool
+}
+
+// New creates a server around cfg.Engine and starts its commit pipeline.
+// The engine must not be mutated by anyone else from here on.
+func New(cfg Config) (*Server, error) {
+	if cfg.Engine == nil {
+		return nil, fmt.Errorf("server: Config.Engine is required")
+	}
+	if cfg.MaxConns <= 0 {
+		cfg.MaxConns = 64
+	}
+	if cfg.SubscriberQueue <= 0 {
+		cfg.SubscriberQueue = 256
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = 10 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	s := &Server{
+		cfg:      cfg,
+		eng:      cfg.Engine,
+		ops:      make(chan func(), 256),
+		quit:     make(chan struct{}),
+		pipeDone: make(chan struct{}),
+		sessions: map[*session]struct{}{},
+	}
+	s.seq = len(s.eng.Firings())
+	s.cancelObs = s.eng.OnFiring(s.broadcast)
+	go s.pipeline()
+	return s, nil
+}
+
+// pipeline is the single mutator goroutine; ops run in submission order
+// until Shutdown closes the channel (after every session is gone).
+func (s *Server) pipeline() {
+	defer close(s.pipeDone)
+	for fn := range s.ops {
+		fn()
+	}
+}
+
+// broadcast delivers one firing to every subscribed session; it runs on
+// the pipeline goroutine, inside the engine call that produced the firing,
+// so subscribers observe firings in exactly the engine's order.
+func (s *Server) broadcast(f adb.Firing) {
+	seq := s.seq
+	s.seq++
+	fj, err := wire.EncodeFiring(f, seq)
+	s.mu.Lock()
+	targets := make([]*session, 0, len(s.sessions))
+	for sess := range s.sessions {
+		targets = append(targets, sess)
+	}
+	s.mu.Unlock()
+	for _, sess := range targets {
+		if err != nil {
+			// The firing cannot cross the wire; the subscriber learns it
+			// missed one instead of silently losing it.
+			sess.dropGap(1)
+			continue
+		}
+		sess.pushFiring(&fj)
+	}
+	if err != nil {
+		s.cfg.Logf("server: firing %d not encodable: %v", seq, err)
+	}
+}
+
+// ListenAndServe listens on addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Shutdown; it returns
+// ErrServerClosed after a graceful shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.shutdown {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrServerClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.quit:
+				return ErrServerClosed
+			default:
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			return err
+		}
+		s.startSession(conn)
+	}
+}
+
+// Addr returns the listening address (nil before Serve).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// ServeConn runs one already-established connection through the normal
+// session lifecycle; tests and in-process transports use it directly.
+func (s *Server) ServeConn(conn net.Conn) {
+	s.startSession(conn)
+}
+
+func (s *Server) startSession(conn net.Conn) {
+	s.mu.Lock()
+	if s.shutdown || len(s.sessions) >= s.cfg.MaxConns {
+		full := !s.shutdown
+		s.mu.Unlock()
+		code, msg := wire.CodeClosed, "server draining"
+		if full {
+			code, msg = wire.CodeBusy, fmt.Sprintf("connection limit %d reached", s.cfg.MaxConns)
+		}
+		conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+		wire.WriteFrame(conn, &wire.Msg{T: wire.TypeError, Code: code, Err: msg})
+		conn.Close()
+		return
+	}
+	sess := newSession(s, conn)
+	s.sessions[sess] = struct{}{}
+	s.wg.Add(1)
+	s.mu.Unlock()
+	go s.runSession(sess)
+}
+
+func (s *Server) runSession(sess *session) {
+	defer func() {
+		sess.fail(wire.ErrSessionClosed)
+		s.mu.Lock()
+		delete(s.sessions, sess)
+		s.mu.Unlock()
+		s.wg.Done()
+	}()
+	if err := s.handshake(sess); err != nil {
+		return
+	}
+	go sess.writeLoop()
+	s.readLoop(sess)
+}
+
+// handshake enforces the hello exchange before anything else; a version
+// mismatch is answered with an error frame and the connection closed.
+func (s *Server) handshake(sess *session) error {
+	sess.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	m, err := wire.ReadFrame(sess.conn)
+	if err != nil {
+		return err
+	}
+	if err := wire.CheckHello(m); err != nil {
+		sess.conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+		wire.WriteFrame(sess.conn, &wire.Msg{
+			T: wire.TypeError, ID: m.ID, Code: wire.CodeVersion, Err: err.Error(),
+		})
+		return err
+	}
+	sess.conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	return wire.WriteFrame(sess.conn, &wire.Msg{
+		T: wire.TypeHello, ID: m.ID, Proto: wire.ProtoName, Version: wire.Version,
+	})
+}
+
+// readLoop dispatches request frames until the connection dies or drain
+// begins. Mutations go through the pipeline; queries are answered inline
+// from the engine's concurrency-safe reader accessors.
+func (s *Server) readLoop(sess *session) {
+	for {
+		if t := s.cfg.IdleTimeout; t > 0 {
+			sess.conn.SetReadDeadline(time.Now().Add(t))
+		} else {
+			sess.conn.SetReadDeadline(time.Time{})
+		}
+		m, err := wire.ReadFrame(sess.conn)
+		if err != nil {
+			return
+		}
+		switch m.T {
+		case wire.TypePing:
+			sess.enqueue(&wire.Msg{T: wire.TypeOK, ID: m.ID})
+		case wire.TypeBye:
+			// Client-initiated close: flush what is queued and finish.
+			sess.beginDrain()
+			return
+		case wire.TypeQuery:
+			s.handleQuery(sess, m)
+		case wire.TypeTxn, wire.TypeEmit:
+			s.dispatchTxn(sess, m)
+		case wire.TypeRule:
+			m := m
+			s.submit(sess, m.ID, func() {
+				var err error
+				opt := adb.WithScheduling(adb.Scheduling(m.Sched))
+				if m.Constraint {
+					err = s.eng.AddConstraint(m.Name, m.Cond, opt)
+				} else {
+					err = s.eng.AddTrigger(m.Name, m.Cond, nil, opt)
+				}
+				sess.enqueue(reply(m.ID, 0, err))
+			})
+		case wire.TypeRevive:
+			m := m
+			s.submit(sess, m.ID, func() {
+				sess.enqueue(reply(m.ID, 0, s.eng.ReviveRule(m.Name)))
+			})
+		case wire.TypeSubscribe:
+			m := m
+			s.submit(sess, m.ID, func() { s.subscribe(sess, m) })
+		default:
+			sess.enqueue(&wire.Msg{
+				T: wire.TypeError, ID: m.ID, Code: wire.CodeBadRequest,
+				Err: fmt.Sprintf("unknown frame type %q", m.T),
+			})
+		}
+	}
+}
+
+// dispatchTxn decodes a transaction (or emit) on the reader goroutine —
+// malformed payloads are rejected before they reach the pipeline — and
+// submits the commit.
+func (s *Server) dispatchTxn(sess *session, m *wire.Msg) {
+	updates, err := histio.DecodeItems(m.Updates)
+	if err != nil {
+		sess.enqueue(&wire.Msg{T: wire.TypeError, ID: m.ID, Code: wire.CodeBadRequest, Err: err.Error()})
+		return
+	}
+	events, err := histio.DecodeEvents(m.Events)
+	if err != nil {
+		sess.enqueue(&wire.Msg{T: wire.TypeError, ID: m.ID, Code: wire.CodeBadRequest, Err: err.Error()})
+		return
+	}
+	id, emit, ts, deletes := m.ID, m.T == wire.TypeEmit, m.TS, m.Deletes
+	s.submit(sess, id, func() {
+		// Timestamp 0 asks the server to assign the next tick; the commit
+		// pipeline is the only mutator, so now+1 is race-free and strictly
+		// increasing in pipeline order.
+		if ts == 0 {
+			ts = s.eng.Now() + 1
+		}
+		var err error
+		if emit {
+			err = s.eng.Emit(ts, events...)
+		} else {
+			err = s.eng.ExecTxn(ts, updates, deletes, events...)
+		}
+		sess.enqueue(reply(id, ts, err))
+	})
+}
+
+// reply builds the response frame for a mutation outcome; engine errors
+// are mapped onto the wire error taxonomy, constraint violations carrying
+// their constraint name and transaction id.
+func reply(id uint64, ts int64, err error) *wire.Msg {
+	if err == nil {
+		return &wire.Msg{T: wire.TypeOK, ID: id, TS: ts}
+	}
+	out := &wire.Msg{T: wire.TypeError, ID: id, TS: ts, Code: wire.CodeFor(err), Err: err.Error()}
+	var ce *adb.ConstraintError
+	if errors.As(err, &ce) {
+		out.Name = ce.Constraint
+		out.Txn = ce.Txn
+	}
+	return out
+}
+
+// submit places fn on the commit pipeline; after drain begins the request
+// is refused with the closed error so clients see ErrSessionClosed rather
+// than a hang.
+func (s *Server) submit(sess *session, id uint64, fn func()) {
+	select {
+	case <-s.quit:
+		sess.enqueue(&wire.Msg{T: wire.TypeError, ID: id, Code: wire.CodeClosed, Err: "server draining"})
+	case s.ops <- fn:
+	}
+}
+
+// subscribe runs on the pipeline goroutine: the backlog snapshot and the
+// live registration are atomic with respect to commits, so the subscriber
+// sees every firing exactly once (modulo its own queue's overflow policy).
+func (s *Server) subscribe(sess *session, m *wire.Msg) {
+	fs := s.eng.Firings()
+	from := m.From
+	if from < 0 {
+		from = 0
+	}
+	if from > len(fs) {
+		from = len(fs)
+	}
+	sess.mu.Lock()
+	if sess.subscribed {
+		sess.mu.Unlock()
+		sess.enqueue(&wire.Msg{T: wire.TypeError, ID: m.ID, Code: wire.CodeBadRequest, Err: "already subscribed"})
+		return
+	}
+	sess.subscribed = true
+	sess.queue = append(sess.queue, &wire.Msg{T: wire.TypeOK, ID: m.ID, From: from})
+	for i := from; i < len(fs); i++ {
+		fj, err := wire.EncodeFiring(fs[i], i)
+		if err != nil {
+			sess.gap++
+			continue
+		}
+		sess.pushFiringLocked(&fj)
+	}
+	sess.cond.Broadcast()
+	sess.mu.Unlock()
+}
+
+// handleQuery answers read-only requests inline; these never touch the
+// pipeline, so they keep working while writes fail on a degraded engine.
+func (s *Server) handleQuery(sess *session, m *wire.Msg) {
+	out := &wire.Msg{T: wire.TypeOK, ID: m.ID}
+	switch m.What {
+	case "now":
+		out.TS = s.eng.Now()
+	case "db":
+		db := s.eng.DB()
+		items := map[string]value.Value{}
+		for _, name := range db.Items() {
+			v, _ := db.Get(name)
+			items[name] = v
+		}
+		enc, err := histio.EncodeItems(items)
+		if err != nil {
+			sess.enqueue(&wire.Msg{T: wire.TypeError, ID: m.ID, Code: wire.CodeInternal, Err: err.Error()})
+			return
+		}
+		out.Items = enc
+	case "firings":
+		fs := s.eng.Firings()
+		from := m.From
+		if from < 0 {
+			from = 0
+		}
+		if from > len(fs) {
+			from = len(fs)
+		}
+		out.Firings = make([]wire.FiringJSON, 0, len(fs)-from)
+		for i := from; i < len(fs); i++ {
+			fj, err := wire.EncodeFiring(fs[i], i)
+			if err != nil {
+				sess.enqueue(&wire.Msg{T: wire.TypeError, ID: m.ID, Code: wire.CodeInternal, Err: err.Error()})
+				return
+			}
+			out.Firings = append(out.Firings, fj)
+		}
+	case "rules":
+		for _, name := range s.eng.RuleNames() {
+			info, ok := s.eng.Rule(name)
+			if !ok {
+				continue
+			}
+			out.Rules = append(out.Rules, wire.RuleJSON{
+				Name:       info.Name,
+				Condition:  info.Condition,
+				Constraint: info.Constraint,
+				Scheduling: int(info.Scheduling),
+				Parameters: info.Parameters,
+				Pending:    info.PendingStates,
+			})
+		}
+	case "health":
+		for _, name := range s.eng.RuleNames() {
+			h, ok := s.eng.RuleHealth(name)
+			if !ok {
+				continue
+			}
+			hj := wire.HealthJSON{
+				Rule:        h.Rule,
+				Quarantined: h.Quarantined,
+				Consecutive: h.ConsecutiveFailures,
+				Total:       h.TotalFailures,
+				LastAt:      h.LastFailureAt,
+			}
+			if h.LastError != nil {
+				hj.LastError = h.LastError.Error()
+			}
+			out.Health = append(out.Health, hj)
+		}
+		if err := s.eng.Degraded(); err != nil {
+			out.Degraded = err.Error()
+		}
+	default:
+		sess.enqueue(&wire.Msg{
+			T: wire.TypeError, ID: m.ID, Code: wire.CodeBadRequest,
+			Err: fmt.Sprintf("unknown query %q", m.What),
+		})
+		return
+	}
+	sess.enqueue(out)
+}
+
+// Shutdown drains the server gracefully: stop accepting, refuse new
+// mutations, finish the queued ones, flush every subscriber queue (bye
+// frame last), wait for the sessions to unwind and close the engine. The
+// context bounds the wait; on expiry remaining connections are severed
+// (their flushed prefix has still been delivered).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.quitOnce.Do(func() { close(s.quit) })
+	s.mu.Lock()
+	alreadyDown := s.shutdown
+	s.shutdown = true
+	ln := s.ln
+	s.mu.Unlock()
+	if alreadyDown {
+		<-s.pipeDone
+		return nil
+	}
+	if ln != nil {
+		ln.Close()
+	}
+	// Barrier: every mutation submitted before the drain flag has executed
+	// and its response is queued. Readers that lose the submit race get the
+	// closed error instead of a hang.
+	barrier := make(chan struct{})
+	s.ops <- func() { close(barrier) }
+	<-barrier
+	// Flush: queued responses and subscribed firings go out, then bye.
+	s.mu.Lock()
+	for sess := range s.sessions {
+		sess.beginDrain()
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var ctxErr error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		ctxErr = ctx.Err()
+		s.mu.Lock()
+		for sess := range s.sessions {
+			sess.fail(wire.ErrSessionClosed)
+		}
+		s.mu.Unlock()
+		<-done
+	}
+	// No session goroutines remain, so nothing can submit: stop the
+	// pipeline and release the engine.
+	s.cancelObs()
+	close(s.ops)
+	<-s.pipeDone
+	if err := s.eng.Close(); err != nil && ctxErr == nil {
+		// A degraded engine surfaces its seal at Close; that is the
+		// operator's signal, not a drain failure.
+		s.cfg.Logf("server: engine close: %v", err)
+	}
+	return ctxErr
+}

@@ -1,0 +1,168 @@
+package server
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"ptlactive/internal/server/wire"
+)
+
+// session is one accepted connection: a reader goroutine (handshake,
+// request dispatch) plus a writer goroutine draining the outbound queue.
+// Responses and pushed firings share the queue, so each client observes
+// one totally ordered stream. The queue is unbounded for responses —
+// every request gets its answer — while firing pushes are bounded by the
+// server's SubscriberQueue and subject to the overflow policy.
+type session struct {
+	srv  *Server
+	conn net.Conn
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	// queue is the outbound frame deque; nfirings counts the firing frames
+	// currently in it (the bounded part).
+	queue    []*wire.Msg
+	nfirings int
+	// gap accumulates firings dropped under the drop-with-gap policy; it
+	// is materialized as a gap frame the next time the queue has room, so
+	// the marker sits exactly where the missing firings would have been.
+	gap        int
+	subscribed bool
+	// draining: the writer closes the connection once the queue empties
+	// (graceful drain). closed: no further enqueues; the writer exits as
+	// soon as it observes it.
+	draining bool
+	closed   bool
+	// failure records why the session died (ErrSubscriberLagged on a
+	// disconnect-policy overflow; nil on clean teardown).
+	failure error
+}
+
+func newSession(srv *Server, conn net.Conn) *session {
+	s := &session{srv: srv, conn: conn}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// enqueue appends a response frame; responses are never dropped (a closed
+// session discards them — the peer is gone).
+func (s *session) enqueue(m *wire.Msg) {
+	s.mu.Lock()
+	if !s.closed {
+		s.queue = append(s.queue, m)
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+// pushFiring offers one firing to the subscriber under the bounded-queue
+// policy; a no-op for sessions that never subscribed.
+func (s *session) pushFiring(fj *wire.FiringJSON) {
+	s.mu.Lock()
+	s.pushFiringLocked(fj)
+	s.mu.Unlock()
+}
+
+func (s *session) pushFiringLocked(fj *wire.FiringJSON) {
+	if s.closed || !s.subscribed {
+		return
+	}
+	if s.nfirings >= s.srv.cfg.SubscriberQueue {
+		switch s.srv.cfg.Overflow {
+		case DropWithGap:
+			s.gap++
+		case Disconnect:
+			// The writer may be blocked mid-frame on a full socket; closing
+			// the connection is the only way to shed the lagging subscriber
+			// without stalling the broadcast.
+			s.failure = wire.ErrSubscriberLagged
+			s.closed = true
+			s.conn.Close()
+			s.cond.Broadcast()
+		}
+		return
+	}
+	if s.gap > 0 {
+		s.queue = append(s.queue, &wire.Msg{T: wire.TypeGap, Missed: s.gap})
+		s.gap = 0
+	}
+	s.queue = append(s.queue, &wire.Msg{T: wire.TypeFiring, Firing: fj})
+	s.nfirings++
+	s.cond.Broadcast()
+}
+
+// dropGap records n firings as lost (used when a firing fails to encode —
+// the subscriber learns it missed something rather than silently skipping).
+func (s *session) dropGap(n int) {
+	s.mu.Lock()
+	if !s.closed && s.subscribed {
+		s.gap += n
+	}
+	s.mu.Unlock()
+}
+
+// beginDrain puts the session into graceful-drain mode: a trailing gap
+// marker (if one is pending) and a bye frame are queued, and the writer
+// closes the connection once everything queued — including any backlog of
+// subscribed firings — has been flushed.
+func (s *session) beginDrain() {
+	s.mu.Lock()
+	if !s.closed && !s.draining {
+		if s.gap > 0 {
+			s.queue = append(s.queue, &wire.Msg{T: wire.TypeGap, Missed: s.gap})
+			s.gap = 0
+		}
+		s.queue = append(s.queue, &wire.Msg{T: wire.TypeBye})
+		s.draining = true
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// fail tears the session down immediately: pending frames are abandoned
+// and the connection closed.
+func (s *session) fail(err error) {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		if s.failure == nil {
+			s.failure = err
+		}
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.conn.Close()
+}
+
+// writeLoop drains the outbound queue onto the connection. Each frame
+// gets its own write deadline, so a peer that stops reading cannot stall
+// the server's drain forever.
+func (s *session) writeLoop() {
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.closed && !s.draining {
+			s.cond.Wait()
+		}
+		if s.closed || len(s.queue) == 0 {
+			// Closed, or draining with an empty queue: flush is complete.
+			s.closed = true
+			s.mu.Unlock()
+			s.conn.Close()
+			return
+		}
+		m := s.queue[0]
+		s.queue = s.queue[1:]
+		if m.T == wire.TypeFiring {
+			s.nfirings--
+		}
+		s.mu.Unlock()
+		if t := s.srv.cfg.WriteTimeout; t > 0 {
+			s.conn.SetWriteDeadline(time.Now().Add(t))
+		}
+		if err := wire.WriteFrame(s.conn, m); err != nil {
+			s.fail(err)
+			return
+		}
+	}
+}

@@ -1,0 +1,339 @@
+// Package wire is the network protocol of the active-database server: a
+// length-prefixed, versioned binary framing whose payloads reuse the
+// kind-tagged JSON value grammar of internal/histio, so every database
+// value, event and rule binding crosses the wire in the same lossless
+// encoding the durability layer writes to disk.
+//
+// A frame is a 4-byte big-endian payload length followed by that many
+// bytes of JSON (one Msg). The length is bounded by MaxFrame, so garbage
+// bytes on the stream fail fast instead of allocating; a torn frame
+// surfaces as io.ErrUnexpectedEOF. The first frame of every connection
+// must be a hello carrying the protocol name and version; servers refuse
+// mismatches with the "version" error code before anything else happens.
+//
+// The package also defines the error taxonomy shared by the server and
+// client: sentinel errors for session teardown, subscriber lag and
+// version mismatch, the wire error codes, and RemoteError — the
+// client-side form of a server error frame, whose Unwrap maps codes back
+// onto the engine's sentinels so errors.Is works across the network.
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"ptlactive/internal/adb"
+	"ptlactive/internal/core"
+	"ptlactive/internal/histio"
+)
+
+// Protocol identity. Version bumps whenever a frame's meaning changes
+// incompatibly; hello frames carry it and both ends refuse mismatches.
+const (
+	ProtoName = "ptlactive"
+	Version   = 1
+)
+
+// MaxFrame bounds one frame's payload. Larger prefixes are rejected
+// before any allocation proportional to them, so a stream of garbage
+// bytes cannot balloon memory.
+const MaxFrame = 8 << 20
+
+// Frame types (Msg.T). Requests flow client to server; ok/error answer
+// them (echoing the request id); firing, gap and bye are pushed
+// asynchronously to subscribers.
+const (
+	TypeHello     = "hello"
+	TypeTxn       = "txn"
+	TypeEmit      = "emit"
+	TypeRule      = "rule"
+	TypeRevive    = "revive"
+	TypeQuery     = "query"
+	TypeSubscribe = "subscribe"
+	TypePing      = "ping"
+	TypeOK        = "ok"
+	TypeError     = "error"
+	TypeFiring    = "firing"
+	TypeGap       = "gap"
+	TypeBye       = "bye"
+)
+
+// Error codes carried by error frames; CodeFor and RemoteError.Unwrap are
+// the two directions of the mapping.
+const (
+	CodeConstraint  = "constraint"
+	CodeDegraded    = "degraded"
+	CodeQuarantined = "quarantined"
+	CodeBudget      = "budget"
+	CodeTimeout     = "action_timeout"
+	CodeInternal    = "internal"
+	CodeVersion     = "version"
+	CodeLagged      = "lagged"
+	CodeClosed      = "closed"
+	CodeBadRequest  = "bad_request"
+	CodeBusy        = "busy"
+	CodeError       = "error"
+)
+
+// Sentinel errors of the network layer; match with errors.Is. They are
+// re-exported from the root ptlactive package alongside the engine's
+// fault-isolation sentinels.
+var (
+	// ErrSessionClosed reports an operation on a session that has been
+	// closed — by the client, by the server's graceful drain, or by a
+	// connection failure.
+	ErrSessionClosed = errors.New("server: session closed")
+	// ErrSubscriberLagged reports a subscriber whose bounded firing queue
+	// overflowed under the disconnect overflow policy.
+	ErrSubscriberLagged = errors.New("server: subscriber lagged beyond its queue bound")
+	// ErrVersionMismatch reports a hello whose protocol name or version the
+	// peer does not speak.
+	ErrVersionMismatch = errors.New("server: protocol version mismatch")
+)
+
+// CodeFor maps an error to its wire code, via errors.Is over the engine
+// and network sentinels; unrecognized errors map to the generic "error".
+func CodeFor(err error) string {
+	switch {
+	case errors.Is(err, adb.ErrConstraintViolation):
+		return CodeConstraint
+	case errors.Is(err, adb.ErrDegraded):
+		return CodeDegraded
+	case errors.Is(err, adb.ErrRuleQuarantined):
+		return CodeQuarantined
+	case errors.Is(err, adb.ErrBudgetExceeded):
+		return CodeBudget
+	case errors.Is(err, adb.ErrActionTimeout):
+		return CodeTimeout
+	case errors.Is(err, adb.ErrInternal):
+		return CodeInternal
+	case errors.Is(err, ErrVersionMismatch):
+		return CodeVersion
+	case errors.Is(err, ErrSubscriberLagged):
+		return CodeLagged
+	case errors.Is(err, ErrSessionClosed):
+		return CodeClosed
+	default:
+		return CodeError
+	}
+}
+
+// RemoteError is the client-side form of a server error frame. Unwrap
+// maps the code back onto the matching sentinel, so errors.Is(err,
+// ptlactive.ErrDegraded) holds across the network exactly as it would
+// in-process. Constraint violations are not RemoteErrors: the client
+// reconstructs a *adb.ConstraintError so errors.As keeps working too.
+type RemoteError struct {
+	Code string
+	Msg  string
+}
+
+// Error describes the remote failure.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("remote: %s: %s", e.Code, e.Msg)
+}
+
+// Unwrap yields the sentinel the code stands for (nil for generic codes).
+func (e *RemoteError) Unwrap() error {
+	switch e.Code {
+	case CodeConstraint:
+		return adb.ErrConstraintViolation
+	case CodeDegraded:
+		return adb.ErrDegraded
+	case CodeQuarantined:
+		return adb.ErrRuleQuarantined
+	case CodeBudget:
+		return adb.ErrBudgetExceeded
+	case CodeTimeout:
+		return adb.ErrActionTimeout
+	case CodeInternal:
+		return adb.ErrInternal
+	case CodeVersion:
+		return ErrVersionMismatch
+	case CodeLagged:
+		return ErrSubscriberLagged
+	case CodeClosed:
+		return ErrSessionClosed
+	default:
+		return nil
+	}
+}
+
+// FiringJSON is one rule firing on the wire: the push frame's payload and
+// the element of firing-list query responses. Seq is the firing's absolute
+// index in the server's firing log, so a subscriber can both resume
+// (subscribe From) and detect delivery gaps.
+type FiringJSON struct {
+	Rule    string                     `json:"rule"`
+	Time    int64                      `json:"time"`
+	State   int                        `json:"state"`
+	Seq     int                        `json:"seq"`
+	Binding map[string]json.RawMessage `json:"binding,omitempty"`
+}
+
+// EncodeFiring renders a firing in wire form.
+func EncodeFiring(f adb.Firing, seq int) (FiringJSON, error) {
+	out := FiringJSON{Rule: f.Rule, Time: f.Time, State: f.StateIndex, Seq: seq}
+	if len(f.Binding) > 0 {
+		out.Binding = make(map[string]json.RawMessage, len(f.Binding))
+		for name, v := range f.Binding {
+			raw, err := histio.EncodeValue(v)
+			if err != nil {
+				return FiringJSON{}, fmt.Errorf("wire: binding %s: %w", name, err)
+			}
+			out.Binding[name] = raw
+		}
+	}
+	return out, nil
+}
+
+// DecodeFiring inverts EncodeFiring.
+func DecodeFiring(j FiringJSON) (adb.Firing, error) {
+	f := adb.Firing{Rule: j.Rule, Time: j.Time, StateIndex: j.State}
+	if len(j.Binding) > 0 {
+		f.Binding = make(core.Binding, len(j.Binding))
+		for name, raw := range j.Binding {
+			v, err := histio.DecodeValue(raw)
+			if err != nil {
+				return adb.Firing{}, fmt.Errorf("wire: binding %s: %w", name, err)
+			}
+			f.Binding[name] = v
+		}
+	}
+	return f, nil
+}
+
+// HealthJSON is one rule's health record in wire form; errors travel as
+// strings (the concrete typed error does not cross the network).
+type HealthJSON struct {
+	Rule        string `json:"rule"`
+	Quarantined bool   `json:"quarantined,omitempty"`
+	Consecutive int    `json:"consecutive,omitempty"`
+	Total       int    `json:"total,omitempty"`
+	LastError   string `json:"last_error,omitempty"`
+	LastAt      int64  `json:"last_at,omitempty"`
+}
+
+// RuleJSON describes one registered rule in wire form.
+type RuleJSON struct {
+	Name       string   `json:"name"`
+	Condition  string   `json:"cond"`
+	Constraint bool     `json:"constraint,omitempty"`
+	Scheduling int      `json:"sched,omitempty"`
+	Parameters []string `json:"params,omitempty"`
+	Pending    int      `json:"pending,omitempty"`
+}
+
+// Msg is one frame's payload. A single struct covers every frame type;
+// omitempty keeps the encoded form down to the fields the type uses.
+type Msg struct {
+	T  string `json:"t"`
+	ID uint64 `json:"id,omitempty"`
+
+	// hello
+	Proto   string `json:"proto,omitempty"`
+	Version int    `json:"version,omitempty"`
+
+	// txn / emit: timestamp (0 = server assigns now+1), updates, deletes
+	// and events in histio encoding. Responses echo the applied timestamp
+	// in TS.
+	TS      int64                      `json:"ts,omitempty"`
+	Updates map[string]json.RawMessage `json:"updates,omitempty"`
+	Deletes []string                   `json:"deletes,omitempty"`
+	Events  [][]json.RawMessage        `json:"events,omitempty"`
+
+	// rule / revive / constraint-error detail
+	Name       string `json:"name,omitempty"`
+	Cond       string `json:"cond,omitempty"`
+	Constraint bool   `json:"constraint,omitempty"`
+	Sched      int    `json:"sched,omitempty"`
+	Txn        int64  `json:"txn,omitempty"`
+
+	// query request ("db", "firings", "rules", "health", "now") and
+	// subscribe; From bounds firing lists and subscription starts.
+	What string `json:"what,omitempty"`
+	From int    `json:"from,omitempty"`
+
+	// error responses
+	Code string `json:"code,omitempty"`
+	Err  string `json:"err,omitempty"`
+
+	// response payloads
+	Items    map[string]json.RawMessage `json:"items,omitempty"`
+	Firings  []FiringJSON               `json:"firings,omitempty"`
+	Rules    []RuleJSON                 `json:"rules,omitempty"`
+	Health   []HealthJSON               `json:"health,omitempty"`
+	Degraded string                     `json:"degraded,omitempty"`
+
+	// firing push payload; gap pushes carry Missed.
+	Firing *FiringJSON `json:"firing,omitempty"`
+	Missed int         `json:"missed,omitempty"`
+}
+
+// WriteFrame encodes m and writes one length-prefixed frame.
+func WriteFrame(w io.Writer, m *Msg) error {
+	payload, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("wire: encode %s frame: %w", m.T, err)
+	}
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("wire: %s frame of %d bytes exceeds MaxFrame %d", m.T, len(payload), MaxFrame)
+	}
+	buf := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(payload)))
+	copy(buf[4:], payload)
+	_, err = w.Write(buf)
+	return err
+}
+
+// ReadFrame reads one frame. A clean end of stream before the first
+// length byte is io.EOF; a stream cut mid-frame is io.ErrUnexpectedEOF; a
+// length prefix of zero or beyond MaxFrame, or a payload that is not one
+// JSON Msg, is a protocol error. ReadFrame never panics on garbage input
+// (see FuzzReadFrame).
+func ReadFrame(r io.Reader) (*Msg, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("wire: torn frame header: %w", err)
+		}
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > MaxFrame {
+		return nil, fmt.Errorf("wire: frame length %d out of range (1..%d)", n, MaxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, fmt.Errorf("wire: torn frame payload: %w", err)
+	}
+	m := &Msg{}
+	if err := json.Unmarshal(payload, m); err != nil {
+		return nil, fmt.Errorf("wire: bad frame payload: %w", err)
+	}
+	if m.T == "" {
+		return nil, fmt.Errorf("wire: frame without a type")
+	}
+	return m, nil
+}
+
+// Hello builds the handshake frame a client must send first.
+func Hello() *Msg { return &Msg{T: TypeHello, Proto: ProtoName, Version: Version} }
+
+// CheckHello validates a received handshake frame.
+func CheckHello(m *Msg) error {
+	if m.T != TypeHello {
+		return fmt.Errorf("%w: first frame is %q, want hello", ErrVersionMismatch, m.T)
+	}
+	if m.Proto != ProtoName || m.Version != Version {
+		return fmt.Errorf("%w: peer speaks %s/%d, want %s/%d",
+			ErrVersionMismatch, m.Proto, m.Version, ProtoName, Version)
+	}
+	return nil
+}

@@ -51,6 +51,7 @@ import (
 	"ptlactive/internal/ptl"
 	"ptlactive/internal/query"
 	"ptlactive/internal/relation"
+	"ptlactive/internal/server/wire"
 	"ptlactive/internal/value"
 	"ptlactive/internal/vtime"
 )
@@ -410,3 +411,26 @@ func NewDB(items map[string]Value) DBState { return history.NewDB(items) }
 
 // EmptyDB returns the empty database state.
 func EmptyDB() DBState { return history.EmptyDB() }
+
+// ---- Network service layer (internal/server, client) ----
+
+// Sentinel errors of the network service layer; match with errors.Is.
+// They cross the wire: a client observes the same sentinels the server
+// raised, alongside the engine taxonomy above (ErrDegraded,
+// ErrConstraintViolation, ...).
+var (
+	// ErrSessionClosed reports an operation on a server session that has
+	// ended — client bye, server drain, or connection failure.
+	ErrSessionClosed = wire.ErrSessionClosed
+	// ErrSubscriberLagged reports a firing subscriber whose bounded queue
+	// overflowed under the disconnect overflow policy.
+	ErrSubscriberLagged = wire.ErrSubscriberLagged
+	// ErrVersionMismatch reports a connection whose protocol name or
+	// version the peer does not speak.
+	ErrVersionMismatch = wire.ErrVersionMismatch
+)
+
+// RemoteError is the client-side form of a server error frame; its Unwrap
+// maps the wire code back onto the matching sentinel, so errors.Is works
+// across the network.
+type RemoteError = wire.RemoteError
