@@ -241,21 +241,24 @@ func BenchmarkSweepWithSandbox(b *testing.B) {
 // service layer's serializing pipeline, with and without subscriber
 // fan-out.
 func BenchmarkE13Server(b *testing.B) {
+	jsonOnly := []string{"json"}
 	for _, cfg := range []struct {
-		name             string
-		clients, commits int
-		subs             int
+		name string
+		run  experiments.E13Config
 	}{
-		{"1client", 1, 100, 0},
-		{"4clients", 4, 25, 0},
-		{"fanout4", 1, 100, 4},
+		{"1client", experiments.E13Config{Clients: 1, Commits: 100, Codecs: jsonOnly, Window: 1}},
+		{"4clients", experiments.E13Config{Clients: 4, Commits: 25, Codecs: jsonOnly, Window: 1}},
+		{"fanout4", experiments.E13Config{Clients: 1, Commits: 100, Subs: 4, Codecs: jsonOnly, Window: 1}},
+		{"binary", experiments.E13Config{Clients: 1, Commits: 100, Window: 1}},
+		{"pipelined_json", experiments.E13Config{Clients: 1, Commits: 100, Codecs: jsonOnly, Window: 64}},
+		{"pipelined_binary", experiments.E13Config{Clients: 1, Commits: 100, Window: 64}},
 	} {
 		b.Run(cfg.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				dur, _ := experiments.E13Run(cfg.clients, cfg.commits, cfg.subs)
+				dur, _ := experiments.E13RunConfig(cfg.run)
 				_ = dur
 			}
-			total := cfg.clients * cfg.commits
+			total := cfg.run.Clients * cfg.run.Commits
 			b.ReportMetric(float64(b.Elapsed().Microseconds())/float64(b.N*total), "us/commit")
 		})
 	}

@@ -4,16 +4,28 @@
 // registration and revival, state/firing/health queries, and asynchronous
 // firing subscriptions — over one multiplexed connection.
 //
-// All methods are safe for concurrent use. Requests carry ids; a single
-// read loop routes responses back to their callers and delivers pushed
-// firing, gap and bye frames to the subscription channel. Server errors
-// come back as the same taxonomy the engine raises in-process: errors.Is
-// against ptlactive's sentinels (ErrDegraded, ErrConstraintViolation,
-// ErrRuleQuarantined, ...) and errors.As against *adb.ConstraintError work
-// across the network.
+// All methods are safe for concurrent use: every outbound frame is
+// serialized behind a single write mutex, so concurrent transactions from
+// many goroutines never interleave frame bytes on the shared connection.
+// Requests carry ids; a single read loop routes responses back to their
+// callers and delivers pushed firing, gap and bye frames to the
+// subscription channel. Server errors come back as the same taxonomy the
+// engine raises in-process: errors.Is against ptlactive's sentinels
+// (ErrDegraded, ErrConstraintViolation, ErrRuleQuarantined, ...) and
+// errors.As against *adb.ConstraintError work across the network.
+//
+// The handshake negotiates a frame codec: by default the client offers
+// the binary codec with JSON as fallback, and the server picks binary
+// when it speaks it (Options.Codecs pins the offer; legacy servers
+// ignore it and the session stays JSON). Transactions can also be
+// pipelined — Txn.Go sends a commit without waiting and returns a
+// Pending whose Wait collects the outcome, so many commits share the
+// wire concurrently and the per-commit cost approaches the server's
+// processing time instead of a full round trip each.
 package client
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"net"
@@ -48,9 +60,31 @@ type Subscription struct {
 	c chan StreamEvent
 }
 
+// Options configures Dial and New.
+type Options struct {
+	// Codecs is the frame-codec offer sent in the hello, in preference
+	// order; the server picks the best one it speaks. Nil offers binary
+	// with JSON fallback (wire.DefaultCodecs). To force the debuggable
+	// JSON framing, pass []string{"json"}.
+	Codecs []string
+}
+
 // Client is one session with an active-database server.
 type Client struct {
-	conn net.Conn
+	conn  net.Conn
+	codec wire.Codec
+	// br buffers inbound frames — a burst of pipelined responses or a
+	// batched firing backlog drains in one syscall. Only the read loop
+	// (and the handshake, before it starts) touches it.
+	br *bufio.Reader
+
+	// wmu serializes every frame write on the shared connection —
+	// concurrent commits, queries and Close's bye frame. Without it two
+	// goroutines race the frame writer's shared buffer and interleave
+	// length-prefixed frame bytes, corrupting the stream (see the server
+	// package's TestClientSharedConcurrent).
+	wmu sync.Mutex
+	fw  *wire.FrameWriter
 
 	mu      sync.Mutex
 	nextID  uint64
@@ -58,6 +92,10 @@ type Client struct {
 	sub     *Subscription
 	err     error // terminal failure, set once by the read loop
 	closed  bool
+	// dropped counts pushed firings discarded because no subscription was
+	// live to receive them (a push racing Subscribe's teardown or Close);
+	// gap markers count for their Missed total.
+	dropped int
 	done    chan struct{}
 	// closing aborts blocked subscription deliveries when the user calls
 	// Close: a consumer that stopped draining must not wedge teardown.
@@ -66,24 +104,41 @@ type Client struct {
 }
 
 // Dial connects to an active-database server and performs the protocol
-// handshake.
+// handshake, negotiating the binary codec when the server speaks it.
 func Dial(addr string) (*Client, error) {
+	return DialOptions(addr, Options{})
+}
+
+// DialOptions is Dial with explicit options.
+func DialOptions(addr string, opts Options) (*Client, error) {
 	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
 	if err != nil {
 		return nil, err
 	}
-	return New(conn)
+	return NewOptions(conn, opts)
 }
 
 // New runs the client protocol over an established connection (tests and
 // custom transports dial themselves).
 func New(conn net.Conn) (*Client, error) {
-	if err := wire.WriteFrame(conn, wire.Hello()); err != nil {
+	return NewOptions(conn, Options{})
+}
+
+// NewOptions is New with explicit options.
+func NewOptions(conn net.Conn, opts Options) (*Client, error) {
+	codecs := opts.Codecs
+	if codecs == nil {
+		codecs = wire.DefaultCodecs()
+	}
+	hello := wire.Hello()
+	hello.Codecs = codecs
+	if err := wire.WriteFrame(conn, hello); err != nil {
 		conn.Close()
 		return nil, err
 	}
+	br := bufio.NewReaderSize(conn, 32<<10)
 	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
-	m, err := wire.ReadFrame(conn)
+	m, err := wire.ReadFrame(br)
 	if err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("client: handshake: %w", err)
@@ -97,8 +152,29 @@ func New(conn net.Conn) (*Client, error) {
 		conn.Close()
 		return nil, err
 	}
+	// The codec the server chose must be one we offered; a legacy server
+	// echoes nothing and the session stays on the JSON fallback.
+	codec := wire.CodecJSON
+	if m.Codec != "" {
+		chosen, ok := wire.ParseCodec(m.Codec)
+		offered := false
+		for _, name := range codecs {
+			if name == m.Codec {
+				offered = true
+			}
+		}
+		if !ok || !offered {
+			conn.Close()
+			return nil, fmt.Errorf("%w: server chose codec %q, offered %v",
+				wire.ErrVersionMismatch, m.Codec, codecs)
+		}
+		codec = chosen
+	}
 	c := &Client{
 		conn:    conn,
+		codec:   codec,
+		br:      br,
+		fw:      wire.NewFrameWriter(conn, codec),
 		pending: map[uint64]chan *wire.Msg{},
 		done:    make(chan struct{}),
 		closing: make(chan struct{}),
@@ -106,6 +182,10 @@ func New(conn net.Conn) (*Client, error) {
 	go c.readLoop()
 	return c, nil
 }
+
+// Codec reports the frame codec this session negotiated ("json" or
+// "binary").
+func (c *Client) Codec() string { return c.codec.String() }
 
 // readLoop routes every inbound frame: responses to their waiting caller
 // by id, pushed firings/gaps/bye to the subscription. Subscription
@@ -115,21 +195,32 @@ func New(conn net.Conn) (*Client, error) {
 func (c *Client) readLoop() {
 	var cause error
 	for {
-		m, err := wire.ReadFrame(c.conn)
+		m, err := wire.ReadFrameC(c.br, c.codec)
 		if err != nil {
 			cause = err
 			break
 		}
 		switch m.T {
 		case wire.TypeFiring:
-			if sub := c.subscription(); sub != nil && m.Firing != nil {
-				f, err := wire.DecodeFiring(*m.Firing)
+			// A firing push carries one firing (Firing) or a coalesced
+			// batch (Firings) from a server doing batched delivery.
+			sub := c.subscription()
+			batch := m.Firings
+			if m.Firing != nil {
+				batch = append(batch, *m.Firing)
+			}
+			if sub == nil {
+				c.notePushLoss(len(batch))
+				break
+			}
+			for i := range batch {
+				f, err := wire.DecodeFiring(batch[i])
 				if err != nil {
 					cause = err
 					break
 				}
 				select {
-				case sub.c <- StreamEvent{Firing: f, Seq: m.Firing.Seq}:
+				case sub.c <- StreamEvent{Firing: f, Seq: batch[i].Seq}:
 				case <-c.closing:
 					// Close was called with the stream undrained; discard.
 				}
@@ -140,6 +231,8 @@ func (c *Client) readLoop() {
 				case sub.c <- StreamEvent{Gap: m.Missed}:
 				case <-c.closing:
 				}
+			} else {
+				c.notePushLoss(m.Missed)
 			}
 		case wire.TypeBye:
 			// Graceful drain: the server flushed everything it owed us.
@@ -183,6 +276,29 @@ func (c *Client) subscription() *Subscription {
 	return c.sub
 }
 
+// notePushLoss accounts firings the read loop had to discard because no
+// subscription was live (the push raced Subscribe's error teardown or
+// Close): the loss is observable through DroppedPushes instead of silent.
+func (c *Client) notePushLoss(n int) {
+	if n <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.dropped += n
+	c.mu.Unlock()
+}
+
+// DroppedPushes reports how many pushed firings (including firings
+// summarized by gap markers) arrived with no live subscription to
+// receive them and were discarded. A nonzero value means a subscriber
+// observed a silently incomplete stream boundary — typically a push
+// racing a failed Subscribe call or Close.
+func (c *Client) DroppedPushes() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
+}
+
 // Close tears the session down. If the server is still up this is a
 // client-initiated graceful drain: the server flushes what it owes (a
 // subscription keeps delivering until its channel closes) and then closes
@@ -196,7 +312,9 @@ func (c *Client) Close() error {
 		return nil
 	}
 	c.mu.Unlock()
-	wire.WriteFrame(c.conn, &wire.Msg{T: wire.TypeBye})
+	c.wmu.Lock()
+	c.fw.Write(&wire.Msg{T: wire.TypeBye})
+	c.wmu.Unlock()
 	select {
 	case <-c.done:
 	case <-time.After(10 * time.Second):
@@ -214,8 +332,9 @@ func (c *Client) Err() error {
 	return c.err
 }
 
-// call sends one request frame and waits for its response.
-func (c *Client) call(m *wire.Msg) (*wire.Msg, error) {
+// start registers a pending id for m and writes the frame; the returned
+// channel receives the response (or closes when the session dies).
+func (c *Client) start(m *wire.Msg) (chan *wire.Msg, error) {
 	ch := make(chan *wire.Msg, 1)
 	c.mu.Lock()
 	if c.closed {
@@ -227,15 +346,24 @@ func (c *Client) call(m *wire.Msg) (*wire.Msg, error) {
 		return nil, err
 	}
 	c.nextID++
-	m.ID = c.nextID
-	c.pending[m.ID] = ch
+	id := c.nextID
+	m.ID = id
+	c.pending[id] = ch
 	c.mu.Unlock()
-	if err := wire.WriteFrame(c.conn, m); err != nil {
+	c.wmu.Lock()
+	err := c.fw.Write(m)
+	c.wmu.Unlock()
+	if err != nil {
 		c.mu.Lock()
-		delete(c.pending, m.ID)
+		delete(c.pending, id)
 		c.mu.Unlock()
 		return nil, err
 	}
+	return ch, nil
+}
+
+// wait collects the response for a channel returned by start.
+func (c *Client) wait(ch chan *wire.Msg) (*wire.Msg, error) {
 	resp, ok := <-ch
 	if !ok {
 		if err := c.Err(); err != nil && !errors.Is(err, wire.ErrSessionClosed) {
@@ -247,6 +375,15 @@ func (c *Client) call(m *wire.Msg) (*wire.Msg, error) {
 		return resp, remoteErr(resp)
 	}
 	return resp, nil
+}
+
+// call sends one request frame and waits for its response.
+func (c *Client) call(m *wire.Msg) (*wire.Msg, error) {
+	ch, err := c.start(m)
+	if err != nil {
+		return nil, err
+	}
+	return c.wait(ch)
 }
 
 // remoteErr reconstructs a server error frame as a client-side error.
@@ -261,7 +398,8 @@ func remoteErr(m *wire.Msg) error {
 }
 
 // Txn is a batched transaction: sets, deletes and events accumulated
-// client-side and committed in one round trip.
+// client-side and committed in one round trip (Commit), or pipelined
+// (Go) so many transactions share the wire in flight.
 type Txn struct {
 	c       *Client
 	ts      int64
@@ -289,28 +427,65 @@ func (t *Txn) Delete(name string) *Txn { t.deletes = append(t.deletes, name); re
 // Emit records events to be part of the committed state.
 func (t *Txn) Emit(events ...event.Event) *Txn { t.events = append(t.events, events...); return t }
 
-// Commit sends the batch and returns the timestamp the server applied it
-// at.
-func (t *Txn) Commit() (int64, error) {
+// Pending is an in-flight pipelined request. Wait blocks until the
+// response arrives and is idempotent; the transaction is applied by the
+// server in send order regardless of when Wait is called.
+type Pending struct {
+	c    *Client
+	ch   chan *wire.Msg
+	once sync.Once
+	ts   int64
+	err  error
+}
+
+// Wait returns the timestamp the server applied the transaction at, or
+// the error it failed with.
+func (p *Pending) Wait() (int64, error) {
+	p.once.Do(func() {
+		if p.ch == nil {
+			return // failed before the frame was sent; p.err is set
+		}
+		resp, err := p.c.wait(p.ch)
+		if err != nil {
+			p.err = err
+			return
+		}
+		p.ts = resp.TS
+	})
+	return p.ts, p.err
+}
+
+// Go sends the transaction without waiting for its outcome: the commit
+// is in flight and the server applies pipelined transactions in send
+// order. Collect the result with Wait. Keeping a bounded number of
+// Pendings in flight (a few dozen) amortizes the round trip across
+// commits; see the E13 pipelined rows.
+func (t *Txn) Go() *Pending {
 	if t.err != nil {
-		return 0, t.err
+		return &Pending{err: t.err}
 	}
 	updates, err := histio.EncodeItems(t.updates)
 	if err != nil {
-		return 0, err
+		return &Pending{err: err}
 	}
 	events, err := histio.EncodeEvents(t.events)
 	if err != nil {
-		return 0, err
+		return &Pending{err: err}
 	}
-	resp, err := t.c.call(&wire.Msg{
+	ch, err := t.c.start(&wire.Msg{
 		T: wire.TypeTxn, TS: t.ts,
 		Updates: updates, Deletes: t.deletes, Events: events,
 	})
 	if err != nil {
-		return 0, err
+		return &Pending{err: err}
 	}
-	return resp.TS, nil
+	return &Pending{c: t.c, ch: ch}
+}
+
+// Commit sends the batch and returns the timestamp the server applied it
+// at.
+func (t *Txn) Commit() (int64, error) {
+	return t.Go().Wait()
 }
 
 // Exec commits a one-shot transaction of item updates at ts (0 = server

@@ -1,0 +1,218 @@
+package client
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"ptlactive/internal/server/wire"
+)
+
+// fakeServer drives the server side of a net.Pipe by hand: the tests
+// below exercise handshake negotiation and push delivery without a real
+// server, so each frame's codec and ordering is exactly what the test
+// scripted.
+type fakeServer struct {
+	t    *testing.T
+	conn net.Conn
+}
+
+// handshake consumes the client hello (always JSON) and replies,
+// echoing pick as the chosen codec ("" plays a legacy server that
+// ignores the offer). It returns the codec names the client offered.
+func (s *fakeServer) handshake(pick string) []string {
+	s.t.Helper()
+	m, err := wire.ReadFrame(s.conn)
+	if err != nil {
+		s.t.Errorf("fake server: hello: %v", err)
+		return nil
+	}
+	if m.T != wire.TypeHello || m.Proto != wire.ProtoName || m.Version != wire.Version {
+		s.t.Errorf("fake server: bad hello %+v", m)
+		return nil
+	}
+	reply := &wire.Msg{T: wire.TypeHello, ID: m.ID, Proto: wire.ProtoName, Version: wire.Version, Codec: pick}
+	if err := wire.WriteFrame(s.conn, reply); err != nil {
+		s.t.Errorf("fake server: hello reply: %v", err)
+	}
+	return m.Codecs
+}
+
+func (s *fakeServer) read(c wire.Codec) *wire.Msg {
+	s.t.Helper()
+	m, err := wire.ReadFrameC(s.conn, c)
+	if err != nil {
+		s.t.Errorf("fake server: read: %v", err)
+		return &wire.Msg{}
+	}
+	return m
+}
+
+func (s *fakeServer) write(c wire.Codec, m *wire.Msg) {
+	s.t.Helper()
+	if err := wire.WriteFrameC(s.conn, m, c); err != nil {
+		s.t.Errorf("fake server: write: %v", err)
+	}
+}
+
+// pipeClient builds a Client against a scripted server. The script runs
+// in its own goroutine (net.Pipe is synchronous); cleanup closes the
+// server end first so Close never blocks on an unread bye frame.
+func pipeClient(t *testing.T, opts Options, script func(s *fakeServer)) (*Client, error) {
+	t.Helper()
+	cc, sc := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		script(&fakeServer{t: t, conn: sc})
+	}()
+	c, err := NewOptions(cc, opts)
+	t.Cleanup(func() {
+		sc.Close()
+		if c != nil {
+			c.Close()
+		}
+		<-done
+	})
+	return c, err
+}
+
+// TestNegotiateBinary: the default offer leads the server to pick the
+// binary codec, and the session's request/response frames switch to it
+// while the hello exchange itself stayed JSON.
+func TestNegotiateBinary(t *testing.T) {
+	c, err := pipeClient(t, Options{}, func(s *fakeServer) {
+		offered := s.handshake(wire.CodecNameBinary)
+		found := false
+		for _, name := range offered {
+			if name == wire.CodecNameBinary {
+				found = true
+			}
+		}
+		if !found {
+			s.t.Errorf("default offer %v does not include binary", offered)
+		}
+		// The next frame must arrive binary-encoded.
+		m := s.read(wire.CodecBinary)
+		if m.T != wire.TypePing {
+			s.t.Errorf("expected binary ping, got %+v", m)
+		}
+		s.write(wire.CodecBinary, &wire.Msg{T: wire.TypeOK, ID: m.ID})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Codec() != wire.CodecNameBinary {
+		t.Fatalf("negotiated %q, want binary", c.Codec())
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatalf("binary ping: %v", err)
+	}
+}
+
+// TestNegotiateLegacyServer: a server that ignores the codec offer (no
+// echo) leaves the session on the JSON fallback.
+func TestNegotiateLegacyServer(t *testing.T) {
+	c, err := pipeClient(t, Options{}, func(s *fakeServer) {
+		s.handshake("")
+		m := s.read(wire.CodecJSON)
+		s.write(wire.CodecJSON, &wire.Msg{T: wire.TypeOK, ID: m.ID})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Codec() != wire.CodecNameJSON {
+		t.Fatalf("legacy session negotiated %q, want json", c.Codec())
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatalf("json ping: %v", err)
+	}
+}
+
+// TestNegotiateUnoffered: a server that picks a codec the client did not
+// offer (or one the client cannot speak) fails the handshake rather than
+// desynchronizing the stream.
+func TestNegotiateUnoffered(t *testing.T) {
+	for _, pick := range []string{wire.CodecNameBinary, "zstd-frames"} {
+		_, err := pipeClient(t, Options{Codecs: []string{wire.CodecNameJSON}}, func(s *fakeServer) {
+			s.handshake(pick)
+		})
+		if !errors.Is(err, wire.ErrVersionMismatch) {
+			t.Fatalf("server pick %q: err = %v, want ErrVersionMismatch", pick, err)
+		}
+	}
+}
+
+// TestDroppedPushes: pushed firings and gap markers that arrive with no
+// live subscription are not silently discarded — DroppedPushes counts
+// them (including the firings a gap marker summarizes), so a consumer
+// can detect the incomplete stream boundary.
+func TestDroppedPushes(t *testing.T) {
+	fj := wire.FiringJSON{Rule: "hot", Time: 1, Seq: 0}
+	c, err := pipeClient(t, Options{Codecs: []string{wire.CodecNameJSON}}, func(s *fakeServer) {
+		s.handshake(wire.CodecNameJSON)
+		m := s.read(wire.CodecJSON) // ping
+		// Unsolicited pushes before any subscription, then the pong: the
+		// read loop handles frames in order, so once Ping returns the
+		// losses are recorded.
+		s.write(wire.CodecJSON, &wire.Msg{T: wire.TypeFiring, Firing: &fj})
+		s.write(wire.CodecJSON, &wire.Msg{T: wire.TypeFiring, Firings: []wire.FiringJSON{fj, fj}})
+		s.write(wire.CodecJSON, &wire.Msg{T: wire.TypeGap, Missed: 3})
+		s.write(wire.CodecJSON, &wire.Msg{T: wire.TypeOK, ID: m.ID})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := c.DroppedPushes(); n != 0 {
+		t.Fatalf("dropped = %d before any push", n)
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if n := c.DroppedPushes(); n != 6 {
+		t.Fatalf("dropped = %d, want 6 (1 + 2 batched + 3 in a gap)", n)
+	}
+}
+
+// TestBatchedFiringDelivery: a multi-firing frame from a batching server
+// unpacks into per-firing stream events with their own sequence numbers,
+// indistinguishable from frame-per-firing delivery.
+func TestBatchedFiringDelivery(t *testing.T) {
+	mk := func(seq int) wire.FiringJSON {
+		return wire.FiringJSON{Rule: "hot", Time: int64(seq + 1), Seq: seq}
+	}
+	c, err := pipeClient(t, Options{}, func(s *fakeServer) {
+		s.handshake(wire.CodecNameBinary)
+		m := s.read(wire.CodecBinary) // subscribe
+		if m.T != wire.TypeSubscribe {
+			s.t.Errorf("expected subscribe, got %+v", m)
+			return
+		}
+		s.write(wire.CodecBinary, &wire.Msg{T: wire.TypeOK, ID: m.ID})
+		s.write(wire.CodecBinary, &wire.Msg{T: wire.TypeFiring,
+			Firings: []wire.FiringJSON{mk(0), mk(1), mk(2)}})
+		s.write(wire.CodecBinary, &wire.Msg{T: wire.TypeFiring, Firing: &wire.FiringJSON{
+			Rule: "hot", Time: 4, Seq: 3}})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := c.Subscribe(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		select {
+		case ev := <-sub.C:
+			if ev.Gap != 0 || ev.Seq != i || ev.Firing.Rule != "hot" || ev.Firing.Time != int64(i+1) {
+				t.Fatalf("event %d = %+v", i, ev)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("stream stalled at event %d", i)
+		}
+	}
+	if n := c.DroppedPushes(); n != 0 {
+		t.Fatalf("dropped = %d with a live subscription", n)
+	}
+}

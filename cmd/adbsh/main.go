@@ -69,6 +69,7 @@ func main() {
 	sweepBudget := flag.Int64("sweep-budget", 0, "max evaluator steps per sweep (0 = unlimited)")
 	actionTimeout := flag.Duration("action-timeout", 0, "per-action deadline (0 = none)")
 	connect := flag.String("connect", "", "run against a remote adbserverd at host:port instead of an in-process engine")
+	codec := flag.String("codec", "json", "wire codec to offer in remote mode: json (inspectable frames) or binary")
 	flag.Parse()
 	in := os.Stdin
 	if flag.NArg() > 0 {
@@ -81,7 +82,7 @@ func main() {
 	}
 	var run func(line string) error
 	if *connect != "" {
-		r, err := newRemote(*connect)
+		r, err := newRemote(*connect, *codec)
 		if err != nil {
 			fatal(err)
 		}

@@ -10,6 +10,7 @@ import (
 
 	"ptlactive"
 	"ptlactive/client"
+	"ptlactive/internal/server/wire"
 )
 
 // remote executes shell commands against an adbserverd instead of an
@@ -22,8 +23,21 @@ type remote struct {
 	cli *client.Client
 }
 
-func newRemote(addr string) (*remote, error) {
-	cli, err := client.Dial(addr)
+// newRemote dials the server offering the named codec. The shell
+// defaults to "json" so a tcpdump of an adbsh session stays readable;
+// "binary" offers the full codec list and lets negotiation pick the
+// fast wire.
+func newRemote(addr, codec string) (*remote, error) {
+	c, ok := wire.ParseCodec(codec)
+	if !ok {
+		return nil, fmt.Errorf("unknown codec %q (want %s or %s)",
+			codec, wire.CodecNameJSON, wire.CodecNameBinary)
+	}
+	codecs := []string{wire.CodecNameJSON}
+	if c == wire.CodecBinary {
+		codecs = wire.DefaultCodecs()
+	}
+	cli, err := client.DialOptions(addr, client.Options{Codecs: codecs})
 	if err != nil {
 		return nil, err
 	}

@@ -47,7 +47,7 @@ func runRemote(t *testing.T, r *remote, lines ...string) {
 
 func TestRemoteShellSession(t *testing.T) {
 	addr := startTestServer(t)
-	r, err := newRemote(addr)
+	r, err := newRemote(addr, "json")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +74,7 @@ func TestRemoteShellSession(t *testing.T) {
 
 func TestRemoteShellConstraintAbort(t *testing.T) {
 	addr := startTestServer(t)
-	r, err := newRemote(addr)
+	r, err := newRemote(addr, "json")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +95,7 @@ func TestRemoteShellConstraintAbort(t *testing.T) {
 
 func TestRemoteShellUnsupported(t *testing.T) {
 	addr := startTestServer(t)
-	r, err := newRemote(addr)
+	r, err := newRemote(addr, "json")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,5 +105,19 @@ func TestRemoteShellUnsupported(t *testing.T) {
 		if err == nil || !strings.Contains(err.Error(), "not supported in remote mode") {
 			t.Fatalf("%q: err = %v, want a remote-mode refusal", line, err)
 		}
+	}
+}
+
+func TestRemoteCodecFlag(t *testing.T) {
+	addr := startTestServer(t)
+	r, err := newRemote(addr, "binary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.close()
+	runRemote(t, r, `commit 1 ibm=10`, `show db`)
+
+	if _, err := newRemote(addr, "zstd"); err == nil {
+		t.Fatal("newRemote accepted an unknown codec")
 	}
 }

@@ -10,22 +10,58 @@ import (
 	"ptlactive/client"
 	"ptlactive/internal/adb"
 	"ptlactive/internal/server"
+	"ptlactive/internal/server/wire"
 	"ptlactive/internal/value"
 )
 
-// E13Run is the E13 kernel: an in-process server on a loopback listener,
-// nclients concurrent sessions each committing ncommits server-timestamped
-// transactions (every commit fires one trigger), and nsubs subscribers
-// that must each receive the full firing stream before the clock stops.
-// It returns the wall time and the total firing deliveries.
+// E13Config parameterizes one E13 measurement: how many committers and
+// subscribers, which codec the clients offer, and how many commits each
+// committer keeps in flight.
+type E13Config struct {
+	Clients, Commits, Subs int
+	// Codecs is the clients' codec offer: nil negotiates the binary codec
+	// (the default offer), []string{"json"} pins the JSON fallback.
+	Codecs []string
+	// Window is the pipelining depth per committer: 1 (or 0) commits
+	// synchronously, one round trip each; W keeps up to W transactions in
+	// flight on the connection before collecting their outcomes.
+	Window int
+	// SubscriberQueue overrides the server's per-subscriber firing queue
+	// (0 keeps the server default) — the fan-out rows raise it so the
+	// measurement is of delivery throughput, not of the overflow policy.
+	SubscriberQueue int
+}
+
+// E13Run is the legacy E13 kernel signature: synchronous commits over
+// the JSON codec, matching the pre-negotiation protocol so historical
+// rows stay comparable.
 func E13Run(nclients, ncommits, nsubs int) (time.Duration, int) {
+	return E13RunConfig(E13Config{
+		Clients: nclients, Commits: ncommits, Subs: nsubs,
+		Codecs: []string{wire.CodecNameJSON}, Window: 1,
+	})
+}
+
+// E13RunConfig runs one E13 scenario: an in-process server on a loopback
+// listener, cfg.Clients concurrent sessions each committing cfg.Commits
+// server-timestamped transactions (every commit fires one trigger), and
+// cfg.Subs subscribers that must each receive the full firing stream
+// before the clock stops. Connections are dialed and subscriptions
+// registered before the clock starts — the measurement is commit and
+// delivery throughput, not TCP setup. It returns the wall time and the
+// total firing deliveries.
+func E13RunConfig(cfg E13Config) (time.Duration, int) {
 	eng := adb.NewEngine(adb.Config{
 		Initial: map[string]value.Value{"a": value.NewInt(0)},
 	})
 	if err := eng.AddTrigger("every", `item("a") > 0`, nil); err != nil {
 		panic(err)
 	}
-	srv, err := server.New(server.Config{Engine: eng})
+	srv, err := server.New(server.Config{
+		Engine:          eng,
+		MaxConns:        cfg.Clients + cfg.Subs + 8,
+		SubscriberQueue: cfg.SubscriberQueue,
+	})
 	if err != nil {
 		panic(err)
 	}
@@ -40,23 +76,42 @@ func E13Run(nclients, ncommits, nsubs int) (time.Duration, int) {
 		srv.Shutdown(ctx)
 	}()
 	addr := ln.Addr().String()
+	opts := client.Options{Codecs: cfg.Codecs}
+	window := cfg.Window
+	if window < 1 {
+		window = 1
+	}
 
-	total := nclients * ncommits
-	start := time.Now()
+	total := cfg.Clients * cfg.Commits
 
 	var subWG sync.WaitGroup
 	delivered := 0
 	var deliveredMu sync.Mutex
-	for s := 0; s < nsubs; s++ {
-		c, err := client.Dial(addr)
+	subs := make([]*client.Subscription, cfg.Subs)
+	for s := 0; s < cfg.Subs; s++ {
+		c, err := client.DialOptions(addr, opts)
 		if err != nil {
 			panic(err)
 		}
 		defer c.Close()
-		sub, err := c.Subscribe(0)
+		subs[s], err = c.Subscribe(0)
 		if err != nil {
 			panic(err)
 		}
+	}
+	committers := make([]*client.Client, cfg.Clients)
+	for ci := 0; ci < cfg.Clients; ci++ {
+		c, err := client.DialOptions(addr, opts)
+		if err != nil {
+			panic(err)
+		}
+		defer c.Close()
+		committers[ci] = c
+	}
+
+	start := time.Now()
+	for _, sub := range subs {
+		sub := sub
 		subWG.Add(1)
 		go func() {
 			defer subWG.Done()
@@ -78,22 +133,28 @@ func E13Run(nclients, ncommits, nsubs int) (time.Duration, int) {
 	}
 
 	var wg sync.WaitGroup
-	for ci := 0; ci < nclients; ci++ {
+	for ci := 0; ci < cfg.Clients; ci++ {
 		wg.Add(1)
 		go func(ci int) {
 			defer wg.Done()
-			c, err := client.Dial(addr)
-			if err != nil {
-				panic(err)
+			c := committers[ci]
+			pending := make([]*client.Pending, 0, window)
+			flush := func() {
+				for _, p := range pending {
+					if _, err := p.Wait(); err != nil {
+						panic(err)
+					}
+				}
+				pending = pending[:0]
 			}
-			defer c.Close()
-			for i := 0; i < ncommits; i++ {
-				if _, err := c.Exec(0, map[string]value.Value{
-					"a": value.NewInt(int64(ci*ncommits + i + 1)),
-				}); err != nil {
-					panic(err)
+			for i := 0; i < cfg.Commits; i++ {
+				p := c.Txn().Set("a", value.NewInt(int64(ci*cfg.Commits+i+1))).Go()
+				pending = append(pending, p)
+				if len(pending) >= window {
+					flush()
 				}
 			}
+			flush()
 		}(ci)
 	}
 	wg.Wait()
@@ -102,12 +163,16 @@ func E13Run(nclients, ncommits, nsubs int) (time.Duration, int) {
 }
 
 // E13Server measures the network service layer: commit throughput through
-// the serializing pipeline as concurrent sessions increase, and firing
-// fan-out to multiple subscribers.
+// the serializing pipeline as concurrent sessions increase, the effect of
+// the binary codec and client pipelining on the per-commit wire cost, and
+// firing fan-out to subscribers (including a 1000-subscriber broadcast
+// over batched delivery).
 func E13Server(quick bool) Table {
 	ncommits := 300
+	bigFan := 1000
 	if quick {
 		ncommits = 40
+		bigFan = 100
 	}
 	t := Table{
 		ID:    "E13",
@@ -117,22 +182,41 @@ func E13Server(quick bool) Table {
 		Notes: "loopback TCP, one trigger firing per commit, server-assigned timestamps. " +
 			"All mutations serialize through the commit pipeline, so added clients contend " +
 			"for one writer; subscriber rows stop the clock only when every subscriber has " +
-			"received the full firing stream.",
+			"received the full firing stream. Committer rows are synchronous JSON (the " +
+			"legacy wire) unless marked: 'binary' rows negotiate the binary codec, " +
+			"'pipelined' rows keep a window of commits in flight per connection, and the " +
+			"big fan-out row uses batched multi-firing delivery.",
 	}
+	row := func(scenario string, cfg E13Config) {
+		// Best of five: each scenario is a single short run, so scheduler
+		// and GC noise dominate a one-shot sample; the minimum is the
+		// stable estimate of the scenario's cost.
+		dur, delivered := E13RunConfig(cfg)
+		for rep := 1; rep < 5; rep++ {
+			if d, n := E13RunConfig(cfg); d < dur {
+				dur, delivered = d, n
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			scenario, fmt.Sprint(cfg.Clients), fmt.Sprint(cfg.Clients * cfg.Commits),
+			fmt.Sprint(cfg.Subs), fmt.Sprint(delivered),
+			fmtMs(dur), fmtDur(dur, cfg.Clients*cfg.Commits),
+		})
+	}
+	json := []string{wire.CodecNameJSON}
 	for _, nc := range []int{1, 2, 4} {
-		per := ncommits / nc
-		dur, _ := E13Run(nc, per, 0)
-		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%d committer(s)", nc), fmt.Sprint(nc), fmt.Sprint(nc * per), "0", "0",
-			fmtMs(dur), fmtDur(dur, nc*per),
-		})
+		row(fmt.Sprintf("%d committer(s)", nc),
+			E13Config{Clients: nc, Commits: ncommits / nc, Codecs: json, Window: 1})
 	}
+	row("binary sync", E13Config{Clients: 1, Commits: ncommits, Window: 1})
+	row("pipelined json w=64", E13Config{Clients: 1, Commits: ncommits, Codecs: json, Window: 64})
+	row("pipelined binary w=64", E13Config{Clients: 1, Commits: ncommits, Window: 64})
 	for _, ns := range []int{1, 4} {
-		dur, delivered := E13Run(1, ncommits, ns)
-		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("fan-out %d sub(s)", ns), "1", fmt.Sprint(ncommits), fmt.Sprint(ns),
-			fmt.Sprint(delivered), fmtMs(dur), fmtDur(dur, ncommits),
-		})
+		row(fmt.Sprintf("fan-out %d sub(s)", ns),
+			E13Config{Clients: 1, Commits: ncommits, Subs: ns, Codecs: json, Window: 1})
 	}
+	row(fmt.Sprintf("fan-out %d subs batched", bigFan), E13Config{
+		Clients: 1, Commits: ncommits, Subs: bigFan, Window: 64, SubscriberQueue: 2 * ncommits,
+	})
 	return t
 }

@@ -11,6 +11,7 @@ import (
 
 	"ptlactive/client"
 	"ptlactive/internal/adb"
+	"ptlactive/internal/server/wire"
 	"ptlactive/internal/value"
 )
 
@@ -24,143 +25,178 @@ var equivRules = []struct {
 	{"spike", `[x <- item("b")] lasttime (item("b") < x - 10)`},
 }
 
+// equivCodecs are the wire configurations the equivalence tests run
+// under: the default offer (negotiates the binary codec) and a
+// JSON-only offer. Both must yield byte-identical firing streams.
+var equivCodecs = []struct {
+	name   string
+	codecs []string
+	want   string // codec the server must pick
+}{
+	{"binary", nil, wire.CodecNameBinary},
+	{"json", []string{wire.CodecNameJSON}, wire.CodecNameJSON},
+}
+
+// dialCodec dials with an explicit codec offer and checks the
+// negotiated pick.
+func dialCodec(t *testing.T, addr string, codecs []string, want string) *client.Client {
+	t.Helper()
+	c, err := client.DialOptions(addr, client.Options{Codecs: codecs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	if c.Codec() != want {
+		t.Fatalf("negotiated codec %q, want %q", c.Codec(), want)
+	}
+	return c
+}
+
 // TestRemoteEquivalence is the acceptance check of the service layer: N
 // concurrent clients commit interleaved transactions against the server;
 // replaying the merged commit order (by applied timestamp) on a local,
 // single-process engine with the same rules must produce the identical
-// firing stream — at Workers 1 and 4, so the serializing pipeline (not
-// luck) is what preserves deterministic firing order.
+// firing stream — at Workers 1 and 4 and over both codecs, so the
+// serializing pipeline and the codec-independent wire (not luck) are
+// what preserve deterministic firing order.
 func TestRemoteEquivalence(t *testing.T) {
 	for _, workers := range []int{1, 4} {
-		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
-			initial := map[string]value.Value{
-				"a": value.NewInt(0),
-				"b": value.NewInt(50),
-			}
-			eng := adb.NewEngine(adb.Config{Initial: initial, Workers: workers})
-			_, addr := startServer(t, Config{Engine: eng})
+		for _, codec := range equivCodecs {
+			workers, codec := workers, codec
+			t.Run(fmt.Sprintf("workers=%d/codec=%s", workers, codec.name), func(t *testing.T) {
+				runRemoteEquivalence(t, workers, codec.codecs, codec.want)
+			})
+		}
+	}
+}
 
-			admin := dial(t, addr)
-			for _, r := range equivRules {
-				if err := admin.AddTrigger(r.name, r.cond); err != nil {
-					t.Fatal(err)
-				}
-			}
+func runRemoteEquivalence(t *testing.T, workers int, codecs []string, wantCodec string) {
+	initial := map[string]value.Value{
+		"a": value.NewInt(0),
+		"b": value.NewInt(50),
+	}
+	eng := adb.NewEngine(adb.Config{Initial: initial, Workers: workers})
+	_, addr := startServer(t, Config{Engine: eng})
 
-			// N clients, interleaved auto-timestamped commits; each records
-			// what it committed and the timestamp the server applied.
-			type commit struct {
-				ts      int64
-				updates map[string]value.Value
-			}
-			const nclients, ncommits = 4, 30
-			var mu sync.Mutex
-			var all []commit
-			var wg sync.WaitGroup
-			errs := make(chan error, nclients)
-			for ci := 0; ci < nclients; ci++ {
-				wg.Add(1)
-				go func(ci int) {
-					defer wg.Done()
-					c, err := client.Dial(addr)
-					if err != nil {
-						errs <- err
-						return
-					}
-					defer c.Close()
-					for i := 0; i < ncommits; i++ {
-						updates := map[string]value.Value{
-							"a": value.NewInt(int64((ci*31 + i*17) % 100)),
-						}
-						if i%3 == ci%3 {
-							updates["b"] = value.NewInt(int64((ci*13 + i*29) % 100))
-						}
-						ts, err := c.Exec(0, updates)
-						if err != nil {
-							errs <- fmt.Errorf("client %d commit %d: %w", ci, i, err)
-							return
-						}
-						mu.Lock()
-						all = append(all, commit{ts: ts, updates: updates})
-						mu.Unlock()
-					}
-				}(ci)
-			}
-			wg.Wait()
-			close(errs)
-			for err := range errs {
-				t.Fatal(err)
-			}
+	admin := dialCodec(t, addr, codecs, wantCodec)
+	for _, r := range equivRules {
+		if err := admin.AddTrigger(r.name, r.cond); err != nil {
+			t.Fatal(err)
+		}
+	}
 
-			// The served firing stream, via a fresh subscriber.
-			sub := dial(t, addr)
-			stream, err := sub.Subscribe(0)
+	// N clients, interleaved auto-timestamped commits; each records
+	// what it committed and the timestamp the server applied.
+	type commit struct {
+		ts      int64
+		updates map[string]value.Value
+	}
+	const nclients, ncommits = 4, 30
+	var mu sync.Mutex
+	var all []commit
+	var wg sync.WaitGroup
+	errs := make(chan error, nclients)
+	for ci := 0; ci < nclients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			c, err := client.DialOptions(addr, client.Options{Codecs: codecs})
 			if err != nil {
-				t.Fatal(err)
+				errs <- err
+				return
 			}
-			// Queries go through the admin session: the subscriber's read
-			// loop is busy delivering the 120-firing backlog and must not be
-			// asked to route a response mid-stream.
-			nowTS, err := admin.Now()
-			if err != nil {
-				t.Fatal(err)
+			defer c.Close()
+			for i := 0; i < ncommits; i++ {
+				updates := map[string]value.Value{
+					"a": value.NewInt(int64((ci*31 + i*17) % 100)),
+				}
+				if i%3 == ci%3 {
+					updates["b"] = value.NewInt(int64((ci*13 + i*29) % 100))
+				}
+				ts, err := c.Exec(0, updates)
+				if err != nil {
+					errs <- fmt.Errorf("client %d commit %d: %w", ci, i, err)
+					return
+				}
+				mu.Lock()
+				all = append(all, commit{ts: ts, updates: updates})
+				mu.Unlock()
 			}
-			if nowTS != int64(nclients*ncommits) {
-				t.Fatalf("server clock = %d, want %d", nowTS, nclients*ncommits)
-			}
-			served, err := admin.Firings(0)
-			if err != nil {
-				t.Fatal(err)
-			}
+		}(ci)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
 
-			// Replay the merged commit order on a single-process engine.
-			sort.Slice(all, func(i, j int) bool { return all[i].ts < all[j].ts })
-			for i := 1; i < len(all); i++ {
-				if all[i].ts == all[i-1].ts {
-					t.Fatalf("duplicate applied timestamp %d", all[i].ts)
-				}
-			}
-			local := adb.NewEngine(adb.Config{Initial: initial, Workers: workers})
-			for _, r := range equivRules {
-				if err := local.AddTrigger(r.name, r.cond, nil); err != nil {
-					t.Fatal(err)
-				}
-			}
-			for _, cm := range all {
-				if err := local.Exec(cm.ts, cm.updates); err != nil {
-					t.Fatal(err)
-				}
-			}
-			want := normFirings(local.Firings())
-			served = normFirings(served)
+	// The served firing stream, via a fresh subscriber.
+	sub := dialCodec(t, addr, codecs, wantCodec)
+	stream, err := sub.Subscribe(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Queries go through the admin session: the subscriber's read
+	// loop is busy delivering the 120-firing backlog and must not be
+	// asked to route a response mid-stream.
+	nowTS, err := admin.Now()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nowTS != int64(nclients*ncommits) {
+		t.Fatalf("server clock = %d, want %d", nowTS, nclients*ncommits)
+	}
+	served, err := admin.Firings(0)
+	if err != nil {
+		t.Fatal(err)
+	}
 
-			if len(served) != len(want) {
-				t.Fatalf("served %d firings, local run has %d", len(served), len(want))
-			}
-			if !reflect.DeepEqual(served, want) {
-				for i := range want {
-					if !reflect.DeepEqual(served[i], want[i]) {
-						t.Fatalf("firing %d differs:\nserved: %+v\nlocal:  %+v", i, served[i], want[i])
-					}
-				}
-			}
+	// Replay the merged commit order on a single-process engine.
+	sort.Slice(all, func(i, j int) bool { return all[i].ts < all[j].ts })
+	for i := 1; i < len(all); i++ {
+		if all[i].ts == all[i-1].ts {
+			t.Fatalf("duplicate applied timestamp %d", all[i].ts)
+		}
+	}
+	local := adb.NewEngine(adb.Config{Initial: initial, Workers: workers})
+	for _, r := range equivRules {
+		if err := local.AddTrigger(r.name, r.cond, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, cm := range all {
+		if err := local.Exec(cm.ts, cm.updates); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := normFirings(local.Firings())
+	served = normFirings(served)
 
-			// The subscription stream carries the same firings, gap-free and
-			// in order.
-			for i, w := range want {
-				select {
-				case ev := <-stream.C:
-					if ev.Gap != 0 {
-						t.Fatalf("gap of %d at %d in an unloaded stream", ev.Gap, i)
-					}
-					if ev.Seq != i || !reflect.DeepEqual(normFiring(ev.Firing), w) {
-						t.Fatalf("stream event %d = %+v, want seq %d %+v", i, ev, i, w)
-					}
-				case <-time.After(5 * time.Second):
-					t.Fatalf("stream stalled at firing %d of %d", i, len(want))
-				}
+	if len(served) != len(want) {
+		t.Fatalf("served %d firings, local run has %d", len(served), len(want))
+	}
+	if !reflect.DeepEqual(served, want) {
+		for i := range want {
+			if !reflect.DeepEqual(served[i], want[i]) {
+				t.Fatalf("firing %d differs:\nserved: %+v\nlocal:  %+v", i, served[i], want[i])
 			}
-		})
+		}
+	}
+
+	// The subscription stream carries the same firings, gap-free and
+	// in order.
+	for i, w := range want {
+		select {
+		case ev := <-stream.C:
+			if ev.Gap != 0 {
+				t.Fatalf("gap of %d at %d in an unloaded stream", ev.Gap, i)
+			}
+			if ev.Seq != i || !reflect.DeepEqual(normFiring(ev.Firing), w) {
+				t.Fatalf("stream event %d = %+v, want seq %d %+v", i, ev, i, w)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("stream stalled at firing %d of %d", i, len(want))
+		}
 	}
 }
 
@@ -255,4 +291,81 @@ func TestDegradedOverWire(t *testing.T) {
 	// Graceful drain still works on a degraded engine (Close surfaces the
 	// seal to the server log, not to Shutdown): the startServer cleanup
 	// exercises it.
+}
+
+// TestCrossCodecStreams subscribes two clients — one negotiating the
+// binary codec, one pinned to JSON — to the same server and checks they
+// observe the identical firing stream: same firings, same sequence
+// numbers, no gaps. The binary subscriber additionally receives batched
+// multi-firing frames (the backlog is delivered after the commits), so
+// this also proves batching changes framing, never content.
+func TestCrossCodecStreams(t *testing.T) {
+	initial := map[string]value.Value{"a": value.NewInt(0), "b": value.NewInt(50)}
+	eng := adb.NewEngine(adb.Config{Initial: initial})
+	_, addr := startServer(t, Config{Engine: eng})
+
+	admin := dial(t, addr)
+	for _, r := range equivRules {
+		if err := admin.AddTrigger(r.name, r.cond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Build a firing backlog first so both subscribers drain it via
+	// batched (binary peer) and frame-per-firing (JSON peer negotiated
+	// batching too, but content must match regardless) delivery.
+	const ncommits = 50
+	for i := 0; i < ncommits; i++ {
+		updates := map[string]value.Value{"a": value.NewInt(int64((i * 37) % 100))}
+		if i%2 == 0 {
+			updates["b"] = value.NewInt(int64((i * 53) % 100))
+		}
+		if _, err := admin.Exec(0, updates); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	bin := dialCodec(t, addr, nil, wire.CodecNameBinary)
+	js := dialCodec(t, addr, []string{wire.CodecNameJSON}, wire.CodecNameJSON)
+	binStream, err := bin.Subscribe(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsStream, err := js.Subscribe(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want, err := admin.Firings(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("no firings generated")
+	}
+	collect := func(name string, ch <-chan client.StreamEvent) []adb.Firing {
+		var got []adb.Firing
+		for len(got) < len(want) {
+			select {
+			case ev := <-ch:
+				if ev.Gap != 0 {
+					t.Fatalf("%s: gap of %d in an unloaded stream", name, ev.Gap)
+				}
+				if ev.Seq != len(got) {
+					t.Fatalf("%s: seq %d, want %d", name, ev.Seq, len(got))
+				}
+				got = append(got, normFiring(ev.Firing))
+			case <-time.After(5 * time.Second):
+				t.Fatalf("%s: stream stalled at %d of %d", name, len(got), len(want))
+			}
+		}
+		return got
+	}
+	gotBin := collect("binary", binStream.C)
+	gotJSON := collect("json", jsStream.C)
+	if !reflect.DeepEqual(gotBin, gotJSON) {
+		t.Fatal("binary and JSON subscribers diverged")
+	}
+	if !reflect.DeepEqual(gotBin, normFirings(want)) {
+		t.Fatal("streamed firings differ from the queried log")
+	}
 }

@@ -17,8 +17,11 @@
 // Subscribers have bounded per-session queues with an explicit overflow
 // policy: DropWithGap drops firings and delivers a gap marker in their
 // place, Disconnect drops the lagging connection with ErrSubscriberLagged.
-// Shutdown drains gracefully: stop accepting, finish queued mutations,
-// flush subscriber queues, send bye frames, close the engine.
+// Sessions that negotiated a frame codec at handshake (wire/codec.go) get
+// batched delivery: consecutive queued firings coalesce into one
+// multi-firing frame per write, amortizing encode and syscall cost under
+// fan-out load. Shutdown drains gracefully: stop accepting, finish queued
+// mutations, flush subscriber queues, send bye frames, close the engine.
 package server
 
 import (
@@ -27,6 +30,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ptlactive/internal/adb"
@@ -97,6 +101,12 @@ type Server struct {
 	sessions map[*session]struct{}
 	wg       sync.WaitGroup // session goroutines
 	shutdown bool
+
+	// nsubs counts live subscribed sessions; broadcast consults it to skip
+	// firing encode entirely when nobody is listening (the common case for
+	// write-heavy workloads, where the encode would otherwise sit on the
+	// serializing pipeline goroutine's critical path).
+	nsubs atomic.Int64
 }
 
 // New creates a server around cfg.Engine and starts its commit pipeline.
@@ -146,6 +156,13 @@ func (s *Server) pipeline() {
 func (s *Server) broadcast(f adb.Firing) {
 	seq := s.seq
 	s.seq++
+	// No subscribers: the sequence number still advances (it is the firing
+	// log index), but the encode and session walk are skipped. This runs on
+	// the pipeline goroutine, so every microsecond here is serial with the
+	// commits themselves.
+	if s.nsubs.Load() == 0 {
+		return
+	}
 	fj, err := wire.EncodeFiring(f, seq)
 	s.mu.Lock()
 	targets := make([]*session, 0, len(s.sessions))
@@ -245,6 +262,12 @@ func (s *Server) startSession(conn net.Conn) {
 func (s *Server) runSession(sess *session) {
 	defer func() {
 		sess.fail(wire.ErrSessionClosed)
+		sess.mu.Lock()
+		wasSubscribed := sess.subscribed
+		sess.mu.Unlock()
+		if wasSubscribed {
+			s.nsubs.Add(-1)
+		}
 		s.mu.Lock()
 		delete(s.sessions, sess)
 		s.mu.Unlock()
@@ -259,9 +282,17 @@ func (s *Server) runSession(sess *session) {
 
 // handshake enforces the hello exchange before anything else; a version
 // mismatch is answered with an error frame and the connection closed.
+//
+// Codec negotiation rides the hello: the client's offer (Msg.Codecs, in
+// preference order) is answered with the server's pick — binary when the
+// client speaks it, JSON otherwise — echoed in the reply's Codec field.
+// The exchange itself is always JSON; both ends switch to the chosen
+// codec for every frame after it. A legacy client sends no offer and
+// gets no Codec back: the session stays JSON, frame-per-firing, exactly
+// the v1 protocol.
 func (s *Server) handshake(sess *session) error {
 	sess.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
-	m, err := wire.ReadFrame(sess.conn)
+	m, err := wire.ReadFrame(sess.br)
 	if err != nil {
 		return err
 	}
@@ -272,10 +303,18 @@ func (s *Server) handshake(sess *session) error {
 		})
 		return err
 	}
-	sess.conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
-	return wire.WriteFrame(sess.conn, &wire.Msg{
+	reply := &wire.Msg{
 		T: wire.TypeHello, ID: m.ID, Proto: wire.ProtoName, Version: wire.Version,
-	})
+	}
+	if len(m.Codecs) > 0 {
+		sess.codec = wire.PickCodec(m.Codecs)
+		// A codec offer also advertises batched-delivery support: the peer
+		// postdates negotiation, whichever codec it ends up on.
+		sess.batch = true
+		reply.Codec = sess.codec.String()
+	}
+	sess.conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	return wire.WriteFrame(sess.conn, reply)
 }
 
 // readLoop dispatches request frames until the connection dies or drain
@@ -288,7 +327,7 @@ func (s *Server) readLoop(sess *session) {
 		} else {
 			sess.conn.SetReadDeadline(time.Time{})
 		}
-		m, err := wire.ReadFrame(sess.conn)
+		m, err := wire.ReadFrameC(sess.br, sess.codec)
 		if err != nil {
 			return
 		}
@@ -410,6 +449,7 @@ func (s *Server) subscribe(sess *session, m *wire.Msg) {
 		return
 	}
 	sess.subscribed = true
+	s.nsubs.Add(1)
 	sess.queue = append(sess.queue, &wire.Msg{T: wire.TypeOK, ID: m.ID, From: from})
 	for i := from; i < len(fs); i++ {
 		fj, err := wire.EncodeFiring(fs[i], i)

@@ -1,12 +1,24 @@
 package server
 
 import (
+	"bufio"
 	"net"
 	"sync"
 	"time"
 
 	"ptlactive/internal/server/wire"
 )
+
+// sessionBufSize sizes the per-session buffered reader and writer: big
+// enough that a pipelined burst of frames costs one syscall per
+// direction, small enough to be cheap at high connection counts.
+const sessionBufSize = 32 << 10
+
+// maxFiringBatch bounds how many queued firings coalesce into one
+// multi-firing frame: large enough to amortize the syscall and encode
+// cost under fan-out load, small enough that one frame stays far from
+// MaxFrame and a draining peer sees steady progress.
+const maxFiringBatch = 128
 
 // session is one accepted connection: a reader goroutine (handshake,
 // request dispatch) plus a writer goroutine draining the outbound queue.
@@ -17,6 +29,17 @@ import (
 type session struct {
 	srv  *Server
 	conn net.Conn
+	// br buffers reads from conn: frame headers and payloads coalesce
+	// into one syscall per burst. Only the reader goroutine touches it.
+	br *bufio.Reader
+
+	// codec is the payload encoding negotiated at handshake; batch says
+	// the peer understands batched multi-firing frames (it sent a codec
+	// offer, so it postdates negotiation). Both are written once by the
+	// handshake, before the writer goroutine starts and before the read
+	// loop dispatches, so they are read without the lock.
+	codec wire.Codec
+	batch bool
 
 	mu   sync.Mutex
 	cond *sync.Cond
@@ -40,7 +63,7 @@ type session struct {
 }
 
 func newSession(srv *Server, conn net.Conn) *session {
-	s := &session{srv: srv, conn: conn}
+	s := &session{srv: srv, conn: conn, br: bufio.NewReaderSize(conn, sessionBufSize)}
 	s.cond = sync.NewCond(&s.mu)
 	return s
 }
@@ -138,7 +161,21 @@ func (s *session) fail(err error) {
 // writeLoop drains the outbound queue onto the connection. Each frame
 // gets its own write deadline, so a peer that stops reading cannot stall
 // the server's drain forever.
+//
+// Batched delivery: for peers that negotiated (batch), a consecutive run
+// of queued firing frames is coalesced into one multi-firing frame per
+// write — under fan-out load the whole backlog behind a slow write goes
+// out in one encode instead of one per firing. Gap markers and responses
+// are never reordered: coalescing stops at the first non-firing frame.
+//
+// Group flush: frames are encoded into a buffered writer and flushed
+// only when the queue goes empty, so a burst of responses to a
+// pipelining client (or a firing backlog) costs one syscall, not one
+// per frame.
 func (s *session) writeLoop() {
+	bw := bufio.NewWriterSize(s.conn, sessionBufSize)
+	fw := wire.NewFrameWriter(bw, s.codec)
+	var batch []wire.FiringJSON
 	for {
 		s.mu.Lock()
 		for len(s.queue) == 0 && !s.closed && !s.draining {
@@ -148,6 +185,10 @@ func (s *session) writeLoop() {
 			// Closed, or draining with an empty queue: flush is complete.
 			s.closed = true
 			s.mu.Unlock()
+			if t := s.srv.cfg.WriteTimeout; t > 0 {
+				s.conn.SetWriteDeadline(time.Now().Add(t))
+			}
+			bw.Flush()
 			s.conn.Close()
 			return
 		}
@@ -155,14 +196,30 @@ func (s *session) writeLoop() {
 		s.queue = s.queue[1:]
 		if m.T == wire.TypeFiring {
 			s.nfirings--
+			if s.batch && len(s.queue) > 0 && s.queue[0].T == wire.TypeFiring {
+				batch = append(batch[:0], *m.Firing)
+				for len(s.queue) > 0 && s.queue[0].T == wire.TypeFiring && len(batch) < maxFiringBatch {
+					batch = append(batch, *s.queue[0].Firing)
+					s.queue = s.queue[1:]
+					s.nfirings--
+				}
+				m = &wire.Msg{T: wire.TypeFiring, Firings: batch}
+			}
 		}
+		more := len(s.queue) > 0
 		s.mu.Unlock()
 		if t := s.srv.cfg.WriteTimeout; t > 0 {
 			s.conn.SetWriteDeadline(time.Now().Add(t))
 		}
-		if err := wire.WriteFrame(s.conn, m); err != nil {
+		if err := fw.Write(m); err != nil {
 			s.fail(err)
 			return
+		}
+		if !more {
+			if err := bw.Flush(); err != nil {
+				s.fail(err)
+				return
+			}
 		}
 	}
 }

@@ -41,5 +41,72 @@ func FuzzReadFrame(f *testing.F) {
 		if back.T != m.T || back.ID != m.ID || back.TS != m.TS {
 			t.Fatalf("round trip drifted: %+v vs %+v", back, m)
 		}
+		// Cross-codec property: any Msg the JSON wire accepts also crosses
+		// the binary wire and lands on the same canonical JSON.
+		var bin bytes.Buffer
+		if err := WriteFrameC(&bin, m, CodecBinary); err != nil {
+			t.Fatalf("accepted JSON frame does not binary-encode: %v", err)
+		}
+		viaBin, err := ReadFrameC(&bin, CodecBinary)
+		if err != nil {
+			t.Fatalf("binary re-encode does not decode: %v", err)
+		}
+		if got, want := canonJSON(t, viaBin), canonJSON(t, m); got != want {
+			t.Fatalf("cross-codec drift:\n json:   %s\n binary: %s", want, got)
+		}
+	})
+}
+
+// FuzzReadFrameBinary throws arbitrary bytes at the binary frame decoder:
+// it must never panic or over-allocate, and any frame it accepts must
+// re-encode and decode to the same message through both codecs.
+func FuzzReadFrameBinary(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1})
+	f.Add([]byte{0, 0, 0, 1, 200})         // unknown type code
+	f.Add([]byte{0, 0, 0, 2, 0, 0})        // escape with empty type string
+	f.Add([]byte{0, 0, 0, 3, 2, 20, 0xff}) // truncated varint
+	f.Add([]byte{0, 0, 0, 3, 2, 27, 0x7f}) // count beyond payload
+	for _, m := range sampleMsgs() {
+		var buf bytes.Buffer
+		if err := WriteFrameC(&buf, m, CodecBinary); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		if buf.Len() > 6 {
+			f.Add(buf.Bytes()[:buf.Len()-2]) // truncated tail
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ReadFrameC(bytes.NewReader(data), CodecBinary)
+		if err != nil {
+			return
+		}
+		var re bytes.Buffer
+		if err := WriteFrameC(&re, m, CodecBinary); err != nil {
+			t.Fatalf("accepted frame does not re-encode: %v", err)
+		}
+		back, err := ReadFrameC(&re, CodecBinary)
+		if err != nil {
+			t.Fatalf("re-encoded frame does not decode: %v", err)
+		}
+		if got, want := canonJSON(t, back), canonJSON(t, m); got != want {
+			t.Fatalf("binary round trip drifted:\n%s\n%s", want, got)
+		}
+		// And through the JSON wire: whatever the binary decoder accepts is
+		// a legal Msg on the debuggable codec too.
+		var jb bytes.Buffer
+		if err := WriteFrameC(&jb, m, CodecJSON); err != nil {
+			t.Fatalf("accepted binary frame does not JSON-encode: %v", err)
+		}
+		viaJSON, err := ReadFrameC(&jb, CodecJSON)
+		if err != nil {
+			t.Fatalf("JSON re-encode does not decode: %v", err)
+		}
+		if got, want := canonJSON(t, viaJSON), canonJSON(t, m); got != want {
+			t.Fatalf("cross-codec drift:\n binary: %s\n json:   %s", want, got)
+		}
 	})
 }

@@ -5,11 +5,20 @@
 // encoding the durability layer writes to disk.
 //
 // A frame is a 4-byte big-endian payload length followed by that many
-// bytes of JSON (one Msg). The length is bounded by MaxFrame, so garbage
-// bytes on the stream fail fast instead of allocating; a torn frame
-// surfaces as io.ErrUnexpectedEOF. The first frame of every connection
-// must be a hello carrying the protocol name and version; servers refuse
-// mismatches with the "version" error code before anything else happens.
+// payload bytes: one Msg in the connection's negotiated codec. The length
+// is bounded by MaxFrame, so garbage bytes on the stream fail fast
+// instead of allocating; a torn frame surfaces as io.ErrUnexpectedEOF.
+// The first frame of every connection must be a hello carrying the
+// protocol name and version; servers refuse mismatches with the
+// "version" error code before anything else happens.
+//
+// Two payload codecs exist: the self-describing JSON codec (the v1
+// format, the debugging default, and the fallback every peer speaks) and
+// an allocation-light binary codec (codec.go) negotiated at handshake —
+// the client's hello offers a codec list, the server picks binary when
+// both ends speak it and echoes the choice in its hello reply. The hello
+// exchange itself is always JSON, so peers that predate negotiation
+// interoperate unchanged.
 //
 // The package also defines the error taxonomy shared by the server and
 // client: sentinel errors for session teardown, subscriber lag and
@@ -229,18 +238,32 @@ type RuleJSON struct {
 
 // Msg is one frame's payload. A single struct covers every frame type;
 // omitempty keeps the encoded form down to the fields the type uses.
+//
+// Zero-value audit: fields whose zero value is semantically load-bearing
+// — TS (a transaction at time 0, or the timestamp echoed on an error
+// reply), Txn (the violating transaction id in a constraint-error frame),
+// From (subscribe/firings from index 0) and Missed (a gap frame) — do NOT
+// use omitempty, so a legitimate zero is explicit on the wire instead of
+// silently indistinguishable from "field absent". Purely optional payload
+// fields keep omitempty; for them absent and zero mean the same thing by
+// construction.
 type Msg struct {
 	T  string `json:"t"`
 	ID uint64 `json:"id,omitempty"`
 
-	// hello
-	Proto   string `json:"proto,omitempty"`
-	Version int    `json:"version,omitempty"`
+	// hello. Codecs is the sender's frame-codec offer in preference order
+	// ("binary", "json"); Codec is the server's pick echoed in the hello
+	// reply. Absent on either side means the legacy JSON-only protocol, so
+	// version 1 peers interoperate unchanged.
+	Proto   string   `json:"proto,omitempty"`
+	Version int      `json:"version,omitempty"`
+	Codecs  []string `json:"codecs,omitempty"`
+	Codec   string   `json:"codec,omitempty"`
 
 	// txn / emit: timestamp (0 = server assigns now+1), updates, deletes
 	// and events in histio encoding. Responses echo the applied timestamp
 	// in TS.
-	TS      int64                      `json:"ts,omitempty"`
+	TS      int64                      `json:"ts"`
 	Updates map[string]json.RawMessage `json:"updates,omitempty"`
 	Deletes []string                   `json:"deletes,omitempty"`
 	Events  [][]json.RawMessage        `json:"events,omitempty"`
@@ -250,12 +273,12 @@ type Msg struct {
 	Cond       string `json:"cond,omitempty"`
 	Constraint bool   `json:"constraint,omitempty"`
 	Sched      int    `json:"sched,omitempty"`
-	Txn        int64  `json:"txn,omitempty"`
+	Txn        int64  `json:"txn"`
 
 	// query request ("db", "firings", "rules", "health", "now") and
 	// subscribe; From bounds firing lists and subscription starts.
 	What string `json:"what,omitempty"`
-	From int    `json:"from,omitempty"`
+	From int    `json:"from"`
 
 	// error responses
 	Code string `json:"code,omitempty"`
@@ -268,9 +291,11 @@ type Msg struct {
 	Health   []HealthJSON               `json:"health,omitempty"`
 	Degraded string                     `json:"degraded,omitempty"`
 
-	// firing push payload; gap pushes carry Missed.
+	// firing push payload: Firing for a single push, Firings for a batched
+	// multi-firing push (sessions that negotiated a codec list coalesce
+	// queued firings into one frame per write). Gap pushes carry Missed.
 	Firing *FiringJSON `json:"firing,omitempty"`
-	Missed int         `json:"missed,omitempty"`
+	Missed int         `json:"missed"`
 }
 
 // WriteFrame encodes m and writes one length-prefixed frame.

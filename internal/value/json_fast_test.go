@@ -1,0 +1,112 @@
+package value
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// jsonTagSlow is the pre-fast-path encoder shape: the reference the
+// direct-append paths must match byte for byte.
+func encodeSlow(t *testing.T, v Value) json.RawMessage {
+	t.Helper()
+	var raw json.RawMessage
+	var err error
+	switch v.Kind() {
+	case Null:
+		raw = json.RawMessage(`{"null":true}`)
+	case Bool:
+		raw, err = jsonTag("bool", v.AsBool())
+	case Int:
+		raw, err = jsonTag("int", v.AsInt())
+	case String:
+		raw, err = jsonTag("str", v.AsString())
+	default:
+		t.Fatalf("encodeSlow: unsupported kind %v", v.Kind())
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func TestEncodeFastMatchesMarshal(t *testing.T) {
+	vals := []Value{
+		{}, NewBool(true), NewBool(false),
+		NewInt(0), NewInt(1), NewInt(-1), NewInt(42),
+		NewInt(math.MaxInt64), NewInt(math.MinInt64),
+		NewString(""), NewString("a"), NewString("ibm"),
+		NewString("hello world_123.+-:!"),
+		// non-plain strings must fall back to json.Marshal escaping
+		NewString(`quo"te`), NewString(`back\slash`), NewString("tab\there"),
+		NewString("<html> & more"), NewString("unïcode"), NewString("\x00"),
+	}
+	for _, v := range vals {
+		got, err := EncodeJSON(v)
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		want := encodeSlow(t, v)
+		if string(got) != string(want) {
+			t.Errorf("EncodeJSON(%v) = %s, json.Marshal form = %s", v, got, want)
+		}
+	}
+}
+
+func TestDecodeFastRoundTrip(t *testing.T) {
+	vals := []Value{
+		{}, NewBool(true), NewBool(false),
+		NewInt(0), NewInt(7), NewInt(-99), NewInt(math.MaxInt64), NewInt(math.MinInt64),
+		NewString(""), NewString("plain"), NewString(`esc"aped`), NewString("uni code"),
+	}
+	for _, v := range vals {
+		raw, err := EncodeJSON(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeJSON(raw)
+		if err != nil {
+			t.Fatalf("decode %s: %v", raw, err)
+		}
+		if !got.Equal(v) {
+			t.Errorf("round trip %s: got %v want %v", raw, got, v)
+		}
+	}
+}
+
+// TestDecodeFastNoNewAcceptance feeds the decoder inputs near the fast
+// path's shapes that the full parser rejects; the fast path must not
+// accept them either.
+func TestDecodeFastNoNewAcceptance(t *testing.T) {
+	bad := []string{
+		`{"int":+5}`, `{"int":05}`, `{"int":1e2}`, `{"int":}`, `{"int":-}`,
+		`{"int":5 }`, `{"int":"5"}`, `{"int":99999999999999999999999}`,
+		`{"str":}`, `{"str":"}`, `{"bool":maybe}`, `{"null":false,"x":1}`,
+	}
+	for _, s := range bad {
+		if v, err := DecodeJSON(json.RawMessage(s)); err == nil {
+			// The full parser must agree this is acceptable.
+			var m map[string]json.RawMessage
+			if jerr := json.Unmarshal([]byte(s), &m); jerr != nil {
+				t.Errorf("DecodeJSON(%s) accepted (%v) but input is not even valid JSON", s, v)
+			}
+		}
+	}
+	// Non-compact spellings the fast path skips must still decode via the
+	// full parser.
+	loose := map[string]Value{
+		`{ "int" : 5 }`:      NewInt(5),
+		`{"str":"A"}`:        NewString("A"),
+		`{"bool": true}`:     NewBool(true),
+		"{\n\"int\":\n-3\n}": NewInt(-3),
+	}
+	for s, want := range loose {
+		got, err := DecodeJSON(json.RawMessage(s))
+		if err != nil {
+			t.Fatalf("DecodeJSON(%s): %v", s, err)
+		}
+		if !got.Equal(want) {
+			t.Errorf("DecodeJSON(%s) = %v, want %v", s, got, want)
+		}
+	}
+}
