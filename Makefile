@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench race vet fmtcheck vulncheck stress verify tables profile benchcheck bench-baselines serve-smoke
+.PHONY: build test bench race vet fmtcheck vulncheck stress verify tables profile benchcheck bench-baselines serve-smoke cluster-smoke
 
 build:
 	$(GO) build ./...
@@ -44,7 +44,7 @@ stress:
 # default (the baselines are wall-clock numbers from the machine of
 # record); set BENCHCHECK_STRICT=1 to make a regression in the server
 # wire-path table (E13) fail the tier.
-verify: vet fmtcheck vulncheck race stress serve-smoke
+verify: vet fmtcheck vulncheck race stress serve-smoke cluster-smoke
 ifeq ($(BENCHCHECK_STRICT),1)
 	$(MAKE) benchcheck
 else
@@ -56,6 +56,13 @@ endif
 # then SIGTERMs the server and asserts a clean graceful drain (exit 0).
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+# cluster-smoke boots adbrouterd over two durable in-process shards,
+# drives a scripted session with a cross-shard relay rule through
+# adbsh -connect, asserts that a commit spanning shards is refused,
+# then SIGTERMs the router and asserts a clean graceful drain (exit 0).
+cluster-smoke:
+	sh scripts/cluster_smoke.sh
 
 tables:
 	$(GO) run ./cmd/benchtables
@@ -69,10 +76,11 @@ profile:
 # benchcheck re-runs the experiments behind the committed benchmark
 # baselines and reports any time column more than 20% over baseline.
 benchcheck:
-	$(GO) run ./cmd/benchcheck BENCH_sched.json BENCH_persist.json BENCH_server.json
+	$(GO) run ./cmd/benchcheck BENCH_sched.json BENCH_persist.json BENCH_server.json BENCH_cluster.json
 
 # bench-baselines regenerates the committed baselines on this machine.
 bench-baselines:
 	$(GO) run ./cmd/benchtables -only E12 -json BENCH_sched.json >/dev/null
 	$(GO) run ./cmd/benchtables -only E10 -json BENCH_persist.json >/dev/null
 	$(GO) run ./cmd/benchtables -only E13 -json BENCH_server.json >/dev/null
+	$(GO) run ./cmd/benchtables -only E14 -json BENCH_cluster.json >/dev/null

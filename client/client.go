@@ -96,7 +96,11 @@ type Client struct {
 	// live to receive them (a push racing Subscribe's teardown or Close);
 	// gap markers count for their Missed total.
 	dropped int
-	done    chan struct{}
+	// gapFirings sums the gap markers delivered to this session's
+	// subscription: firings the server dropped under the drop-with-gap
+	// overflow policy.
+	gapFirings int
+	done       chan struct{}
 	// closing aborts blocked subscription deliveries when the user calls
 	// Close: a consumer that stopped draining must not wedge teardown.
 	closing   chan struct{}
@@ -227,6 +231,9 @@ func (c *Client) readLoop() {
 			}
 		case wire.TypeGap:
 			if sub := c.subscription(); sub != nil {
+				c.mu.Lock()
+				c.gapFirings += m.Missed
+				c.mu.Unlock()
 				select {
 				case sub.c <- StreamEvent{Gap: m.Missed}:
 				case <-c.closing:
@@ -297,6 +304,35 @@ func (c *Client) DroppedPushes() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.dropped
+}
+
+// Stats is a snapshot of the session's delivery counters.
+type Stats struct {
+	// Codec is the negotiated frame codec ("binary" or "json").
+	Codec string
+	// DroppedPushes counts pushed firings (including firings summarized
+	// by gap markers) discarded because no subscription was live to
+	// receive them — see DroppedPushes.
+	DroppedPushes int
+	// GapFirings counts firings the server reported dropped under the
+	// drop-with-gap overflow policy: the sum of the gap markers this
+	// session's subscription received. Nonzero means the subscriber fell
+	// behind the firing rate and the stream has holes (each marked in
+	// band by a StreamEvent with Gap set).
+	GapFirings int
+}
+
+// Stats returns the session's delivery counters. A monitoring loop (or a
+// shell's follow command) can check DroppedPushes and GapFirings after
+// consuming a stream to tell a complete stream from one with losses.
+func (c *Client) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Codec:         c.codec.String(),
+		DroppedPushes: c.dropped,
+		GapFirings:    c.gapFirings,
+	}
 }
 
 // Close tears the session down. If the server is still up this is a

@@ -3,6 +3,7 @@ package main
 import (
 	"errors"
 	"fmt"
+	"os"
 	"sort"
 	"strconv"
 	"strings"
@@ -145,6 +146,10 @@ func (r *remote) exec(line string) error {
 			case <-time.After(30 * time.Second):
 				return errors.New("follow: timed out waiting for firings")
 			}
+		}
+		if st := r.cli.Stats(); st.DroppedPushes > 0 || st.GapFirings > 0 {
+			fmt.Fprintf(os.Stderr, "warning: incomplete stream: %d firing(s) dropped with no live subscription, %d lost to gap markers\n",
+				st.DroppedPushes, st.GapFirings)
 		}
 		return nil
 	case "health":

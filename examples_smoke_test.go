@@ -22,6 +22,7 @@ func TestExamplesRun(t *testing.T) {
 		"./examples/futurewatch":  "SLA VIOLATED",
 		"./examples/recovery":     "recovered",
 		"./examples/remote":       "server drained cleanly",
+		"./examples/cluster":      "cluster drained cleanly",
 	}
 	for path, want := range cases {
 		path, want := path, want

@@ -987,13 +987,25 @@ func (t *Txn) Commit(ts int64) error {
 	}
 	t.done = true
 	txv := value.NewInt(t.id)
-	events := []event.Event{
+	// Assemble the commit's event set in one exactly-sized slice the set
+	// takes ownership of; the key-sort scratch is pooled. Both run on every
+	// commit, so the assembly itself must not allocate beyond the one
+	// retained array.
+	events := make([]event.Event, 0, 2+len(t.updates)+len(t.events))
+	events = append(events,
 		event.New(event.AttemptsToCommit, txv),
-		event.New(event.TransactionCommit, txv),
+		event.New(event.TransactionCommit, txv))
+	keysp := keyScratch.Get().(*[]string)
+	keys := (*keysp)[:0]
+	for k := range t.updates {
+		keys = append(keys, k)
 	}
-	for _, item := range sortedKeys(t.updates) {
+	sort.Strings(keys)
+	for _, item := range keys {
 		events = append(events, event.New(event.UpdateItem, value.NewString(item)))
 	}
+	*keysp = keys
+	keyScratch.Put(keysp)
 	events = append(events, t.events...)
 	ndb := e.db.WithAll(t.updates)
 	for _, item := range sortedBoolKeys(t.deletes) {
@@ -1001,7 +1013,7 @@ func (t *Txn) Commit(ts int64) error {
 	}
 	tentative := history.SystemState{
 		DB:     ndb,
-		Events: event.NewSet(events...),
+		Events: event.NewSetOwned(events),
 		TS:     ts,
 	}
 	// Validate against history invariants before constraint work.
@@ -1830,6 +1842,13 @@ func (e *Engine) recordExecution(r *rule, f Firing, ts int64) {
 	e.appendExecutionLocked(ptl.Execution{Rule: f.Rule, Params: params, Time: ts})
 	e.mu.Unlock()
 }
+
+// keyScratch pools the key-sorting scratch of the hot commit path; the
+// slices never escape a single Commit call.
+var keyScratch = sync.Pool{New: func() any {
+	s := make([]string, 0, 16)
+	return &s
+}}
 
 func sortedKeys(m map[string]value.Value) []string {
 	out := make([]string, 0, len(m))

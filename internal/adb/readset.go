@@ -26,6 +26,8 @@ package adb
 //     because the condition's value depends only on the untouched items.
 
 import (
+	"sort"
+
 	"ptlactive/internal/ptl"
 	"ptlactive/internal/query"
 	"ptlactive/internal/value"
@@ -112,6 +114,87 @@ func extractReadSet(info *ptl.Info, reg *query.Registry) readSet {
 		}
 	})
 	return rs
+}
+
+// EventUse is one event-atom shape a condition observes: the symbol name
+// and the atom's arity. Two atoms of the same symbol at different arities
+// are distinct uses (an occurrence matches an atom only at equal arity).
+type EventUse struct {
+	Name  string
+	Arity int
+}
+
+// Footprint is the externally usable form of a condition's static read
+// set: the database items and event atoms it can observe. The cluster
+// router uses it as its placement oracle — a rule whose items all hash to
+// one shard is pinned there, and its remote event uses become forwarding
+// subscriptions. Items and Events are sorted; Items is complete only when
+// Analyzable is true.
+type Footprint struct {
+	Items []string
+	// Analyzable reports that Items is the complete database footprint.
+	Analyzable bool
+	// TimeDep reports a dependency on the state timestamp or an impure
+	// query.
+	TimeDep bool
+	// Temporal reports that the condition uses temporal operators, so its
+	// value depends on the whole state sequence it observes, not just the
+	// current state.
+	Temporal bool
+	// Events lists the distinct event-atom uses, sorted by name then arity.
+	Events []EventUse
+	// ExecRules lists the executed() targets, sorted; their executions
+	// feed the condition, so they must be observable where it runs.
+	ExecRules []string
+}
+
+// ConditionFootprint parses and checks a condition and extracts its
+// Footprint. It accepts exactly the condition strings AddTrigger and
+// AddConstraint accept (a constraint's implicit negation does not change
+// its footprint). reg supplies the query functions; nil means just the
+// built-ins.
+func ConditionFootprint(condition string, reg *query.Registry) (Footprint, error) {
+	if reg == nil {
+		reg = query.NewRegistry()
+	}
+	f, err := ptl.Parse(condition)
+	if err != nil {
+		return Footprint{}, err
+	}
+	info, err := ptl.Check(f, reg)
+	if err != nil {
+		return Footprint{}, err
+	}
+	rs := extractReadSet(info, reg)
+	fp := Footprint{
+		Analyzable: rs.analyzable,
+		TimeDep:    rs.timeDep,
+		Temporal:   info.Temporal,
+	}
+	for item := range rs.items {
+		fp.Items = append(fp.Items, item)
+	}
+	sort.Strings(fp.Items)
+	for rule := range rs.execRules {
+		fp.ExecRules = append(fp.ExecRules, rule)
+	}
+	sort.Strings(fp.ExecRules)
+	seen := map[EventUse]bool{}
+	ptl.Walk(info.Normalized, func(g ptl.Formula) {
+		if atom, ok := g.(*ptl.EventAtom); ok {
+			seen[EventUse{Name: atom.Name, Arity: len(atom.Args)}] = true
+		}
+	})
+	for use := range seen {
+		fp.Events = append(fp.Events, use)
+	}
+	sort.Slice(fp.Events, func(i, j int) bool {
+		if fp.Events[i].Name != fp.Events[j].Name {
+			return fp.Events[i].Name < fp.Events[j].Name
+		}
+		return fp.Events[i].Arity < fp.Events[j].Arity
+	})
+	return fp, nil
 }
 
 // gateValue is a three-valued truth value for the event-gate fold.

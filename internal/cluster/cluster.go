@@ -1,0 +1,492 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"ptlactive/internal/adb"
+	"ptlactive/internal/event"
+	"ptlactive/internal/query"
+	"ptlactive/internal/server"
+	"ptlactive/internal/server/wire"
+	"ptlactive/internal/value"
+)
+
+// Config configures a Front.
+type Config struct {
+	// Shards are the partition owners, in shard-index order. Required,
+	// at least one. The front becomes their only mutator; closing the
+	// front closes them.
+	Shards []Shard
+	// Registry supplies the query functions the placement oracle resolves
+	// declared read sets against; nil means just the built-ins. It must
+	// match the registry the shard engines run.
+	Registry *query.Registry
+	// Logf, when set, receives router diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// fanMsg is one fan-in delivery: a shard firing (or gap), or a control
+// closure to run at the merge point (subscription syncs, barriers).
+type fanMsg struct {
+	fe server.FiringEvent
+	fn func()
+}
+
+// Front is the cluster router: it implements server.Backend over N
+// shards, so a server.Server in front of it speaks the ordinary wire
+// protocol against the whole cluster. Transactions route to the shard
+// owning their items and event symbols; rules register where their
+// footprint lives; the per-shard firing streams merge — in fan-in
+// arrival order, preserving each shard's internal order — into one
+// globally sequenced log that subscriptions and firing queries serve.
+type Front struct {
+	shards []Shard
+	part   Partitioner
+	reg    *query.Registry
+	logf   func(string, ...any)
+
+	// mu guards ruleHomes and the merged firing log.
+	mu        sync.Mutex
+	ruleHomes map[string]int
+	log       []server.FiringEvent
+	nextSeq   int
+
+	obs atomic.Pointer[func(server.FiringEvent)]
+
+	// replaying is set while New merges the shards' historical backlogs:
+	// relay firings seen then were already forwarded (the emit is in the
+	// home shard's history), so the forwarder must not double them.
+	replaying atomic.Bool
+
+	in      chan fanMsg
+	fanDone chan struct{}
+
+	// relayQ is the unbounded forward queue from the fan-in to the relay
+	// forwarder goroutine: the fan-in must never block on a shard's ops
+	// channel (a full channel there would deadlock against that shard's
+	// pipeline trying to deliver into the fan-in).
+	relayMu   sync.Mutex
+	relayCond *sync.Cond
+	relayQ    []relayItem
+	relayStop bool
+	relayDone chan struct{}
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+type relayItem struct {
+	home int
+	ev   event.Event
+}
+
+// New builds a router over the shards and starts its fan-in: every
+// shard's firing log is followed from the beginning, so a router started
+// over shards with history re-merges that history first.
+func New(cfg Config) (*Front, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("cluster: Config.Shards is required")
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = query.NewRegistry()
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	f := &Front{
+		shards:    cfg.Shards,
+		part:      NewPartitioner(len(cfg.Shards)),
+		reg:       reg,
+		logf:      logf,
+		ruleHomes: map[string]int{},
+		in:        make(chan fanMsg, 4096),
+		fanDone:   make(chan struct{}),
+		relayDone: make(chan struct{}),
+	}
+	f.relayCond = sync.NewCond(&f.relayMu)
+	f.replaying.Store(true)
+	go f.fanIn()
+	go f.relayForwarder()
+	for i, sh := range cfg.Shards {
+		if err := sh.Follow(func(fe server.FiringEvent) {
+			f.in <- fanMsg{fe: fe}
+		}); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cluster: follow shard %d: %w", i, err)
+		}
+		// Re-home rules already registered on the shard (a router restarted
+		// over durable shards). Relay triggers are skipped: their underlying
+		// rules re-home from their own shard's listing, and forwarding
+		// resumes as soon as the relay fires again.
+		rules, err := sh.Rules()
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cluster: list shard %d rules: %w", i, err)
+		}
+		for _, r := range rules {
+			if _, _, ok := parseRelayName(r.Name); ok {
+				continue
+			}
+			f.ruleHomes[r.Name] = i
+		}
+	}
+	// Settle the historical backlogs before live traffic: for local shards
+	// the barrier orders exactly after the Follow replay, so every
+	// historical relay firing is seen (and skipped) while replaying is
+	// still set. Remote-shard backlogs ride a subscription with no
+	// completion handshake; a router restarted over remote shards with
+	// history may re-forward relay occurrences (at-least-once).
+	f.Barrier()
+	f.replaying.Store(false)
+	return f, nil
+}
+
+// Partitioner exposes the item→shard map (diagnostics and tests).
+func (f *Front) Partitioner() Partitioner { return f.part }
+
+// fanIn owns the merged log: it assigns global sequence numbers in
+// arrival order (per-shard order is preserved — each shard's Follow
+// delivers from one goroutine) and forwards relay firings to their home
+// shards instead of exposing them to subscribers.
+func (f *Front) fanIn() {
+	defer close(f.fanDone)
+	for msg := range f.in {
+		if msg.fn != nil {
+			msg.fn()
+			continue
+		}
+		fe := msg.fe
+		if fe.Gap == 0 {
+			if rule, use, ok := parseRelayName(fe.F.Rule); ok {
+				if !f.replaying.Load() {
+					f.enqueueRelay(rule, use, fe.F)
+				}
+				continue
+			}
+		}
+		f.mu.Lock()
+		entry := server.FiringEvent{F: fe.F, Seq: f.nextSeq, Gap: fe.Gap}
+		if fe.Gap > 0 {
+			entry.F = adb.Firing{}
+			f.nextSeq += fe.Gap
+		} else {
+			f.nextSeq++
+		}
+		f.log = append(f.log, entry)
+		f.mu.Unlock()
+		if fn := f.obs.Load(); fn != nil {
+			(*fn)(entry)
+		}
+	}
+}
+
+// enqueueRelay reconstructs the remote occurrence from the relay
+// trigger's binding and queues it for forwarding to the rule's home
+// shard as an emit at the home's next tick.
+func (f *Front) enqueueRelay(rule string, use adb.EventUse, fir adb.Firing) {
+	args := make([]value.Value, use.Arity)
+	for i := range args {
+		v, ok := fir.Binding[fmt.Sprintf("A%d", i)]
+		if !ok {
+			f.logf("cluster: relay %s: binding misses A%d, dropping occurrence", fir.Rule, i)
+			return
+		}
+		args[i] = v
+	}
+	f.mu.Lock()
+	home, known := f.ruleHomes[rule]
+	f.mu.Unlock()
+	if !known {
+		f.logf("cluster: relay %s: rule %q has no home, dropping occurrence", fir.Rule, rule)
+		return
+	}
+	f.relayMu.Lock()
+	if f.relayStop {
+		f.relayMu.Unlock()
+		f.logf("cluster: relay %s: router draining, dropping occurrence", fir.Rule)
+		return
+	}
+	f.relayQ = append(f.relayQ, relayItem{home: home, ev: event.New(use.Name, args...)})
+	f.relayCond.Signal()
+	f.relayMu.Unlock()
+}
+
+// relayForwarder drains the relay queue in order, one emit at a time:
+// each forwarded occurrence is committed on its home shard before the
+// next is issued, so relayed events arrive in the order their source
+// firings merged.
+func (f *Front) relayForwarder() {
+	defer close(f.relayDone)
+	for {
+		f.relayMu.Lock()
+		for len(f.relayQ) == 0 && !f.relayStop {
+			f.relayCond.Wait()
+		}
+		if len(f.relayQ) == 0 {
+			f.relayMu.Unlock()
+			return
+		}
+		item := f.relayQ[0]
+		f.relayQ = f.relayQ[1:]
+		f.relayMu.Unlock()
+		errc := make(chan error, 1)
+		f.shards[item.home].GoEmit(0, []event.Event{item.ev}, func(_ int64, err error) { errc <- err })
+		if err := <-errc; err != nil {
+			f.logf("cluster: forward %v to shard %d: %v", item.ev, item.home, err)
+		}
+	}
+}
+
+// routeKeys collects the partitioned keys of a mutation (item names and
+// event symbols) and resolves the single owning shard.
+func (f *Front) route(updates map[string]value.Value, deletes []string, events []event.Event) (int, error) {
+	keys := make([]string, 0, len(updates)+len(deletes)+len(events))
+	for k := range updates {
+		keys = append(keys, k)
+	}
+	keys = append(keys, deletes...)
+	for _, ev := range events {
+		keys = append(keys, ev.Name)
+	}
+	return RouteKeys(f.part, keys)
+}
+
+func (f *Front) GoTxn(ts int64, updates map[string]value.Value, deletes []string,
+	events []event.Event, done func(int64, error)) {
+	home, err := f.route(updates, deletes, events)
+	if err != nil {
+		done(ts, err)
+		return
+	}
+	f.shards[home].GoTxn(ts, updates, deletes, events, done)
+}
+
+func (f *Front) GoEmit(ts int64, events []event.Event, done func(int64, error)) {
+	home, err := f.route(nil, nil, events)
+	if err != nil {
+		done(ts, err)
+		return
+	}
+	f.shards[home].GoEmit(ts, events, done)
+}
+
+func (f *Front) GoRule(name, cond string, constraint bool, sched int, done func(error)) {
+	if strings.HasPrefix(name, relayPrefix) {
+		done(fmt.Errorf("cluster: rule name prefix %q is reserved", relayPrefix))
+		return
+	}
+	fp, err := adb.ConditionFootprint(cond, f.reg)
+	if err != nil {
+		done(err)
+		return
+	}
+	f.mu.Lock()
+	if _, dup := f.ruleHomes[name]; dup {
+		f.mu.Unlock()
+		done(fmt.Errorf("cluster: rule %q already registered", name))
+		return
+	}
+	homes := make(map[string]int, len(f.ruleHomes))
+	for r, h := range f.ruleHomes {
+		homes[r] = h
+	}
+	f.mu.Unlock()
+	pl, err := Place(f.part, fp, constraint, homes)
+	if err != nil {
+		done(err)
+		return
+	}
+	// Registration fans out: relay triggers on the owner shards first,
+	// then the rule on its home, serially, so the rule never observes a
+	// half-built relay graph. The done callback fires only when all of it
+	// is registered (or the first step failed).
+	go func() {
+		errc := make(chan error, 1)
+		for _, re := range pl.RemoteEvents {
+			f.shards[re.Shard].GoRule(relayName(name, re.Use), relayCondition(re.Use),
+				false, int(adb.Relevant), func(err error) { errc <- err })
+			if err := <-errc; err != nil {
+				done(fmt.Errorf("cluster: relay for %s on shard %d: %w", name, re.Shard, err))
+				return
+			}
+		}
+		f.shards[pl.Home].GoRule(name, cond, constraint, sched, func(err error) { errc <- err })
+		err := <-errc
+		if err == nil {
+			f.mu.Lock()
+			f.ruleHomes[name] = pl.Home
+			f.mu.Unlock()
+		}
+		done(err)
+	}()
+}
+
+func (f *Front) GoRevive(name string, done func(error)) {
+	f.mu.Lock()
+	home, known := f.ruleHomes[name]
+	f.mu.Unlock()
+	if !known {
+		done(fmt.Errorf("cluster: rule %q is not registered", name))
+		return
+	}
+	f.shards[home].GoRevive(name, done)
+}
+
+func (f *Front) OnFiring(fn func(server.FiringEvent)) (cancel func()) {
+	f.obs.Store(&fn)
+	return func() { f.obs.CompareAndSwap(&fn, nil) }
+}
+
+// SyncFirings runs fn at the merge point: the backlog snapshot and the
+// live observer stream are atomic with respect to the fan-in, so a
+// subscriber sees every merged firing exactly once.
+func (f *Front) SyncFirings(from int, fn func(int, []server.FiringEvent)) {
+	f.in <- fanMsg{fn: func() {
+		from, backlog, _ := f.snapshot(from)
+		fn(from, backlog)
+	}}
+}
+
+// snapshot clamps from and returns the log suffix covering sequence
+// numbers >= from (a gap entry is included when any of its lost range is
+// covered).
+func (f *Front) snapshot(from int) (int, []server.FiringEvent, int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if from < 0 {
+		from = 0
+	}
+	if from > f.nextSeq {
+		from = f.nextSeq
+	}
+	i := sort.Search(len(f.log), func(i int) bool {
+		e := f.log[i]
+		end := e.Seq + 1
+		if e.Gap > 0 {
+			end = e.Seq + e.Gap
+		}
+		return end > from
+	})
+	backlog := append([]server.FiringEvent(nil), f.log[i:]...)
+	return from, backlog, f.nextSeq
+}
+
+func (f *Front) Now() int64 {
+	var max int64
+	for _, sh := range f.shards {
+		if ts := sh.Now(); ts > max {
+			max = ts
+		}
+	}
+	return max
+}
+
+func (f *Front) Items() (map[string]value.Value, error) {
+	out := map[string]value.Value{}
+	for i, sh := range f.shards {
+		items, err := sh.Items()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: shard %d: %w", i, err)
+		}
+		for k, v := range items {
+			out[k] = v
+		}
+	}
+	return out, nil
+}
+
+func (f *Front) Firings(from int) ([]server.FiringEvent, error) {
+	_, backlog, _ := f.snapshot(from)
+	return backlog, nil
+}
+
+// Rules lists every user rule across the shards, sorted by name (the
+// registration interleaving across shards is not a meaningful order);
+// router-internal relay triggers are hidden.
+func (f *Front) Rules() ([]wire.RuleJSON, error) {
+	var out []wire.RuleJSON
+	for i, sh := range f.shards {
+		rules, err := sh.Rules()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: shard %d: %w", i, err)
+		}
+		for _, r := range rules {
+			if strings.HasPrefix(r.Name, relayPrefix) {
+				continue
+			}
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// Health concatenates per-rule health across shards (relays hidden) and
+// joins the degraded causes: the cluster reports degraded when any shard
+// is, naming the shard.
+func (f *Front) Health() ([]wire.HealthJSON, string, error) {
+	var out []wire.HealthJSON
+	var degraded []string
+	for i, sh := range f.shards {
+		h, d, err := sh.Health()
+		if err != nil {
+			return nil, "", fmt.Errorf("cluster: shard %d: %w", i, err)
+		}
+		for _, hj := range h {
+			if strings.HasPrefix(hj.Rule, relayPrefix) {
+				continue
+			}
+			out = append(out, hj)
+		}
+		if d != "" {
+			degraded = append(degraded, fmt.Sprintf("shard %d: %s", i, d))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Rule < out[j].Rule })
+	return out, strings.Join(degraded, "; "), nil
+}
+
+// Barrier waits for every shard's submitted operations, then flushes the
+// fan-in so their firings are merged and delivered.
+func (f *Front) Barrier() {
+	for _, sh := range f.shards {
+		sh.Barrier()
+	}
+	flushed := make(chan struct{})
+	f.in <- fanMsg{fn: func() { close(flushed) }}
+	<-flushed
+}
+
+// Close drains the router: the relay forwarder finishes its queue, the
+// shards close (flushing their pipelines and, for durable engines, their
+// WALs), and the fan-in winds down. No Go* calls may be made after Close
+// begins.
+func (f *Front) Close() error {
+	f.closeOnce.Do(func() {
+		// Stop the relay forwarder first — it mutates shards, which must
+		// not be closed under it. Queued occurrences are still forwarded.
+		f.relayMu.Lock()
+		f.relayStop = true
+		f.relayCond.Broadcast()
+		f.relayMu.Unlock()
+		<-f.relayDone
+		var firstErr error
+		for i, sh := range f.shards {
+			if err := sh.Close(); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("cluster: close shard %d: %w", i, err)
+			}
+		}
+		// All producers are gone (each shard's Follow stops at its close);
+		// wind down the fan-in.
+		close(f.in)
+		<-f.fanDone
+		f.closeErr = firstErr
+	})
+	return f.closeErr
+}

@@ -1,0 +1,256 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"ptlactive/internal/adb"
+	"ptlactive/internal/event"
+	"ptlactive/internal/server"
+	"ptlactive/internal/server/wire"
+	"ptlactive/internal/value"
+)
+
+// keyOn brute-forces a key with the given prefix that hashes to the
+// wanted shard.
+func keyOn(t *testing.T, p Partitioner, shard int, prefix string) string {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		k := fmt.Sprintf("%s%d", prefix, i)
+		if p.Owner(k) == shard {
+			return k
+		}
+	}
+	t.Fatalf("no key with prefix %q on shard %d", prefix, shard)
+	return ""
+}
+
+func newLocalFront(t *testing.T, n int) *Front {
+	t.Helper()
+	shards := make([]Shard, n)
+	for i := range shards {
+		shards[i] = NewLocalShard(adb.NewEngine(adb.Config{}))
+	}
+	f, err := New(Config{Shards: shards})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func doTxn(f *Front, ts int64, updates map[string]value.Value) (int64, error) {
+	done := make(chan struct{})
+	var outTS int64
+	var outErr error
+	f.GoTxn(ts, updates, nil, nil, func(ts int64, err error) {
+		outTS, outErr = ts, err
+		close(done)
+	})
+	<-done
+	return outTS, outErr
+}
+
+func doRule(f *Front, name, cond string, constraint bool) error {
+	done := make(chan error, 1)
+	f.GoRule(name, cond, constraint, int(adb.Relevant), func(err error) { done <- err })
+	return <-done
+}
+
+// waitFirings polls the merged log until pred is satisfied or the
+// deadline passes (the relay chain is asynchronous past Barrier).
+func waitFirings(t *testing.T, f *Front, pred func([]server.FiringEvent) bool) []server.FiringEvent {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		fs, err := f.Firings(0)
+		if err != nil {
+			t.Fatalf("Firings: %v", err)
+		}
+		if pred(fs) {
+			return fs
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for firings; have %d: %+v", len(fs), fs)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestFrontRoutesSingleShardTxns(t *testing.T) {
+	f := newLocalFront(t, 3)
+	p := f.Partitioner()
+	k0 := keyOn(t, p, 0, "a")
+	k1 := keyOn(t, p, 1, "b")
+
+	if _, err := doTxn(f, 0, map[string]value.Value{k0: value.NewInt(1)}); err != nil {
+		t.Fatalf("txn on shard 0: %v", err)
+	}
+	if _, err := doTxn(f, 0, map[string]value.Value{k1: value.NewInt(2)}); err != nil {
+		t.Fatalf("txn on shard 1: %v", err)
+	}
+	items, err := f.Items()
+	if err != nil {
+		t.Fatalf("Items: %v", err)
+	}
+	if got := items[k0]; !got.Equal(value.NewInt(1)) {
+		t.Fatalf("item %s = %v, want 1", k0, got)
+	}
+	if got := items[k1]; !got.Equal(value.NewInt(2)) {
+		t.Fatalf("item %s = %v, want 2", k1, got)
+	}
+}
+
+func TestFrontRefusesCrossShardTxn(t *testing.T) {
+	f := newLocalFront(t, 3)
+	p := f.Partitioner()
+	k0 := keyOn(t, p, 0, "a")
+	k1 := keyOn(t, p, 1, "b")
+
+	_, err := doTxn(f, 0, map[string]value.Value{k0: value.NewInt(1), k1: value.NewInt(2)})
+	if !errors.Is(err, wire.ErrCrossShard) {
+		t.Fatalf("cross-shard txn: err = %v, want ErrCrossShard", err)
+	}
+}
+
+func TestFrontLocalRuleFires(t *testing.T) {
+	f := newLocalFront(t, 3)
+	p := f.Partitioner()
+	k := keyOn(t, p, 1, "x")
+
+	if err := doRule(f, "watch", fmt.Sprintf("item(%q) > 5", k), false); err != nil {
+		t.Fatalf("GoRule: %v", err)
+	}
+	if _, err := doTxn(f, 0, map[string]value.Value{k: value.NewInt(9)}); err != nil {
+		t.Fatalf("txn: %v", err)
+	}
+	f.Barrier()
+	fs := waitFirings(t, f, func(fs []server.FiringEvent) bool { return len(fs) >= 1 })
+	if fs[0].F.Rule != "watch" {
+		t.Fatalf("firing rule = %q, want watch", fs[0].F.Rule)
+	}
+	if fs[0].Seq != 0 {
+		t.Fatalf("firing seq = %d, want 0", fs[0].Seq)
+	}
+}
+
+func TestFrontCrossShardRelay(t *testing.T) {
+	f := newLocalFront(t, 3)
+	p := f.Partitioner()
+	item := keyOn(t, p, 0, "it")
+	home := p.Owner(item)
+	// An event symbol owned by a different shard than the item.
+	var ev string
+	for i := 0; ; i++ {
+		ev = fmt.Sprintf("sig%d", i)
+		if p.Owner(ev) != home {
+			break
+		}
+	}
+	evShard := p.Owner(ev)
+
+	cond := fmt.Sprintf("@%s(X) and item(%q) > 0", ev, item)
+	if err := doRule(f, "cross", cond, false); err != nil {
+		t.Fatalf("GoRule cross: %v", err)
+	}
+	// The relay trigger must sit on the event owner's shard, the rule on
+	// the item's shard — and neither shows up in the merged rule listing
+	// except the user rule.
+	rules, err := f.Rules()
+	if err != nil {
+		t.Fatalf("Rules: %v", err)
+	}
+	if len(rules) != 1 || rules[0].Name != "cross" {
+		t.Fatalf("Rules = %+v, want just cross", rules)
+	}
+	f.mu.Lock()
+	gotHome := f.ruleHomes["cross"]
+	f.mu.Unlock()
+	if gotHome != home {
+		t.Fatalf("cross homed on %d, want %d", gotHome, home)
+	}
+
+	if _, err := doTxn(f, 0, map[string]value.Value{item: value.NewInt(3)}); err != nil {
+		t.Fatalf("seed txn: %v", err)
+	}
+	// Emitting the event routes to its owner shard; the relay forwards it
+	// to the home shard, where the rule observes it.
+	done := make(chan error, 1)
+	f.GoEmit(0, []event.Event{event.New(ev, value.NewInt(7))}, func(_ int64, err error) { done <- err })
+	if err := <-done; err != nil {
+		t.Fatalf("GoEmit: %v", err)
+	}
+
+	fs := waitFirings(t, f, func(fs []server.FiringEvent) bool {
+		for _, fe := range fs {
+			if fe.F.Rule == "cross" {
+				return true
+			}
+		}
+		return false
+	})
+	var cross *server.FiringEvent
+	for i := range fs {
+		if fs[i].F.Rule == "cross" {
+			cross = &fs[i]
+		}
+	}
+	if got := cross.F.Binding["X"]; !got.Equal(value.NewInt(7)) {
+		t.Fatalf("binding X = %v, want 7", got)
+	}
+	// The relay trigger's own firing (on the event-owner shard) must be
+	// hidden from the merged log.
+	for _, fe := range fs {
+		if fe.Gap == 0 && fe.F.Rule != "cross" {
+			t.Fatalf("unexpected visible firing %+v", fe)
+		}
+	}
+	_ = evShard
+}
+
+func TestFrontRefusesCrossShardConstraint(t *testing.T) {
+	f := newLocalFront(t, 3)
+	p := f.Partitioner()
+	item := keyOn(t, p, 0, "it")
+	var ev string
+	for i := 0; ; i++ {
+		ev = fmt.Sprintf("sig%d", i)
+		if p.Owner(ev) != p.Owner(item) {
+			break
+		}
+	}
+	cond := fmt.Sprintf("not (@%s and item(%q) > 0)", ev, item)
+	err := doRule(f, "c", cond, true)
+	if !errors.Is(err, wire.ErrCrossShard) {
+		t.Fatalf("cross-shard constraint: err = %v, want ErrCrossShard", err)
+	}
+}
+
+func TestFrontSyncFirings(t *testing.T) {
+	f := newLocalFront(t, 2)
+	p := f.Partitioner()
+	k := keyOn(t, p, 0, "x")
+	if err := doRule(f, "w", fmt.Sprintf("item(%q) > 0", k), false); err != nil {
+		t.Fatalf("GoRule: %v", err)
+	}
+	if _, err := doTxn(f, 0, map[string]value.Value{k: value.NewInt(1)}); err != nil {
+		t.Fatalf("txn: %v", err)
+	}
+	f.Barrier()
+	waitFirings(t, f, func(fs []server.FiringEvent) bool { return len(fs) >= 1 })
+
+	type sync struct {
+		from    int
+		backlog []server.FiringEvent
+	}
+	got := make(chan sync, 1)
+	f.SyncFirings(0, func(from int, backlog []server.FiringEvent) {
+		got <- sync{from, backlog}
+	})
+	s := <-got
+	if s.from != 0 || len(s.backlog) != 1 || s.backlog[0].F.Rule != "w" {
+		t.Fatalf("SyncFirings = %+v", s)
+	}
+}

@@ -1,0 +1,160 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ptlactive/internal/adb"
+)
+
+// TestOwnerTotalAndDeterministic: every key gets exactly one shard in
+// range, and two partitioners over the same shard count agree on every
+// key — the property repartitioning and routing both lean on.
+func TestOwnerTotalAndDeterministic(t *testing.T) {
+	p1, p2 := NewPartitioner(8), NewPartitioner(8)
+	f := func(key string) bool {
+		s := p1.Owner(key)
+		return s >= 0 && s < 8 && s == p2.Owner(key)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRelayNameRoundTrip: relay trigger names must invert exactly for
+// any rule name (including ones containing the separator) and any event
+// shape, and never collide with non-relay names.
+func TestRelayNameRoundTrip(t *testing.T) {
+	f := func(rule, ev string, arity uint8) bool {
+		if strings.ContainsAny(ev, "/") || ev == "" || rule == "" {
+			return true // event symbols are identifiers; skip invalid draws
+		}
+		use := adb.EventUse{Name: ev, Arity: int(arity % 8)}
+		gotRule, gotUse, ok := parseRelayName(relayName(rule, use))
+		return ok && gotRule == rule && gotUse == use
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := parseRelayName("ordinary_rule"); ok {
+		t.Fatal("non-relay name parsed as relay")
+	}
+}
+
+// randomCondition builds a random but well-formed rule condition over a
+// bounded universe of item and event names.
+func randomCondition(rng *rand.Rand) string {
+	var terms []string
+	nitems := rng.Intn(3)
+	for i := 0; i < nitems; i++ {
+		terms = append(terms, fmt.Sprintf("item(\"it%d\") > %d", rng.Intn(20), rng.Intn(100)))
+	}
+	nevents := rng.Intn(3)
+	for i := 0; i < nevents; i++ {
+		if rng.Intn(2) == 0 {
+			terms = append(terms, fmt.Sprintf("@ev%d", rng.Intn(20)))
+		} else {
+			terms = append(terms, fmt.Sprintf("@evp%d(X%d)", rng.Intn(20), i))
+		}
+	}
+	if len(terms) == 0 {
+		terms = append(terms, fmt.Sprintf("item(\"it%d\") > 0", rng.Intn(20)))
+	}
+	return strings.Join(terms, " and ")
+}
+
+// TestPlacementSingleShard: for random analyzable conditions, a
+// successful placement puts the rule on exactly one shard — the home
+// owns every item of the footprint, and every relay sits on a shard
+// other than the home and covers exactly the remotely-owned event uses.
+func TestPlacementSingleShard(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 3, 8} {
+		p := NewPartitioner(n)
+		placed := 0
+		for i := 0; i < 500; i++ {
+			cond := randomCondition(rng)
+			fp, err := adb.ConditionFootprint(cond, nil)
+			if err != nil {
+				t.Fatalf("footprint(%q): %v", cond, err)
+			}
+			pl, err := Place(p, fp, false, nil)
+			if err != nil {
+				continue // cross-shard refusal is the other valid outcome
+			}
+			placed++
+			if pl.Home < 0 || pl.Home >= n {
+				t.Fatalf("cond %q: home %d out of range", cond, pl.Home)
+			}
+			for _, item := range fp.Items {
+				if p.Owner(item) != pl.Home {
+					t.Fatalf("cond %q: item %q owned by %d but homed on %d",
+						cond, item, p.Owner(item), pl.Home)
+				}
+			}
+			remote := map[string]bool{}
+			for _, re := range pl.RemoteEvents {
+				if re.Shard == pl.Home {
+					t.Fatalf("cond %q: relay on the home shard", cond)
+				}
+				if p.Owner(re.Use.Name) != re.Shard {
+					t.Fatalf("cond %q: relay for %q on %d, owner is %d",
+						cond, re.Use.Name, re.Shard, p.Owner(re.Use.Name))
+				}
+				remote[re.Use.Name] = true
+			}
+			for _, use := range fp.Events {
+				if owner := p.Owner(use.Name); owner != pl.Home && !remote[use.Name] {
+					t.Fatalf("cond %q: event %q owned remotely by %d but no relay",
+						cond, use.Name, owner)
+				}
+			}
+		}
+		if n > 1 && placed == 0 {
+			t.Fatalf("n=%d: no random condition placed; generator too strict", n)
+		}
+	}
+}
+
+// TestRepartitionDeterministic: placing the same registration set twice
+// — fresh partitioner, fresh homes map, same order — yields identical
+// placements; and constraints are refused exactly when a trigger with
+// the same condition would need a relay.
+func TestRepartitionDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	conds := make([]string, 40)
+	for i := range conds {
+		conds[i] = randomCondition(rng)
+	}
+	place := func() ([]Placement, []bool) {
+		p := NewPartitioner(4)
+		homes := map[string]int{}
+		out := make([]Placement, 0, len(conds))
+		oks := make([]bool, 0, len(conds))
+		for i, cond := range conds {
+			fp, err := adb.ConditionFootprint(cond, nil)
+			if err != nil {
+				t.Fatalf("footprint(%q): %v", cond, err)
+			}
+			pl, err := Place(p, fp, false, homes)
+			if err != nil {
+				out = append(out, Placement{Home: -1})
+				oks = append(oks, false)
+				continue
+			}
+			homes[fmt.Sprintf("r%d", i)] = pl.Home
+			out = append(out, pl)
+			oks = append(oks, true)
+		}
+		return out, oks
+	}
+	a, aok := place()
+	b, bok := place()
+	if !reflect.DeepEqual(a, b) || !reflect.DeepEqual(aok, bok) {
+		t.Fatal("same registration set placed differently on repartition")
+	}
+}

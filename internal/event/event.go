@@ -80,12 +80,33 @@ func (e Event) Equal(o Event) bool {
 // instant. A Set never contains duplicate occurrences.
 type Set struct {
 	events []Event
-	keys   map[string]struct{}
+	// keys dedups large sets; small sets (the common case — a commit
+	// carries a handful of system events) stay map-free and dedup by a
+	// linear Equal scan, which allocates nothing.
+	keys map[string]struct{}
+	// names caches Names(); Add invalidates it.
+	names []string
 }
+
+// setMapThreshold is the set size at which dedup switches from linear
+// scanning to the keys map.
+const setMapThreshold = 8
 
 // NewSet builds a set from the given events, dropping duplicates.
 func NewSet(events ...Event) *Set {
-	s := &Set{keys: make(map[string]struct{}, len(events))}
+	s := &Set{}
+	for _, e := range events {
+		s.Add(e)
+	}
+	return s
+}
+
+// NewSetOwned builds a set taking ownership of the slice: events are
+// deduplicated in place and the backing array becomes the set's storage,
+// so a caller that assembled an exactly-sized slice pays no copy. The
+// slice must not be used after the call.
+func NewSetOwned(events []Event) *Set {
+	s := &Set{events: events[:0]}
 	for _, e := range events {
 		s.Add(e)
 	}
@@ -96,7 +117,21 @@ func NewSet(events ...Event) *Set {
 // It reports whether the event was inserted.
 func (s *Set) Add(e Event) bool {
 	if s.keys == nil {
-		s.keys = make(map[string]struct{})
+		if len(s.events) < setMapThreshold {
+			for _, have := range s.events {
+				if have.Equal(e) {
+					return false
+				}
+			}
+			s.events = append(s.events, e)
+			s.names = nil
+			return true
+		}
+		// Crossing the threshold: index everything so far.
+		s.keys = make(map[string]struct{}, 2*len(s.events))
+		for _, have := range s.events {
+			s.keys[have.Key()] = struct{}{}
+		}
 	}
 	k := e.Key()
 	if _, dup := s.keys[k]; dup {
@@ -104,6 +139,7 @@ func (s *Set) Add(e Event) bool {
 	}
 	s.keys[k] = struct{}{}
 	s.events = append(s.events, e)
+	s.names = nil
 	return true
 }
 
@@ -126,7 +162,15 @@ func (s *Set) Events() []Event {
 
 // Contains reports whether an equal occurrence is in the set.
 func (s *Set) Contains(e Event) bool {
-	if s == nil || s.keys == nil {
+	if s == nil {
+		return false
+	}
+	if s.keys == nil {
+		for _, have := range s.events {
+			if have.Equal(e) {
+				return true
+			}
+		}
 		return false
 	}
 	_, ok := s.keys[e.Key()]
@@ -148,20 +192,31 @@ func (s *Set) ByName(name string) []Event {
 }
 
 // Names returns the sorted set of distinct symbols occurring in s. The
-// execution model's relevance filter (Section 8) keys on these.
+// execution model's relevance filter (Section 8) keys on these per sweep,
+// so the result is memoized until the next Add. The result must not be
+// mutated.
 func (s *Set) Names() []string {
 	if s == nil {
 		return nil
 	}
-	seen := make(map[string]struct{}, len(s.events))
-	var names []string
+	if s.names != nil || len(s.events) == 0 {
+		return s.names
+	}
+	names := make([]string, 0, len(s.events))
 	for _, e := range s.events {
-		if _, ok := seen[e.Name]; !ok {
-			seen[e.Name] = struct{}{}
+		dup := false
+		for _, n := range names {
+			if n == e.Name {
+				dup = true
+				break
+			}
+		}
+		if !dup {
 			names = append(names, e.Name)
 		}
 	}
 	sort.Strings(names)
+	s.names = names
 	return names
 }
 

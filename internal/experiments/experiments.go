@@ -99,6 +99,7 @@ var Catalog = []struct {
 	{"E10", E10Durability},
 	{"E12", E12ReadSetIndex},
 	{"E13", E13Server},
+	{"E14", E14Cluster},
 	{"A1", A1DecomposableFastPath},
 	{"A2", A2FutureProgression},
 }

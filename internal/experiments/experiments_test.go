@@ -14,8 +14,8 @@ func TestAllExperimentsRun(t *testing.T) {
 		t.Skip("experiments are slow")
 	}
 	tables := All(true)
-	if len(tables) != 15 {
-		t.Fatalf("expected 15 tables (E1-E10, E7b, E12, E13, A1, A2), got %d", len(tables))
+	if len(tables) != 16 {
+		t.Fatalf("expected 16 tables (E1-E10, E7b, E12, E13, E14, A1, A2), got %d", len(tables))
 	}
 	byID := map[string]Table{}
 	for _, tab := range tables {
@@ -116,6 +116,22 @@ func TestAllExperimentsRun(t *testing.T) {
 		if delivered != commits*subs {
 			t.Errorf("E13 %s: delivered %d of %d firings", row[0], delivered, commits*subs)
 		}
+	}
+
+	// E14: every shard count runs the same workload, and the widest
+	// cluster must beat the single-shard row — the shape claim is that
+	// partitioning divides the per-commit constraint walk.
+	e14 := byID["E14"]
+	for _, row := range e14.Rows {
+		if got := atoi(t, row[3]); got != atoi(t, e14.Rows[0][3]) {
+			t.Errorf("E14 %s shards: commit count drifted: %d", row[0], got)
+		}
+	}
+	oneShard := atof(t, e14.Rows[0][4])
+	wide := atof(t, e14.Rows[len(e14.Rows)-1][4])
+	if wide >= oneShard {
+		t.Errorf("E14: %s-shard run (%vms) not faster than 1 shard (%vms)",
+			e14.Rows[len(e14.Rows)-1][0], wide, oneShard)
 	}
 }
 

@@ -4,13 +4,15 @@
 // transactions, register and revive rules, query state and health, and
 // subscribe to rule firings pushed asynchronously.
 //
-// One adb.Engine sits behind a serializing commit pipeline: every
-// mutating request — transactions, emits, rule registration, revival,
-// subscription starts — executes on a single goroutine, so the engine's
+// The server fronts a Backend: one adb.Engine behind a serializing
+// commit pipeline (EngineBackend), or a cluster of item-partitioned
+// engines behind a router (internal/cluster). Every mutating request —
+// transactions, emits, rule registration, revival, subscription starts —
+// goes through the backend's serialization point, so the engine's
 // deterministic firing order is preserved and the firing stream every
 // subscriber observes is exactly the stream a single-process engine
 // produces for the same commit order. Read-only queries bypass the
-// pipeline (the engine's reader accessors are safe concurrently), which
+// pipeline (the backend's reader accessors are safe concurrently), which
 // keeps reads and subscriptions alive while writes are refused on a
 // degraded engine — graceful degradation over the wire.
 //
@@ -36,7 +38,6 @@ import (
 	"ptlactive/internal/adb"
 	"ptlactive/internal/histio"
 	"ptlactive/internal/server/wire"
-	"ptlactive/internal/value"
 )
 
 // OverflowPolicy selects what happens to a subscriber whose bounded
@@ -59,9 +60,13 @@ var ErrServerClosed = errors.New("server: closed")
 
 // Config configures a Server.
 type Config struct {
-	// Engine is the active database to serve. Required; the server becomes
-	// its only mutator.
+	// Engine is the active database to serve; the server wraps it in an
+	// EngineBackend and becomes its only mutator. Exactly one of Engine
+	// and Backend must be set.
 	Engine *adb.Engine
+	// Backend, when set, is served instead of constructing an
+	// EngineBackend — the cluster router plugs in here.
+	Backend Backend
 	// MaxConns bounds concurrent sessions (default 64); connections beyond
 	// it are refused with a busy error frame.
 	MaxConns int
@@ -79,21 +84,14 @@ type Config struct {
 	Logf func(format string, args ...any)
 }
 
-// Server serves one engine over the wire protocol.
+// Server serves one backend over the wire protocol.
 type Server struct {
 	cfg Config
-	eng *adb.Engine
-
-	// ops is the serializing commit pipeline: all engine mutations execute
-	// on the goroutine draining it, in submission order.
-	ops chan func()
-	// seq is the next firing's absolute index; touched only on the
-	// pipeline goroutine (the engine observer runs inside pipeline ops).
-	seq int
+	be  Backend
 
 	quit      chan struct{} // closed when Shutdown begins
 	quitOnce  sync.Once
-	pipeDone  chan struct{}
+	closeDone chan struct{} // closed when Shutdown has released the backend
 	cancelObs func()
 
 	mu       sync.Mutex
@@ -109,11 +107,15 @@ type Server struct {
 	nsubs atomic.Int64
 }
 
-// New creates a server around cfg.Engine and starts its commit pipeline.
-// The engine must not be mutated by anyone else from here on.
+// New creates a server around cfg.Engine (starting its commit pipeline)
+// or cfg.Backend. The engine or backend must not be mutated by anyone
+// else from here on; Shutdown closes it.
 func New(cfg Config) (*Server, error) {
-	if cfg.Engine == nil {
-		return nil, fmt.Errorf("server: Config.Engine is required")
+	if cfg.Engine == nil && cfg.Backend == nil {
+		return nil, fmt.Errorf("server: one of Config.Engine and Config.Backend is required")
+	}
+	if cfg.Engine != nil && cfg.Backend != nil {
+		return nil, fmt.Errorf("server: Config.Engine and Config.Backend are mutually exclusive")
 	}
 	if cfg.MaxConns <= 0 {
 		cfg.MaxConns = 64
@@ -127,43 +129,37 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
-	s := &Server{
-		cfg:      cfg,
-		eng:      cfg.Engine,
-		ops:      make(chan func(), 256),
-		quit:     make(chan struct{}),
-		pipeDone: make(chan struct{}),
-		sessions: map[*session]struct{}{},
+	be := cfg.Backend
+	if be == nil {
+		be = NewEngineBackend(cfg.Engine)
 	}
-	s.seq = len(s.eng.Firings())
-	s.cancelObs = s.eng.OnFiring(s.broadcast)
-	go s.pipeline()
+	s := &Server{
+		cfg:       cfg,
+		be:        be,
+		quit:      make(chan struct{}),
+		closeDone: make(chan struct{}),
+		sessions:  map[*session]struct{}{},
+	}
+	s.cancelObs = s.be.OnFiring(s.broadcast)
 	return s, nil
 }
 
-// pipeline is the single mutator goroutine; ops run in submission order
-// until Shutdown closes the channel (after every session is gone).
-func (s *Server) pipeline() {
-	defer close(s.pipeDone)
-	for fn := range s.ops {
-		fn()
-	}
-}
-
-// broadcast delivers one firing to every subscribed session; it runs on
-// the pipeline goroutine, inside the engine call that produced the firing,
-// so subscribers observe firings in exactly the engine's order.
-func (s *Server) broadcast(f adb.Firing) {
-	seq := s.seq
-	s.seq++
-	// No subscribers: the sequence number still advances (it is the firing
-	// log index), but the encode and session walk are skipped. This runs on
-	// the pipeline goroutine, so every microsecond here is serial with the
-	// commits themselves.
+// broadcast delivers one firing (or gap) to every subscribed session; it
+// runs on the backend's firing-producing goroutine, inside the call that
+// produced the firing, so subscribers observe firings in exactly the
+// backend's order.
+func (s *Server) broadcast(fe FiringEvent) {
+	// No subscribers: the encode and session walk are skipped entirely.
+	// This runs serial with the commits themselves, so every microsecond
+	// here costs throughput.
 	if s.nsubs.Load() == 0 {
 		return
 	}
-	fj, err := wire.EncodeFiring(f, seq)
+	var fj wire.FiringJSON
+	var err error
+	if fe.Gap == 0 {
+		fj, err = wire.EncodeFiring(fe.F, fe.Seq)
+	}
 	s.mu.Lock()
 	targets := make([]*session, 0, len(s.sessions))
 	for sess := range s.sessions {
@@ -171,16 +167,21 @@ func (s *Server) broadcast(f adb.Firing) {
 	}
 	s.mu.Unlock()
 	for _, sess := range targets {
-		if err != nil {
+		switch {
+		case fe.Gap > 0:
+			// An upstream gap (a sharded backend's shard subscription
+			// overflowed): every subscriber learns how much it missed.
+			sess.dropGap(fe.Gap)
+		case err != nil:
 			// The firing cannot cross the wire; the subscriber learns it
 			// missed one instead of silently losing it.
 			sess.dropGap(1)
-			continue
+		default:
+			sess.pushFiring(&fj)
 		}
-		sess.pushFiring(&fj)
 	}
 	if err != nil {
-		s.cfg.Logf("server: firing %d not encodable: %v", seq, err)
+		s.cfg.Logf("server: firing %d not encodable: %v", fe.Seq, err)
 	}
 }
 
@@ -343,25 +344,26 @@ func (s *Server) readLoop(sess *session) {
 		case wire.TypeTxn, wire.TypeEmit:
 			s.dispatchTxn(sess, m)
 		case wire.TypeRule:
-			m := m
-			s.submit(sess, m.ID, func() {
-				var err error
-				opt := adb.WithScheduling(adb.Scheduling(m.Sched))
-				if m.Constraint {
-					err = s.eng.AddConstraint(m.Name, m.Cond, opt)
-				} else {
-					err = s.eng.AddTrigger(m.Name, m.Cond, nil, opt)
-				}
-				sess.enqueue(reply(m.ID, 0, err))
+			if s.refuse(sess, m.ID) {
+				continue
+			}
+			id := m.ID
+			s.be.GoRule(m.Name, m.Cond, m.Constraint, m.Sched, func(err error) {
+				sess.enqueue(reply(id, 0, err))
 			})
 		case wire.TypeRevive:
-			m := m
-			s.submit(sess, m.ID, func() {
-				sess.enqueue(reply(m.ID, 0, s.eng.ReviveRule(m.Name)))
+			if s.refuse(sess, m.ID) {
+				continue
+			}
+			id := m.ID
+			s.be.GoRevive(m.Name, func(err error) {
+				sess.enqueue(reply(id, 0, err))
 			})
 		case wire.TypeSubscribe:
-			m := m
-			s.submit(sess, m.ID, func() { s.subscribe(sess, m) })
+			if s.refuse(sess, m.ID) {
+				continue
+			}
+			s.subscribe(sess, m)
 		default:
 			sess.enqueue(&wire.Msg{
 				T: wire.TypeError, ID: m.ID, Code: wire.CodeBadRequest,
@@ -385,22 +387,16 @@ func (s *Server) dispatchTxn(sess *session, m *wire.Msg) {
 		sess.enqueue(&wire.Msg{T: wire.TypeError, ID: m.ID, Code: wire.CodeBadRequest, Err: err.Error()})
 		return
 	}
-	id, emit, ts, deletes := m.ID, m.T == wire.TypeEmit, m.TS, m.Deletes
-	s.submit(sess, id, func() {
-		// Timestamp 0 asks the server to assign the next tick; the commit
-		// pipeline is the only mutator, so now+1 is race-free and strictly
-		// increasing in pipeline order.
-		if ts == 0 {
-			ts = s.eng.Now() + 1
-		}
-		var err error
-		if emit {
-			err = s.eng.Emit(ts, events...)
-		} else {
-			err = s.eng.ExecTxn(ts, updates, deletes, events...)
-		}
-		sess.enqueue(reply(id, ts, err))
-	})
+	if s.refuse(sess, m.ID) {
+		return
+	}
+	id := m.ID
+	done := func(ts int64, err error) { sess.enqueue(reply(id, ts, err)) }
+	if m.T == wire.TypeEmit {
+		s.be.GoEmit(m.TS, events, done)
+	} else {
+		s.be.GoTxn(m.TS, updates, m.Deletes, events, done)
+	}
 }
 
 // reply builds the response frame for a mutation outcome; engine errors
@@ -419,124 +415,108 @@ func reply(id uint64, ts int64, err error) *wire.Msg {
 	return out
 }
 
-// submit places fn on the commit pipeline; after drain begins the request
-// is refused with the closed error so clients see ErrSessionClosed rather
+// refuse reports whether the server is draining; if so the request is
+// answered with the closed error so clients see ErrSessionClosed rather
 // than a hang.
-func (s *Server) submit(sess *session, id uint64, fn func()) {
+func (s *Server) refuse(sess *session, id uint64) bool {
 	select {
 	case <-s.quit:
 		sess.enqueue(&wire.Msg{T: wire.TypeError, ID: id, Code: wire.CodeClosed, Err: "server draining"})
-	case s.ops <- fn:
+		return true
+	default:
+		return false
 	}
 }
 
-// subscribe runs on the pipeline goroutine: the backlog snapshot and the
-// live registration are atomic with respect to commits, so the subscriber
-// sees every firing exactly once (modulo its own queue's overflow policy).
+// subscribe registers the session on the firing stream. The registration
+// closure runs at the backend's serialization point, atomically with
+// respect to commits, so the subscriber sees every firing exactly once
+// (modulo its own queue's overflow policy).
 func (s *Server) subscribe(sess *session, m *wire.Msg) {
-	fs := s.eng.Firings()
-	from := m.From
-	if from < 0 {
-		from = 0
-	}
-	if from > len(fs) {
-		from = len(fs)
-	}
-	sess.mu.Lock()
-	if sess.subscribed {
-		sess.mu.Unlock()
-		sess.enqueue(&wire.Msg{T: wire.TypeError, ID: m.ID, Code: wire.CodeBadRequest, Err: "already subscribed"})
-		return
-	}
-	sess.subscribed = true
-	s.nsubs.Add(1)
-	sess.queue = append(sess.queue, &wire.Msg{T: wire.TypeOK, ID: m.ID, From: from})
-	for i := from; i < len(fs); i++ {
-		fj, err := wire.EncodeFiring(fs[i], i)
-		if err != nil {
-			sess.gap++
-			continue
+	id := m.ID
+	s.be.SyncFirings(m.From, func(from int, backlog []FiringEvent) {
+		sess.mu.Lock()
+		if sess.subscribed {
+			sess.mu.Unlock()
+			sess.enqueue(&wire.Msg{T: wire.TypeError, ID: id, Code: wire.CodeBadRequest, Err: "already subscribed"})
+			return
 		}
-		sess.pushFiringLocked(&fj)
-	}
-	sess.cond.Broadcast()
-	sess.mu.Unlock()
+		sess.subscribed = true
+		s.nsubs.Add(1)
+		sess.queue = append(sess.queue, &wire.Msg{T: wire.TypeOK, ID: id, From: from})
+		for _, fe := range backlog {
+			if fe.Gap > 0 {
+				sess.gap += fe.Gap
+				continue
+			}
+			fj, err := wire.EncodeFiring(fe.F, fe.Seq)
+			if err != nil {
+				sess.gap++
+				continue
+			}
+			sess.pushFiringLocked(&fj)
+		}
+		sess.cond.Broadcast()
+		sess.mu.Unlock()
+	})
 }
 
 // handleQuery answers read-only requests inline; these never touch the
 // pipeline, so they keep working while writes fail on a degraded engine.
 func (s *Server) handleQuery(sess *session, m *wire.Msg) {
+	internal := func(err error) {
+		sess.enqueue(&wire.Msg{T: wire.TypeError, ID: m.ID, Code: wire.CodeInternal, Err: err.Error()})
+	}
 	out := &wire.Msg{T: wire.TypeOK, ID: m.ID}
 	switch m.What {
 	case "now":
-		out.TS = s.eng.Now()
+		out.TS = s.be.Now()
 	case "db":
-		db := s.eng.DB()
-		items := map[string]value.Value{}
-		for _, name := range db.Items() {
-			v, _ := db.Get(name)
-			items[name] = v
+		items, err := s.be.Items()
+		if err != nil {
+			internal(err)
+			return
 		}
 		enc, err := histio.EncodeItems(items)
 		if err != nil {
-			sess.enqueue(&wire.Msg{T: wire.TypeError, ID: m.ID, Code: wire.CodeInternal, Err: err.Error()})
+			internal(err)
 			return
 		}
 		out.Items = enc
 	case "firings":
-		fs := s.eng.Firings()
-		from := m.From
-		if from < 0 {
-			from = 0
+		fes, err := s.be.Firings(m.From)
+		if err != nil {
+			internal(err)
+			return
 		}
-		if from > len(fs) {
-			from = len(fs)
-		}
-		out.Firings = make([]wire.FiringJSON, 0, len(fs)-from)
-		for i := from; i < len(fs); i++ {
-			fj, err := wire.EncodeFiring(fs[i], i)
+		out.Firings = make([]wire.FiringJSON, 0, len(fes))
+		for _, fe := range fes {
+			if fe.Gap > 0 {
+				// Firings lost upstream: the Seq jump makes the gap visible.
+				continue
+			}
+			fj, err := wire.EncodeFiring(fe.F, fe.Seq)
 			if err != nil {
-				sess.enqueue(&wire.Msg{T: wire.TypeError, ID: m.ID, Code: wire.CodeInternal, Err: err.Error()})
+				internal(err)
 				return
 			}
 			out.Firings = append(out.Firings, fj)
 		}
 	case "rules":
-		for _, name := range s.eng.RuleNames() {
-			info, ok := s.eng.Rule(name)
-			if !ok {
-				continue
-			}
-			out.Rules = append(out.Rules, wire.RuleJSON{
-				Name:       info.Name,
-				Condition:  info.Condition,
-				Constraint: info.Constraint,
-				Scheduling: int(info.Scheduling),
-				Parameters: info.Parameters,
-				Pending:    info.PendingStates,
-			})
+		rules, err := s.be.Rules()
+		if err != nil {
+			internal(err)
+			return
 		}
+		out.Rules = rules
 	case "health":
-		for _, name := range s.eng.RuleNames() {
-			h, ok := s.eng.RuleHealth(name)
-			if !ok {
-				continue
-			}
-			hj := wire.HealthJSON{
-				Rule:        h.Rule,
-				Quarantined: h.Quarantined,
-				Consecutive: h.ConsecutiveFailures,
-				Total:       h.TotalFailures,
-				LastAt:      h.LastFailureAt,
-			}
-			if h.LastError != nil {
-				hj.LastError = h.LastError.Error()
-			}
-			out.Health = append(out.Health, hj)
+		health, degraded, err := s.be.Health()
+		if err != nil {
+			internal(err)
+			return
 		}
-		if err := s.eng.Degraded(); err != nil {
-			out.Degraded = err.Error()
-		}
+		out.Health = health
+		out.Degraded = degraded
 	default:
 		sess.enqueue(&wire.Msg{
 			T: wire.TypeError, ID: m.ID, Code: wire.CodeBadRequest,
@@ -560,18 +540,17 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	ln := s.ln
 	s.mu.Unlock()
 	if alreadyDown {
-		<-s.pipeDone
+		<-s.closeDone
 		return nil
 	}
+	defer close(s.closeDone)
 	if ln != nil {
 		ln.Close()
 	}
 	// Barrier: every mutation submitted before the drain flag has executed
 	// and its response is queued. Readers that lose the submit race get the
 	// closed error instead of a hang.
-	barrier := make(chan struct{})
-	s.ops <- func() { close(barrier) }
-	<-barrier
+	s.be.Barrier()
 	// Flush: queued responses and subscribed firings go out, then bye.
 	s.mu.Lock()
 	for sess := range s.sessions {
@@ -596,14 +575,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		<-done
 	}
 	// No session goroutines remain, so nothing can submit: stop the
-	// pipeline and release the engine.
+	// backend and release the engine(s).
 	s.cancelObs()
-	close(s.ops)
-	<-s.pipeDone
-	if err := s.eng.Close(); err != nil && ctxErr == nil {
+	if err := s.be.Close(); err != nil && ctxErr == nil {
 		// A degraded engine surfaces its seal at Close; that is the
 		// operator's signal, not a drain failure.
-		s.cfg.Logf("server: engine close: %v", err)
+		s.cfg.Logf("server: backend close: %v", err)
 	}
 	return ctxErr
 }

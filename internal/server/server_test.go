@@ -296,7 +296,7 @@ func TestOverflowDropWithGap(t *testing.T) {
 	if err := eng.AddTrigger("every", `item("a") > 0`, nil); err != nil {
 		t.Fatal(err)
 	}
-	srv, conn := pipeServer(t, Config{
+	_, conn := pipeServer(t, Config{
 		Engine:          eng,
 		SubscriberQueue: q,
 		Overflow:        DropWithGap,
@@ -308,7 +308,7 @@ func TestOverflowDropWithGap(t *testing.T) {
 	// drop into the pending gap.
 	const total = q + 1 + 3
 	for i := 1; i <= total; i++ {
-		if err := srv.eng.ExecTxn(int64(i), map[string]value.Value{"a": value.NewInt(int64(i))}, nil); err != nil {
+		if err := eng.ExecTxn(int64(i), map[string]value.Value{"a": value.NewInt(int64(i))}, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -340,7 +340,7 @@ func TestOverflowDropWithGap(t *testing.T) {
 	// The next commit flushes the pending gap marker ahead of its firing:
 	// the marker sits exactly where the missing firings would have been.
 	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
-	if err := srv.eng.ExecTxn(total+1, map[string]value.Value{"a": value.NewInt(total + 1)}, nil); err != nil {
+	if err := eng.ExecTxn(total+1, map[string]value.Value{"a": value.NewInt(total + 1)}, nil); err != nil {
 		t.Fatal(err)
 	}
 	m, err := wire.ReadFrame(conn)
@@ -362,7 +362,7 @@ func TestOverflowDisconnect(t *testing.T) {
 	if err := eng.AddTrigger("every", `item("a") > 0`, nil); err != nil {
 		t.Fatal(err)
 	}
-	srv, conn := pipeServer(t, Config{
+	_, conn := pipeServer(t, Config{
 		Engine:          eng,
 		SubscriberQueue: q,
 		Overflow:        Disconnect,
@@ -370,7 +370,7 @@ func TestOverflowDisconnect(t *testing.T) {
 	})
 	handshakeAndSubscribe(t, conn)
 	for i := 1; i <= q+2; i++ {
-		if err := srv.eng.ExecTxn(int64(i), map[string]value.Value{"a": value.NewInt(int64(i))}, nil); err != nil {
+		if err := eng.ExecTxn(int64(i), map[string]value.Value{"a": value.NewInt(int64(i))}, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -422,6 +422,79 @@ func TestGracefulDrainFlushesSubscribers(t *testing.T) {
 	// New mutations are refused once the server is down.
 	if _, err := client.Dial(addr); err == nil {
 		t.Fatal("dial after shutdown should fail")
+	}
+}
+
+// TestClientStatsGapFirings checks the client's delivery counters: a
+// subscriber that stops draining overflows the server's bounded queue,
+// and after catching up its Stats must account for every firing the gap
+// markers reported lost.
+func TestClientStatsGapFirings(t *testing.T) {
+	eng := adb.NewEngine(adb.Config{Initial: map[string]value.Value{"a": value.NewInt(0)}})
+	if err := eng.AddTrigger("every", `item("a") > 0`, nil); err != nil {
+		t.Fatal(err)
+	}
+	_, conn := pipeServer(t, Config{
+		Engine:          eng,
+		SubscriberQueue: 2,
+		Overflow:        DropWithGap,
+		WriteTimeout:    30 * time.Second,
+	})
+	c, err := client.New(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	sub, err := c.Subscribe(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nobody drains sub.C: its 16-slot buffer fills, the read loop blocks,
+	// the pipe (unbuffered) blocks the server's writer, the 2-slot queue
+	// fills, and the rest of the commits drop into a pending gap.
+	const total = 30
+	for i := 1; i <= total; i++ {
+		if err := eng.ExecTxn(int64(i), map[string]value.Value{"a": value.NewInt(int64(i))}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fires, gapSum := 0, 0
+	take := func(timeout time.Duration) bool {
+		select {
+		case ev := <-sub.C:
+			if ev.Gap > 0 {
+				gapSum += ev.Gap
+			} else {
+				fires++
+			}
+			return true
+		case <-time.After(timeout):
+			return false
+		}
+	}
+	for take(300 * time.Millisecond) {
+	}
+	// The pending gap marker flushes ahead of the next delivered firing.
+	if err := eng.ExecTxn(total+1, map[string]value.Value{"a": value.NewInt(total + 1)}, nil); err != nil {
+		t.Fatal(err)
+	}
+	for fires+gapSum < total+1 {
+		if !take(5 * time.Second) {
+			t.Fatalf("stream stalled: %d firings + %d gap-lost of %d", fires, gapSum, total+1)
+		}
+	}
+	if gapSum == 0 {
+		t.Fatal("queue bound never engaged; no gaps to account for")
+	}
+	st := c.Stats()
+	if st.GapFirings != gapSum {
+		t.Fatalf("Stats().GapFirings = %d, want %d (the sum of in-band gap markers)", st.GapFirings, gapSum)
+	}
+	if st.DroppedPushes != 0 {
+		t.Fatalf("Stats().DroppedPushes = %d on a session with a live subscription", st.DroppedPushes)
+	}
+	if st.Codec != c.Codec() {
+		t.Fatalf("Stats().Codec = %q, want %q", st.Codec, c.Codec())
 	}
 }
 

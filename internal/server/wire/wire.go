@@ -84,6 +84,7 @@ const (
 	CodeClosed      = "closed"
 	CodeBadRequest  = "bad_request"
 	CodeBusy        = "busy"
+	CodeCrossShard  = "cross_shard"
 	CodeError       = "error"
 )
 
@@ -101,6 +102,12 @@ var (
 	// ErrVersionMismatch reports a hello whose protocol name or version the
 	// peer does not speak.
 	ErrVersionMismatch = errors.New("server: protocol version mismatch")
+	// ErrCrossShard reports an operation a cluster router cannot place on
+	// one shard: a transaction or emit whose items and event symbols hash
+	// to different shards, or a rule whose footprint the placement oracle
+	// cannot pin (unanalyzable reads, items spanning shards). Split the
+	// operation along shard boundaries or re-key the data.
+	ErrCrossShard = errors.New("cluster: operation spans multiple shards")
 )
 
 // CodeFor maps an error to its wire code, via errors.Is over the engine
@@ -125,6 +132,8 @@ func CodeFor(err error) string {
 		return CodeLagged
 	case errors.Is(err, ErrSessionClosed):
 		return CodeClosed
+	case errors.Is(err, ErrCrossShard):
+		return CodeCrossShard
 	default:
 		return CodeError
 	}
@@ -166,6 +175,8 @@ func (e *RemoteError) Unwrap() error {
 		return ErrSubscriberLagged
 	case CodeClosed:
 		return ErrSessionClosed
+	case CodeCrossShard:
+		return ErrCrossShard
 	default:
 		return nil
 	}
