@@ -32,8 +32,17 @@ type Config struct {
 // fanMsg is one fan-in delivery: a shard firing (or gap), or a control
 // closure to run at the merge point (subscription syncs, barriers).
 type fanMsg struct {
-	fe server.FiringEvent
-	fn func()
+	shard int
+	fe    server.FiringEvent
+	fn    func()
+}
+
+// relayReg tracks one shared relay trigger's registration: the first rule
+// needing it registers, later rules wait on done and reuse it. A failed
+// registration is removed from the registry so a retry re-registers.
+type relayReg struct {
+	done chan struct{}
+	err  error
 }
 
 // Front is the cluster router: it implements server.Backend over N
@@ -49,11 +58,24 @@ type Front struct {
 	reg    *query.Registry
 	logf   func(string, ...any)
 
-	// mu guards ruleHomes and the merged firing log.
+	// mu guards ruleHomes, rulePending, relays, gapLoss, and the merged
+	// firing log.
 	mu        sync.Mutex
 	ruleHomes map[string]int
-	log       []server.FiringEvent
-	nextSeq   int
+	// rulePending reserves rule names whose registration is in flight, so
+	// two concurrent GoRule calls with one name cannot both pass the
+	// duplicate check; a failed registration releases the reservation.
+	rulePending map[string]bool
+	// relays registers shared relay triggers once per (home shard, event
+	// use), keyed by the relay trigger name (which encodes both).
+	relays map[string]*relayReg
+	// gapLoss counts, per shard, merged-stream entries lost to firing
+	// subscription overflow. Any cross-shard relay firings inside a gap
+	// were never forwarded — home-shard rules missed those occurrences —
+	// so a nonzero count degrades cluster health.
+	gapLoss []int
+	log     []server.FiringEvent
+	nextSeq int
 
 	obs atomic.Pointer[func(server.FiringEvent)]
 
@@ -100,30 +122,34 @@ func New(cfg Config) (*Front, error) {
 		logf = func(string, ...any) {}
 	}
 	f := &Front{
-		shards:    cfg.Shards,
-		part:      NewPartitioner(len(cfg.Shards)),
-		reg:       reg,
-		logf:      logf,
-		ruleHomes: map[string]int{},
-		in:        make(chan fanMsg, 4096),
-		fanDone:   make(chan struct{}),
-		relayDone: make(chan struct{}),
+		shards:      cfg.Shards,
+		part:        NewPartitioner(len(cfg.Shards)),
+		reg:         reg,
+		logf:        logf,
+		ruleHomes:   map[string]int{},
+		rulePending: map[string]bool{},
+		relays:      map[string]*relayReg{},
+		gapLoss:     make([]int, len(cfg.Shards)),
+		in:          make(chan fanMsg, 4096),
+		fanDone:     make(chan struct{}),
+		relayDone:   make(chan struct{}),
 	}
 	f.relayCond = sync.NewCond(&f.relayMu)
 	f.replaying.Store(true)
 	go f.fanIn()
 	go f.relayForwarder()
 	for i, sh := range cfg.Shards {
+		i := i
 		if err := sh.Follow(func(fe server.FiringEvent) {
-			f.in <- fanMsg{fe: fe}
+			f.in <- fanMsg{shard: i, fe: fe}
 		}); err != nil {
 			f.Close()
 			return nil, fmt.Errorf("cluster: follow shard %d: %w", i, err)
 		}
 		// Re-home rules already registered on the shard (a router restarted
-		// over durable shards). Relay triggers are skipped: their underlying
-		// rules re-home from their own shard's listing, and forwarding
-		// resumes as soon as the relay fires again.
+		// over durable shards). Relay triggers register into the relay
+		// registry as already-complete, so new rules reuse them instead of
+		// tripping over duplicate names on the shard.
 		rules, err := sh.Rules()
 		if err != nil {
 			f.Close()
@@ -131,6 +157,9 @@ func New(cfg Config) (*Front, error) {
 		}
 		for _, r := range rules {
 			if _, _, ok := parseRelayName(r.Name); ok {
+				reg := &relayReg{done: make(chan struct{})}
+				close(reg.done)
+				f.relays[r.Name] = reg
 				continue
 			}
 			f.ruleHomes[r.Name] = i
@@ -163,9 +192,9 @@ func (f *Front) fanIn() {
 		}
 		fe := msg.fe
 		if fe.Gap == 0 {
-			if rule, use, ok := parseRelayName(fe.F.Rule); ok {
+			if home, use, ok := parseRelayName(fe.F.Rule); ok {
 				if !f.replaying.Load() {
-					f.enqueueRelay(rule, use, fe.F)
+					f.enqueueRelay(home, use, fe.F)
 				}
 				continue
 			}
@@ -173,6 +202,14 @@ func (f *Front) fanIn() {
 		f.mu.Lock()
 		entry := server.FiringEvent{F: fe.F, Seq: f.nextSeq, Gap: fe.Gap}
 		if fe.Gap > 0 {
+			// A gap means this shard's firing subscription overflowed. Any
+			// relay firings inside it were never forwarded — rules homed
+			// elsewhere permanently missed those occurrences — so record the
+			// loss and degrade Health until the operator notices. (The gap
+			// count includes relay firings that subscribers would never have
+			// seen, so as a merged-stream loss figure it is an upper bound.)
+			f.gapLoss[msg.shard] += fe.Gap
+			f.logf("cluster: shard %d firing subscription gapped (%d lost); any cross-shard relay firings in the gap were not forwarded", msg.shard, fe.Gap)
 			entry.F = adb.Firing{}
 			f.nextSeq += fe.Gap
 		} else {
@@ -187,9 +224,15 @@ func (f *Front) fanIn() {
 }
 
 // enqueueRelay reconstructs the remote occurrence from the relay
-// trigger's binding and queues it for forwarding to the rule's home
-// shard as an emit at the home's next tick.
-func (f *Front) enqueueRelay(rule string, use adb.EventUse, fir adb.Firing) {
+// trigger's binding and queues it for forwarding to the home shard named
+// in the relay trigger itself, as an emit at the home's next tick. The
+// relay is shared by every rule on that home observing the event, so one
+// occurrence is forwarded exactly once per home shard.
+func (f *Front) enqueueRelay(home int, use adb.EventUse, fir adb.Firing) {
+	if home < 0 || home >= len(f.shards) {
+		f.logf("cluster: relay %s: home shard %d out of range, dropping occurrence", fir.Rule, home)
+		return
+	}
 	args := make([]value.Value, use.Arity)
 	for i := range args {
 		v, ok := fir.Binding[fmt.Sprintf("A%d", i)]
@@ -198,13 +241,6 @@ func (f *Front) enqueueRelay(rule string, use adb.EventUse, fir adb.Firing) {
 			return
 		}
 		args[i] = v
-	}
-	f.mu.Lock()
-	home, known := f.ruleHomes[rule]
-	f.mu.Unlock()
-	if !known {
-		f.logf("cluster: relay %s: rule %q has no home, dropping occurrence", fir.Rule, rule)
-		return
 	}
 	f.relayMu.Lock()
 	if f.relayStop {
@@ -287,44 +323,89 @@ func (f *Front) GoRule(name, cond string, constraint bool, sched int, done func(
 		return
 	}
 	f.mu.Lock()
-	if _, dup := f.ruleHomes[name]; dup {
+	if _, dup := f.ruleHomes[name]; dup || f.rulePending[name] {
 		f.mu.Unlock()
 		done(fmt.Errorf("cluster: rule %q already registered", name))
 		return
 	}
+	// Reserve the name before the async fan-out: a concurrent GoRule with
+	// the same name fails the check above instead of racing to register.
+	f.rulePending[name] = true
 	homes := make(map[string]int, len(f.ruleHomes))
 	for r, h := range f.ruleHomes {
 		homes[r] = h
 	}
 	f.mu.Unlock()
+	release := func() {
+		f.mu.Lock()
+		delete(f.rulePending, name)
+		f.mu.Unlock()
+	}
 	pl, err := Place(f.part, fp, constraint, homes)
 	if err != nil {
+		release()
 		done(err)
 		return
 	}
-	// Registration fans out: relay triggers on the owner shards first,
-	// then the rule on its home, serially, so the rule never observes a
-	// half-built relay graph. The done callback fires only when all of it
-	// is registered (or the first step failed).
+	// Registration fans out: shared relay triggers on the owner shards
+	// first, then the rule on its home, serially, so the rule never
+	// observes a half-built relay graph. The done callback fires only when
+	// all of it is registered (or the first step failed).
 	go func() {
-		errc := make(chan error, 1)
 		for _, re := range pl.RemoteEvents {
-			f.shards[re.Shard].GoRule(relayName(name, re.Use), relayCondition(re.Use),
-				false, int(adb.Relevant), func(err error) { errc <- err })
-			if err := <-errc; err != nil {
+			if err := f.ensureRelay(re.Shard, pl.Home, re.Use); err != nil {
+				release()
 				done(fmt.Errorf("cluster: relay for %s on shard %d: %w", name, re.Shard, err))
 				return
 			}
 		}
+		errc := make(chan error, 1)
 		f.shards[pl.Home].GoRule(name, cond, constraint, sched, func(err error) { errc <- err })
-		err := <-errc
-		if err == nil {
-			f.mu.Lock()
-			f.ruleHomes[name] = pl.Home
-			f.mu.Unlock()
+		if err := <-errc; err != nil {
+			// The relays stay registered: they are keyed by (home, event use),
+			// not by this rule, may already serve other rules, and a retry of
+			// this registration reuses them (engines have no rule deletion).
+			// An unused relay forwards occurrences its home does not observe,
+			// which is inert there.
+			release()
+			done(err)
+			return
 		}
-		done(err)
+		f.mu.Lock()
+		delete(f.rulePending, name)
+		f.ruleHomes[name] = pl.Home
+		f.mu.Unlock()
+		done(nil)
 	}()
+}
+
+// ensureRelay registers the shared relay trigger forwarding an event use
+// from its owner shard to a home shard, exactly once however many rules
+// need it: the first caller registers, concurrent callers wait for that
+// outcome, later callers reuse the live relay. On failure the entry is
+// removed so a subsequent registration can retry.
+func (f *Front) ensureRelay(owner, home int, use adb.EventUse) error {
+	name := relayName(home, use)
+	f.mu.Lock()
+	if reg, ok := f.relays[name]; ok {
+		f.mu.Unlock()
+		<-reg.done
+		return reg.err
+	}
+	reg := &relayReg{done: make(chan struct{})}
+	f.relays[name] = reg
+	f.mu.Unlock()
+	errc := make(chan error, 1)
+	f.shards[owner].GoRule(name, relayCondition(use), false, int(adb.Relevant),
+		func(err error) { errc <- err })
+	reg.err = <-errc
+	if reg.err != nil {
+		f.mu.Lock()
+		delete(f.relays, name)
+		f.mu.Unlock()
+	}
+	close(reg.done)
+	return reg.err
 }
 
 func (f *Front) GoRevive(name string, done func(error)) {
@@ -377,10 +458,18 @@ func (f *Front) snapshot(from int) (int, []server.FiringEvent, int) {
 	return from, backlog, f.nextSeq
 }
 
+// Now reports the maximum shard clock. A shard whose clock read fails
+// (broken remote connection) is logged and skipped rather than silently
+// contributing 0.
 func (f *Front) Now() int64 {
 	var max int64
-	for _, sh := range f.shards {
-		if ts := sh.Now(); ts > max {
+	for i, sh := range f.shards {
+		ts, err := sh.Now()
+		if err != nil {
+			f.logf("cluster: shard %d clock read failed: %v", i, err)
+			continue
+		}
+		if ts > max {
 			max = ts
 		}
 	}
@@ -448,6 +537,14 @@ func (f *Front) Health() ([]wire.HealthJSON, string, error) {
 			degraded = append(degraded, fmt.Sprintf("shard %d: %s", i, d))
 		}
 	}
+	f.mu.Lock()
+	for i, n := range f.gapLoss {
+		if n > 0 {
+			degraded = append(degraded, fmt.Sprintf(
+				"shard %d: firing subscription gapped (%d entries lost; cross-shard relay firings in the gap were not forwarded)", i, n))
+		}
+	}
+	f.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Rule < out[j].Rule })
 	return out, strings.Join(degraded, "; "), nil
 }

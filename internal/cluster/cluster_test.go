@@ -3,6 +3,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -208,6 +209,190 @@ func TestFrontCrossShardRelay(t *testing.T) {
 		}
 	}
 	_ = evShard
+}
+
+// remoteEventFor brute-forces an event symbol owned by a shard other
+// than home.
+func remoteEventFor(p Partitioner, home int) string {
+	for i := 0; ; i++ {
+		ev := fmt.Sprintf("sig%d", i)
+		if p.Owner(ev) != home {
+			return ev
+		}
+	}
+}
+
+// countRelays lists the relay triggers present on one shard.
+func countRelays(t *testing.T, sh Shard) int {
+	t.Helper()
+	rules, err := sh.Rules()
+	if err != nil {
+		t.Fatalf("shard Rules: %v", err)
+	}
+	n := 0
+	for _, r := range rules {
+		if strings.HasPrefix(r.Name, relayPrefix) {
+			n++
+		}
+	}
+	return n
+}
+
+// TestFrontSharedRemoteEventRelay: two rules homed on one shard
+// observing the same remotely-owned event symbol must share a single
+// relay trigger, so one occurrence forwards once and fires each rule
+// exactly once — not once per observing rule.
+func TestFrontSharedRemoteEventRelay(t *testing.T) {
+	f := newLocalFront(t, 3)
+	p := f.Partitioner()
+	item := keyOn(t, p, 0, "it")
+	home := p.Owner(item)
+	ev := remoteEventFor(p, home)
+	owner := p.Owner(ev)
+
+	cond := fmt.Sprintf("@%s(X) and item(%q) > 0", ev, item)
+	for _, name := range []string{"r1", "r2"} {
+		if err := doRule(f, name, cond, false); err != nil {
+			t.Fatalf("GoRule %s: %v", name, err)
+		}
+	}
+	if n := countRelays(t, f.shards[owner]); n != 1 {
+		t.Fatalf("owner shard has %d relay triggers, want 1 shared", n)
+	}
+
+	if _, err := doTxn(f, 0, map[string]value.Value{item: value.NewInt(3)}); err != nil {
+		t.Fatalf("seed txn: %v", err)
+	}
+	done := make(chan error, 1)
+	f.GoEmit(0, []event.Event{event.New(ev, value.NewInt(7))}, func(_ int64, err error) { done <- err })
+	if err := <-done; err != nil {
+		t.Fatalf("GoEmit: %v", err)
+	}
+
+	count := func(fs []server.FiringEvent) map[string]int {
+		c := map[string]int{}
+		for _, fe := range fs {
+			if fe.Gap == 0 {
+				c[fe.F.Rule]++
+			}
+		}
+		return c
+	}
+	waitFirings(t, f, func(fs []server.FiringEvent) bool {
+		c := count(fs)
+		return c["r1"] >= 1 && c["r2"] >= 1
+	})
+	// Let any erroneous duplicate forward (the bug this test pins: one
+	// relay per observing rule) finish its commit before counting.
+	time.Sleep(200 * time.Millisecond)
+	f.Barrier()
+	fs, err := f.Firings(0)
+	if err != nil {
+		t.Fatalf("Firings: %v", err)
+	}
+	c := count(fs)
+	if c["r1"] != 1 || c["r2"] != 1 {
+		t.Fatalf("firing counts r1=%d r2=%d, want exactly 1 each (duplicate relay forwarding?)", c["r1"], c["r2"])
+	}
+}
+
+// TestFrontRelaySurvivesFailedRegistration: a home-shard registration
+// failure must leave the shared relay reusable — a later rule with the
+// same footprint registers cleanly against the existing relay instead of
+// failing on a duplicate relay name.
+func TestFrontRelaySurvivesFailedRegistration(t *testing.T) {
+	f := newLocalFront(t, 3)
+	p := f.Partitioner()
+	item := keyOn(t, p, 0, "it")
+	home := p.Owner(item)
+	ev := remoteEventFor(p, home)
+	owner := p.Owner(ev)
+	cond := fmt.Sprintf("@%s(X) and item(%q) > 0", ev, item)
+
+	// Occupy the rule name directly on the home shard, behind the router's
+	// back, so the router's home registration fails after its relay step.
+	errc := make(chan error, 1)
+	f.shards[home].GoRule("taken", fmt.Sprintf("item(%q) > 100", item), false,
+		int(adb.Relevant), func(err error) { errc <- err })
+	if err := <-errc; err != nil {
+		t.Fatalf("pre-registering on shard: %v", err)
+	}
+	if err := doRule(f, "taken", cond, false); err == nil {
+		t.Fatal("GoRule taken: expected duplicate-name failure from the home shard")
+	}
+	if n := countRelays(t, f.shards[owner]); n != 1 {
+		t.Fatalf("owner shard has %d relay triggers after failed registration, want 1", n)
+	}
+
+	// A sibling rule with the same remote event must reuse that relay.
+	if err := doRule(f, "ok", cond, false); err != nil {
+		t.Fatalf("GoRule ok after failed sibling: %v", err)
+	}
+	if n := countRelays(t, f.shards[owner]); n != 1 {
+		t.Fatalf("owner shard has %d relay triggers, want 1 shared", n)
+	}
+	if _, err := doTxn(f, 0, map[string]value.Value{item: value.NewInt(3)}); err != nil {
+		t.Fatalf("seed txn: %v", err)
+	}
+	done := make(chan error, 1)
+	f.GoEmit(0, []event.Event{event.New(ev, value.NewInt(5))}, func(_ int64, err error) { done <- err })
+	if err := <-done; err != nil {
+		t.Fatalf("GoEmit: %v", err)
+	}
+	waitFirings(t, f, func(fs []server.FiringEvent) bool {
+		for _, fe := range fs {
+			if fe.Gap == 0 && fe.F.Rule == "ok" {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// TestFrontConcurrentDuplicateRuleName: two concurrent registrations of
+// one name must resolve to exactly one winner — the name is reserved
+// under the lock before the asynchronous fan-out begins.
+func TestFrontConcurrentDuplicateRuleName(t *testing.T) {
+	f := newLocalFront(t, 2)
+	p := f.Partitioner()
+	k := keyOn(t, p, 0, "x")
+	cond := fmt.Sprintf("item(%q) > 0", k)
+	res := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go f.GoRule("dup", cond, false, int(adb.Relevant), func(err error) { res <- err })
+	}
+	var oks int
+	for i := 0; i < 2; i++ {
+		if err := <-res; err == nil {
+			oks++
+		}
+	}
+	if oks != 1 {
+		t.Fatalf("%d of 2 concurrent same-name registrations succeeded, want exactly 1", oks)
+	}
+	f.mu.Lock()
+	_, homed := f.ruleHomes["dup"]
+	pending := f.rulePending["dup"]
+	f.mu.Unlock()
+	if !homed || pending {
+		t.Fatalf("after settle: homed=%v pending=%v, want homed and not pending", homed, pending)
+	}
+}
+
+// TestFrontGapDegradesHealth: a shard firing-subscription gap loses any
+// relay firings inside it, so the cluster must report degraded health
+// naming the shard.
+func TestFrontGapDegradesHealth(t *testing.T) {
+	f := newLocalFront(t, 2)
+	f.in <- fanMsg{shard: 1, fe: server.FiringEvent{Gap: 3}}
+	f.Barrier()
+	_, degraded, err := f.Health()
+	if err != nil {
+		t.Fatalf("Health: %v", err)
+	}
+	if !strings.Contains(degraded, "shard 1") || !strings.Contains(degraded, "gapped (3") {
+		t.Fatalf("degraded = %q, want a shard 1 gap cause", degraded)
+	}
 }
 
 func TestFrontRefusesCrossShardConstraint(t *testing.T) {

@@ -5,10 +5,13 @@
 // statically extracted read-set footprint (internal/adb.Footprint — the
 // same analysis the scheduling index uses, repurposed as a placement
 // oracle); transactions route to the single shard owning everything they
-// touch. Cross-shard event flow goes through relay triggers: a rule homed
-// on one shard that observes an event symbol owned by another gets a
-// hidden trigger registered on the owner, whose firings the router
-// observes and forwards to the home shard as ordinary emits.
+// touch. Cross-shard event flow goes through relay triggers: when a rule
+// homed on one shard observes an event symbol owned by another, a hidden
+// trigger registers on the owner, whose firings the router observes and
+// forwards to the home shard as ordinary emits. Relays are shared: they
+// key on (home shard, event use), not on the observing rule, so however
+// many rules on one home observe the same remote event, each occurrence
+// is forwarded to that home exactly once.
 //
 // Every shard keeps its own serializing commit pipeline (and, when
 // durable, its own WAL, group commit and snapshots), so the per-shard
@@ -23,6 +26,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"strconv"
 	"strings"
 
 	"ptlactive/internal/adb"
@@ -58,33 +62,41 @@ func (p Partitioner) Owner(key string) int {
 }
 
 // relayPrefix marks router-internal relay triggers. The segment layout is
-// relayPrefix + arity + "/" + event + "/" + rule: arity and event never
-// contain "/" (the symbol is an identifier from a parsed condition), so
-// the trailing rule name may contain anything.
+// relayPrefix + arity + "/" + homeShard + "/" + event: arity and home are
+// integers, so the trailing event symbol may contain anything.
 const relayPrefix = "__relay/"
 
 // relayName builds the hidden relay trigger's name for one remote event
-// use feeding a rule.
-func relayName(rule string, use adb.EventUse) string {
-	return fmt.Sprintf("%s%d/%s/%s", relayPrefix, use.Arity, use.Name, rule)
+// use feeding rules homed on the given shard. The name deliberately does
+// NOT mention any rule: every rule on that home observing that event
+// shares the one relay, so one occurrence forwards at most once per home.
+func relayName(home int, use adb.EventUse) string {
+	return fmt.Sprintf("%s%d/%d/%s", relayPrefix, use.Arity, home, use.Name)
 }
 
 // parseRelayName inverts relayName; ok is false for non-relay rules.
-func parseRelayName(name string) (rule string, use adb.EventUse, ok bool) {
+func parseRelayName(name string) (home int, use adb.EventUse, ok bool) {
 	rest, found := strings.CutPrefix(name, relayPrefix)
 	if !found {
-		return "", adb.EventUse{}, false
+		return 0, adb.EventUse{}, false
 	}
-	var arity int
-	if _, err := fmt.Sscanf(rest, "%d/", &arity); err != nil {
-		return "", adb.EventUse{}, false
-	}
-	rest = rest[strings.Index(rest, "/")+1:]
-	ev, rule, found := strings.Cut(rest, "/")
+	arityStr, rest, found := strings.Cut(rest, "/")
 	if !found {
-		return "", adb.EventUse{}, false
+		return 0, adb.EventUse{}, false
 	}
-	return rule, adb.EventUse{Name: ev, Arity: arity}, true
+	homeStr, ev, found := strings.Cut(rest, "/")
+	if !found || ev == "" {
+		return 0, adb.EventUse{}, false
+	}
+	arity, err := strconv.Atoi(arityStr)
+	if err != nil {
+		return 0, adb.EventUse{}, false
+	}
+	home, err = strconv.Atoi(homeStr)
+	if err != nil {
+		return 0, adb.EventUse{}, false
+	}
+	return home, adb.EventUse{Name: ev, Arity: arity}, true
 }
 
 // relayCondition builds the relay trigger's condition: the bare event

@@ -26,22 +26,27 @@ func TestOwnerTotalAndDeterministic(t *testing.T) {
 }
 
 // TestRelayNameRoundTrip: relay trigger names must invert exactly for
-// any rule name (including ones containing the separator) and any event
-// shape, and never collide with non-relay names.
+// any home shard and any event shape (including symbols containing the
+// separator), and never collide with non-relay names. The name encodes
+// (home, event use) only — no rule — so rules sharing a remote event
+// share the relay by construction.
 func TestRelayNameRoundTrip(t *testing.T) {
-	f := func(rule, ev string, arity uint8) bool {
-		if strings.ContainsAny(ev, "/") || ev == "" || rule == "" {
+	f := func(home uint8, ev string, arity uint8) bool {
+		if ev == "" {
 			return true // event symbols are identifiers; skip invalid draws
 		}
 		use := adb.EventUse{Name: ev, Arity: int(arity % 8)}
-		gotRule, gotUse, ok := parseRelayName(relayName(rule, use))
-		return ok && gotRule == rule && gotUse == use
+		gotHome, gotUse, ok := parseRelayName(relayName(int(home), use))
+		return ok && gotHome == int(home) && gotUse == use
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
 	}
 	if _, _, ok := parseRelayName("ordinary_rule"); ok {
 		t.Fatal("non-relay name parsed as relay")
+	}
+	if _, _, ok := parseRelayName(relayPrefix + "notanint/0/ev"); ok {
+		t.Fatal("malformed relay name parsed as relay")
 	}
 }
 

@@ -23,7 +23,9 @@ type Shard interface {
 	GoEmit(ts int64, events []event.Event, done func(ts int64, err error))
 	GoRule(name, cond string, constraint bool, sched int, done func(error))
 	GoRevive(name string, done func(error))
-	Now() int64
+	// Now reads the shard clock; a remote shard surfaces connection
+	// failures instead of reporting a bogus 0.
+	Now() (int64, error)
 	Items() (map[string]value.Value, error)
 	Rules() ([]wire.RuleJSON, error)
 	Health() ([]wire.HealthJSON, string, error)
@@ -52,6 +54,11 @@ func NewLocalShard(eng *adb.Engine) LocalShard {
 func (s LocalShard) Follow(fn func(server.FiringEvent)) error {
 	s.EngineBackend.Follow(fn)
 	return nil
+}
+
+// Now adapts the backend's clock read (a local read cannot fail).
+func (s LocalShard) Now() (int64, error) {
+	return s.EngineBackend.Now(), nil
 }
 
 // RemoteShard drives one adbserverd over the public client: mutations are
@@ -154,13 +161,7 @@ func (s *RemoteShard) GoRevive(name string, done func(error)) {
 	}
 }
 
-func (s *RemoteShard) Now() int64 {
-	ts, err := s.cli.Now()
-	if err != nil {
-		return 0
-	}
-	return ts
-}
+func (s *RemoteShard) Now() (int64, error) { return s.cli.Now() }
 
 func (s *RemoteShard) Items() (map[string]value.Value, error) { return s.cli.DB() }
 
