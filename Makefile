@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench race vet fmtcheck vulncheck stress verify tables profile benchcheck bench-baselines serve-smoke cluster-smoke
+.PHONY: build test bench race vet fmtcheck vulncheck stress verify tables profile benchcheck bench-baselines serve-smoke cluster-smoke replica-smoke
 
 build:
 	$(GO) build ./...
@@ -30,12 +30,13 @@ vulncheck:
 	else \
 		echo "vulncheck: govulncheck not installed, skipping"; fi
 
-# stress repeats the fault-isolation suite under the race detector: WAL
-# fault injection, degraded-mode seals, quarantine/revive, panic and
-# timeout sandboxing. -count=3 reruns catch flaky interleavings in the
-# timeout handshake and the parallel drain.
+# stress repeats the fault-isolation and failover suites under the race
+# detector: WAL fault injection, degraded-mode seals, quarantine/revive,
+# panic and timeout sandboxing, plus the replication chaos tests (torn
+# streams, lease promotion). -count=3 reruns catch flaky interleavings in
+# the timeout handshake, the parallel drain and the promotion handoff.
 stress:
-	$(GO) test -race -count=3 -run 'Fault|Degrad|Quarantine|Sandbox|Panic|Failpoint|Timeout|Budget' ./internal/adb ./internal/persist
+	$(GO) test -race -count=3 -run 'Fault|Degrad|Quarantine|Sandbox|Panic|Failpoint|Timeout|Budget|Chaos|Failover|Lease|Promot|Replica' ./internal/adb ./internal/persist ./internal/replica
 
 # verify is the full pre-merge tier: static checks plus the whole suite
 # under the race detector (the concurrent engine and the durability
@@ -44,7 +45,7 @@ stress:
 # default (the baselines are wall-clock numbers from the machine of
 # record); set BENCHCHECK_STRICT=1 to make a regression in the server
 # wire-path table (E13) fail the tier.
-verify: vet fmtcheck vulncheck race stress serve-smoke cluster-smoke
+verify: vet fmtcheck vulncheck race stress serve-smoke cluster-smoke replica-smoke
 ifeq ($(BENCHCHECK_STRICT),1)
 	$(MAKE) benchcheck
 else
@@ -56,6 +57,13 @@ endif
 # then SIGTERMs the server and asserts a clean graceful drain (exit 0).
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+# replica-smoke boots a durable primary holding the flock lease and a
+# follower replicating from it, checks byte-identical wal catch-up and
+# the not_primary write refusal, then SIGKILLs the primary and asserts
+# the follower promotes itself and serves reads and writes.
+replica-smoke:
+	sh scripts/replica_smoke.sh
 
 # cluster-smoke boots adbrouterd over two durable in-process shards,
 # drives a scripted session with a cross-shard relay rule through

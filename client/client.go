@@ -28,6 +28,7 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -67,6 +68,51 @@ type Options struct {
 	// with JSON fallback (wire.DefaultCodecs). To force the debuggable
 	// JSON framing, pass []string{"json"}.
 	Codecs []string
+	// Retry, when set, makes DialOptions retry failed dials and
+	// handshakes with capped exponential backoff plus jitter; nil keeps
+	// the historical single-attempt behavior. A version mismatch is never
+	// retried — waiting will not fix a protocol disagreement.
+	Retry *RetryPolicy
+}
+
+// RetryPolicy shapes dial retries: up to Attempts tries total, sleeping a
+// capped exponential backoff with jitter between them. Clients of a
+// replicated service use it to ride out the window where the old primary
+// is dead and the new one has not finished promoting.
+type RetryPolicy struct {
+	// Attempts is the total number of dial attempts (<= 1 means one).
+	Attempts int
+	// Base is the first backoff step (default 100ms); each retry doubles
+	// it up to Max (default 3s). The actual sleep is half the step plus a
+	// random half, so a reconnecting fleet does not dial in lockstep.
+	Base time.Duration
+	Max  time.Duration
+}
+
+// DefaultRetry is a sensible reconnect policy: 6 attempts over roughly
+// six seconds of backoff.
+func DefaultRetry() *RetryPolicy {
+	return &RetryPolicy{Attempts: 6, Base: 100 * time.Millisecond, Max: 3 * time.Second}
+}
+
+// delay returns the sleep before retry k (0-based, after the first
+// failure).
+func (p *RetryPolicy) delay(k int) time.Duration {
+	base, max := p.Base, p.Max
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 3 * time.Second
+	}
+	if k > 20 {
+		k = 20 // the shift below would overflow; far past Max anyway
+	}
+	d := base << k
+	if d > max || d <= 0 {
+		d = max
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
 }
 
 // Client is one session with an active-database server.
@@ -113,13 +159,34 @@ func Dial(addr string) (*Client, error) {
 	return DialOptions(addr, Options{})
 }
 
-// DialOptions is Dial with explicit options.
+// DialOptions is Dial with explicit options. With Options.Retry set,
+// failed dials and handshakes are retried under the policy's backoff;
+// version mismatches fail immediately.
 func DialOptions(addr string, opts Options) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
-	if err != nil {
-		return nil, err
+	attempts := 1
+	if opts.Retry != nil && opts.Retry.Attempts > 1 {
+		attempts = opts.Retry.Attempts
 	}
-	return NewOptions(conn, opts)
+	var lastErr error
+	for k := 0; k < attempts; k++ {
+		if k > 0 {
+			time.Sleep(opts.Retry.delay(k - 1))
+		}
+		conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		c, err := NewOptions(conn, opts)
+		if err == nil {
+			return c, nil
+		}
+		lastErr = err
+		if errors.Is(err, wire.ErrVersionMismatch) {
+			return nil, err
+		}
+	}
+	return nil, lastErr
 }
 
 // New runs the client protocol over an established connection (tests and
@@ -430,6 +497,11 @@ func remoteErr(m *wire.Msg) error {
 	if m.Code == wire.CodeConstraint && m.Name != "" {
 		return &adb.ConstraintError{Constraint: m.Name, Txn: m.Txn}
 	}
+	if m.Code == wire.CodeNotPrimary {
+		// The typed form carries the redirect hint, so a caller can
+		// errors.As for *wire.NotPrimaryError and redial the leader.
+		return &wire.NotPrimaryError{Leader: m.Leader}
+	}
 	return &wire.RemoteError{Code: m.Code, Msg: m.Err}
 }
 
@@ -666,6 +738,28 @@ func (c *Client) Health() (Health, error) {
 		return Health{}, err
 	}
 	return Health{Rules: resp.Health, Degraded: resp.Degraded}, nil
+}
+
+// RoleStatus is the server's replication role report.
+type RoleStatus struct {
+	// Role is "primary", "follower", or "standalone".
+	Role string
+	// Leader is the primary's address hint ("" when unknown).
+	Leader string
+	// Epoch is the node's replication fencing epoch (0 = never promoted).
+	Epoch int64
+	// LSN is the node's last durable WAL position.
+	LSN int64
+}
+
+// Role queries the server's replication role; a standalone server
+// reports {Role: "standalone"}.
+func (c *Client) Role() (RoleStatus, error) {
+	resp, err := c.call(&wire.Msg{T: wire.TypeQuery, What: "role"})
+	if err != nil {
+		return RoleStatus{}, err
+	}
+	return RoleStatus{Role: resp.Role, Leader: resp.Leader, Epoch: resp.Epoch, LSN: resp.Lsn}, nil
 }
 
 // Subscribe opens the session's firing stream starting at absolute firing

@@ -1,0 +1,125 @@
+package client
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ptlactive/internal/server/wire"
+)
+
+// flakyListener accepts on a loopback listener, slams the door on the
+// first fail connections, and completes the hello handshake from then on.
+func flakyListener(t *testing.T, fail int, helloReply func() *wire.Msg) (addr string, accepts *int32) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	var n int32
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			k := atomic.AddInt32(&n, 1)
+			if int(k) <= fail {
+				conn.Close()
+				continue
+			}
+			go func() {
+				defer conn.Close()
+				br := bufio.NewReader(conn)
+				if _, err := wire.ReadFrame(br); err != nil {
+					return
+				}
+				if err := wire.WriteFrame(conn, helloReply()); err != nil {
+					return
+				}
+				// Drain the session until the client says bye.
+				for {
+					m, err := wire.ReadFrame(br)
+					if err != nil || m.T == wire.TypeBye {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String(), &n
+}
+
+// TestDialRetryEventuallyConnects: the first connections die before the
+// handshake; the retry policy rides them out and lands on the healthy one.
+func TestDialRetryEventuallyConnects(t *testing.T) {
+	addr, accepts := flakyListener(t, 2, wire.Hello)
+	c, err := DialOptions(addr, Options{Retry: &RetryPolicy{
+		Attempts: 6, Base: time.Millisecond, Max: 4 * time.Millisecond,
+	}})
+	if err != nil {
+		t.Fatalf("dial with retry: %v", err)
+	}
+	c.Close()
+	if got := atomic.LoadInt32(accepts); got != 3 {
+		t.Fatalf("server accepted %d connections, want 3 (2 failures + 1 success)", got)
+	}
+}
+
+// TestDialRetrySingleAttemptWithoutPolicy preserves the historical
+// contract: no Retry, one attempt.
+func TestDialRetrySingleAttemptWithoutPolicy(t *testing.T) {
+	addr, accepts := flakyListener(t, 1, wire.Hello)
+	if _, err := DialOptions(addr, Options{}); err == nil {
+		t.Fatal("dial succeeded through a dead handshake")
+	}
+	if got := atomic.LoadInt32(accepts); got != 1 {
+		t.Fatalf("server accepted %d connections, want 1", got)
+	}
+}
+
+// TestDialRetryVersionMismatchFailsFast: waiting will not fix a protocol
+// disagreement, so the policy must not burn attempts on it.
+func TestDialRetryVersionMismatchFailsFast(t *testing.T) {
+	addr, accepts := flakyListener(t, 0, func() *wire.Msg {
+		m := wire.Hello()
+		m.Version = m.Version + 1
+		return m
+	})
+	_, err := DialOptions(addr, Options{Retry: &RetryPolicy{
+		Attempts: 5, Base: time.Millisecond, Max: 2 * time.Millisecond,
+	}})
+	if !errors.Is(err, wire.ErrVersionMismatch) {
+		t.Fatalf("err = %v, want ErrVersionMismatch", err)
+	}
+	if got := atomic.LoadInt32(accepts); got != 1 {
+		t.Fatalf("server accepted %d connections, want 1 (no retry on mismatch)", got)
+	}
+}
+
+// TestRetryDelayBounds pins the backoff shape: attempt k sleeps at least
+// half the doubled base, never more than Max, jitter within the step.
+func TestRetryDelayBounds(t *testing.T) {
+	p := &RetryPolicy{Attempts: 10, Base: 10 * time.Millisecond, Max: 80 * time.Millisecond}
+	for k := 0; k < 10; k++ {
+		step := p.Base << k
+		if step > p.Max || step <= 0 {
+			step = p.Max
+		}
+		for trial := 0; trial < 50; trial++ {
+			d := p.delay(k)
+			if d < step/2 || d > step {
+				t.Fatalf("delay(%d) = %v outside [%v, %v]", k, d, step/2, step)
+			}
+		}
+	}
+	// Defaults kick in for zero fields, and huge k does not overflow.
+	var z RetryPolicy
+	if d := z.delay(40); d <= 0 || d > 3*time.Second {
+		t.Fatalf("zero-policy delay(40) = %v", d)
+	}
+}

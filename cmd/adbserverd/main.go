@@ -10,6 +10,21 @@
 // process would produce for the same commit order. With -data the engine
 // is durable (write-ahead log + snapshots) and a restart recovers it.
 //
+// Replication (DESIGN.md §4i): a durable server is always a replication
+// primary — followers connect with the replicate request and receive
+// every group-commit WAL batch. A server started with -replica-of runs as
+// a follower instead: it replays the primary's WAL into its own
+// directory, serves reads and firing subscriptions, and refuses writes
+// with a not_primary redirect. With -lease both roles take part in
+// failover: the primary must hold the flock lease to serve writes (and
+// fail-stops if the lease anchor breaks), a follower polls the lease and
+// promotes itself — fenced by the lease's epoch — the moment the
+// primary's death releases it.
+//
+//	adbserverd -addr :7411 -data /var/lib/adb/a -lease /var/lib/adb/lease
+//	adbserverd -addr :7412 -data /var/lib/adb/b -lease /var/lib/adb/lease \
+//	           -replica-of 127.0.0.1:7411
+//
 // Subscription queues are bounded (-sub-queue); -overflow picks what
 // happens to a lagging subscriber: "drop" delivers a gap marker counting
 // the missed firings, "disconnect" severs the connection.
@@ -23,6 +38,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -32,6 +48,7 @@ import (
 	"time"
 
 	"ptlactive/internal/adb"
+	"ptlactive/internal/replica"
 	"ptlactive/internal/server"
 )
 
@@ -48,6 +65,10 @@ func main() {
 	sweepBudget := flag.Int64("sweep-budget", 0, "max evaluator steps per sweep (0 = unlimited)")
 	actionTimeout := flag.Duration("action-timeout", 0, "per-action deadline (0 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown bound")
+	replicaOf := flag.String("replica-of", "", "run as a follower replicating from this primary address")
+	leasePath := flag.String("lease", "", "primary lease file (flock-anchored); primaries must hold it, followers poll it to promote")
+	leasePoll := flag.Duration("lease-poll", 200*time.Millisecond, "follower lease poll / primary lease verify interval")
+	advertise := flag.String("advertise", "", "address clients should redial this node at (default: the bound address)")
 	flag.Parse()
 
 	var policy server.OverflowPolicy
@@ -59,6 +80,9 @@ func main() {
 	default:
 		fatal(fmt.Errorf("bad -overflow %q: want drop or disconnect", *overflow))
 	}
+	if *replicaOf != "" && *dataDir == "" {
+		fatal(fmt.Errorf("-replica-of requires -data (the follower persists the shipped wal)"))
+	}
 
 	cfg := adb.Config{
 		Workers:         *workers,
@@ -66,11 +90,56 @@ func main() {
 		SweepBudget:     *sweepBudget,
 		ActionTimeout:   *actionTimeout,
 	}
-	var eng *adb.Engine
-	if *dataDir != "" {
+
+	// Listen before building the node so the default advertise address is
+	// the real bound one (-addr :0 resolves here).
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	selfAddr := *advertise
+	if selfAddr == "" {
+		selfAddr = ln.Addr().String()
+	}
+
+	scfg := server.Config{
+		MaxConns:        *maxConns,
+		IdleTimeout:     *idleTimeout,
+		SubscriberQueue: *subQueue,
+		Overflow:        policy,
+		Logf:            logf,
+	}
+
+	var node *replica.Node
+	switch {
+	case *replicaOf != "":
+		// Follower: replay the primary's WAL, refuse writes, maybe promote.
+		node, err = replica.NewFollower(cfg, *dataDir, *replicaOf, selfAddr)
+		if err != nil {
+			fatal(err)
+		}
+		stream := replica.StartStream(node, replica.StreamConfig{Primary: *replicaOf, Logf: logf})
+		if *leasePath != "" {
+			go pollLease(node, stream, *leasePath, selfAddr, *leasePoll)
+		}
+		scfg.Backend = node
+		scfg.WALSource = node
+		scfg.RoleInfo = node.RoleInfo
+		logf("follower of %s (data %s)", *replicaOf, *dataDir)
+
+	case *dataDir != "":
+		// Durable primary: hold the lease (when configured) before touching
+		// the data, then serve writes and replication.
+		var lease *replica.FileLease
+		if *leasePath != "" {
+			lease, err = replica.TryAcquire(*leasePath, selfAddr)
+			if err != nil {
+				fatal(fmt.Errorf("acquire lease: %w", err))
+			}
+			logf("holding lease %s at epoch %d", *leasePath, lease.Epoch())
+		}
 		cfg.Durability = adb.DurabilityWAL
-		var err error
-		eng, err = adb.Restore(cfg, *dataDir)
+		eng, err := adb.Restore(cfg, *dataDir)
 		if err != nil {
 			fatal(err)
 		}
@@ -78,22 +147,23 @@ func main() {
 		if info.SnapshotLSN > 0 || info.ReplayedRecords > 1 {
 			logf("recovered: snapshot LSN %d, %d wal records replayed", info.SnapshotLSN, info.ReplayedRecords)
 		}
-	} else {
-		eng = adb.NewEngine(cfg)
+		node = replica.NewPrimary(server.NewEngineBackend(eng), selfAddr)
+		if lease != nil {
+			if err := node.Shipper().BumpEpoch(lease.Epoch()); err != nil {
+				fatal(fmt.Errorf("fence epoch %d: %w", lease.Epoch(), err))
+			}
+			go guardLease(lease, *leasePoll)
+		}
+		scfg.Backend = node
+		scfg.WALSource = node
+		scfg.RoleInfo = node.RoleInfo
+
+	default:
+		// Memory-only: no WAL, so no replication; plain standalone engine.
+		scfg.Engine = adb.NewEngine(cfg)
 	}
 
-	srv, err := server.New(server.Config{
-		Engine:          eng,
-		MaxConns:        *maxConns,
-		IdleTimeout:     *idleTimeout,
-		SubscriberQueue: *subQueue,
-		Overflow:        policy,
-		Logf:            logf,
-	})
-	if err != nil {
-		fatal(err)
-	}
-	ln, err := net.Listen("tcp", *addr)
+	srv, err := server.New(scfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -120,6 +190,46 @@ func main() {
 		logf("clean drain")
 	case err := <-serveErr:
 		fatal(err)
+	}
+}
+
+// pollLease is the follower's promotion loop: poll TryAcquire until the
+// primary's death releases the flock, then stop the replication stream
+// and promote under the lease's freshly minted epoch.
+func pollLease(node *replica.Node, stream *replica.Stream, path, owner string, every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for range t.C {
+		lease, err := replica.TryAcquire(path, owner)
+		if errors.Is(err, replica.ErrLeaseHeld) {
+			continue
+		}
+		if err != nil {
+			logf("lease poll: %v", err)
+			continue
+		}
+		logf("lease %s acquired at epoch %d; promoting", path, lease.Epoch())
+		stream.Stop()
+		if err := node.Promote(lease.Epoch()); err != nil {
+			fatal(fmt.Errorf("promote: %w", err))
+		}
+		logf("promoted to primary at epoch %d", lease.Epoch())
+		guardLease(lease, every)
+		return
+	}
+}
+
+// guardLease fail-stops the primary if its lease anchor breaks: a
+// replaced or deleted lease file means this process can no longer prove
+// it is the primary, and continuing to acknowledge writes would split the
+// brain.
+func guardLease(lease *replica.FileLease, every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for range t.C {
+		if err := lease.Verify(); err != nil {
+			fatal(err)
+		}
 	}
 }
 

@@ -46,7 +46,8 @@
 // adbserverd over the network instead of an in-process engine. The
 // engine-local commands (item, save, recover, eval, export, show
 // history) are unavailable there; `follow <n>` is added, subscribing to
-// the server's firing stream and printing the next n firings.
+// the server's firing stream and printing the next n firings, and `role`
+// reports the server's replication role, leader hint, epoch and LSN.
 package main
 
 import (

@@ -38,7 +38,7 @@ func newRemote(addr, codec string) (*remote, error) {
 	if c == wire.CodecBinary {
 		codecs = wire.DefaultCodecs()
 	}
-	cli, err := client.DialOptions(addr, client.Options{Codecs: codecs})
+	cli, err := client.DialOptions(addr, client.Options{Codecs: codecs, Retry: client.DefaultRetry()})
 	if err != nil {
 		return nil, err
 	}
@@ -174,6 +174,13 @@ func (r *remote) exec(line string) error {
 		if h.Degraded != "" {
 			fmt.Printf("  engine: DEGRADED: %v\n", h.Degraded)
 		}
+		return nil
+	case "role":
+		rs, err := r.cli.Role()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("role=%s leader=%s epoch=%d lsn=%d\n", rs.Role, rs.Leader, rs.Epoch, rs.LSN)
 		return nil
 	case "revive":
 		if rest == "" {

@@ -306,9 +306,13 @@ type Engine struct {
 	// engines. suppress is incremented around replay and action cascades so
 	// derived operations are not logged — replaying the external operation
 	// re-derives them through the normal sweep path.
-	store        *persist.Store
-	durMode      Durability
-	snapEvery    int
+	store     *persist.Store
+	durMode   Durability
+	snapEvery int
+	// epoch is the replication primary epoch (see persist.KindEpoch): the
+	// highest epoch record this engine has logged or replayed. 0 means the
+	// engine was never part of a promoted replica set.
+	epoch        int64
 	suppress     int
 	walSince     int // records appended since the last snapshot
 	commitsSince int

@@ -213,6 +213,7 @@ func (e *Engine) buildSnapshot() (*persist.EngineSnapshot, error) {
 	}
 	snap := &persist.EngineSnapshot{
 		Init:      e.initRec,
+		Epoch:     e.epoch,
 		Base:      e.base,
 		Now:       e.now,
 		NextTxn:   e.nextTxn,
@@ -454,6 +455,7 @@ func engineFromSnapshot(cfg Config, snap *persist.EngineSnapshot) (*Engine, erro
 	e.base = snap.Base
 	e.nextTxn = snap.NextTxn
 	e.evalSteps = snap.EvalSteps
+	e.epoch = snap.Epoch
 
 	seen := map[string]bool{}
 	for _, a := range snap.Tracked {
@@ -622,6 +624,11 @@ func (e *Engine) applyRecord(rec *persist.Record) (opErr, fatal error) {
 		return nil, nil
 	case persist.KindRevive:
 		return e.ReviveRule(rec.Name), nil
+	case persist.KindEpoch:
+		if rec.Epoch > e.epoch {
+			e.epoch = rec.Epoch
+		}
+		return nil, nil
 	}
 	return nil, fmt.Errorf("adb: replay LSN %d: unknown kind %q", rec.LSN, rec.Kind)
 }

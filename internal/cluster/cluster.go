@@ -69,6 +69,13 @@ type Front struct {
 	// relays registers shared relay triggers once per (home shard, event
 	// use), keyed by the relay trigger name (which encodes both).
 	relays map[string]*relayReg
+	// relaySeen is, per shard, the highest firing-log Seq whose relay
+	// forwarding decision has been made (-1 before any). Owned by the
+	// fan-in goroutine — no lock. Shard subscriptions are at-least-once
+	// (a reconnect re-delivers backlog from the resume point); the
+	// watermark pins each relay occurrence to exactly one forward, so
+	// redelivery cannot double-fire rules on the home shard.
+	relaySeen []int
 	// gapLoss counts, per shard, merged-stream entries lost to firing
 	// subscription overflow. Any cross-shard relay firings inside a gap
 	// were never forwarded — home-shard rules missed those occurrences —
@@ -129,10 +136,14 @@ func New(cfg Config) (*Front, error) {
 		ruleHomes:   map[string]int{},
 		rulePending: map[string]bool{},
 		relays:      map[string]*relayReg{},
+		relaySeen:   make([]int, len(cfg.Shards)),
 		gapLoss:     make([]int, len(cfg.Shards)),
 		in:          make(chan fanMsg, 4096),
 		fanDone:     make(chan struct{}),
 		relayDone:   make(chan struct{}),
+	}
+	for i := range f.relaySeen {
+		f.relaySeen[i] = -1
 	}
 	f.relayCond = sync.NewCond(&f.relayMu)
 	f.replaying.Store(true)
@@ -193,8 +204,15 @@ func (f *Front) fanIn() {
 		fe := msg.fe
 		if fe.Gap == 0 {
 			if home, use, ok := parseRelayName(fe.F.Rule); ok {
-				if !f.replaying.Load() {
-					f.enqueueRelay(home, use, fe.F)
+				// The watermark advances even while replaying: historical
+				// relay firings were forwarded in a previous life (their
+				// emits are in the home shard's log), so a later redelivery
+				// of the same Seq must be skipped, not forwarded.
+				if fe.Seq > f.relaySeen[msg.shard] {
+					f.relaySeen[msg.shard] = fe.Seq
+					if !f.replaying.Load() {
+						f.enqueueRelay(home, use, fe.F)
+					}
 				}
 				continue
 			}

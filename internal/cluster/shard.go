@@ -81,9 +81,11 @@ type RemoteShard struct {
 }
 
 // DialShard connects a remote shard, negotiating the binary codec when
-// the backend speaks it.
+// the backend speaks it and retrying transient dial failures with capped
+// exponential backoff (a router booting alongside its shards should not
+// lose the race).
 func DialShard(addr string) (*RemoteShard, error) {
-	cli, err := client.Dial(addr)
+	cli, err := client.DialOptions(addr, client.Options{Retry: client.DefaultRetry()})
 	if err != nil {
 		return nil, err
 	}

@@ -33,6 +33,12 @@ const (
 	// Revival re-enables suppressed actions, so replay must re-apply it at
 	// the same point to reproduce the original run.
 	KindRevive = "revive"
+	// KindEpoch fences a leadership change: the record stamps the primary
+	// epoch (Record.Epoch) into the log at the point a node became primary.
+	// A replication follower refuses frames from any epoch older than the
+	// highest it has applied, so a deposed primary's stale tail cannot
+	// overwrite a promoted successor's history.
+	KindEpoch = "epoch"
 )
 
 // InitRecord carries the Config parameters that shape observable engine
@@ -87,12 +93,15 @@ type Record struct {
 
 	// KindPrune.
 	Arg int64 `json:"arg,omitempty"`
+
+	// KindEpoch: the primary epoch in force from this record on.
+	Epoch int64 `json:"epoch,omitempty"`
 }
 
 // validKind reports whether k is a known record kind.
 func validKind(k string) bool {
 	switch k {
-	case KindInit, KindAddRule, KindExec, KindAbort, KindEmit, KindFlush, KindCompact, KindPrune, KindRevive:
+	case KindInit, KindAddRule, KindExec, KindAbort, KindEmit, KindFlush, KindCompact, KindPrune, KindRevive, KindEpoch:
 		return true
 	}
 	return false
@@ -170,8 +179,13 @@ type ExecutionSnapshot struct {
 // and the firing/execution logs. LSN is the last WAL record the snapshot
 // covers; recovery replays only records after it.
 type EngineSnapshot struct {
-	Init      *InitRecord         `json:"init"`
-	LSN       int64               `json:"lsn"`
+	Init *InitRecord `json:"init"`
+	LSN  int64       `json:"lsn"`
+	// Epoch is the primary epoch in force at the snapshot (see KindEpoch):
+	// a WAL reset discards the epoch records, so the fencing state must
+	// travel with the snapshot. Absent in older snapshots (decodes to 0,
+	// the never-promoted epoch).
+	Epoch     int64               `json:"epoch,omitempty"`
 	History   []histio.StateJSON  `json:"history"`
 	Base      int                 `json:"base"`
 	Now       int64               `json:"now"`

@@ -54,6 +54,10 @@ type OpenResult struct {
 	// TruncatedAt is the file offset of a torn final record that was
 	// discarded, -1 when the log ended cleanly.
 	TruncatedAt int64
+	// Epoch is the highest primary epoch recovery saw: the snapshot's, or
+	// any epoch record's in the tail, whichever is larger (0 when the node
+	// was never part of a promoted replica set).
+	Epoch int64
 }
 
 // Open opens (creating if needed) a durability directory: it loads the
@@ -129,7 +133,13 @@ func Open(dir string) (*Store, *OpenResult, error) {
 	// between writing a snapshot and resetting the WAL leaves covered
 	// records in the file; they are skipped here. What must not happen is a
 	// gap between the snapshot and the first uncovered record.
+	if res.Snapshot != nil {
+		res.Epoch = res.Snapshot.Epoch
+	}
 	for _, rec := range scan.records {
+		if rec.Kind == KindEpoch && rec.Epoch > res.Epoch {
+			res.Epoch = rec.Epoch
+		}
 		if rec.LSN > res.SnapshotLSN {
 			res.Tail = append(res.Tail, rec)
 		}
@@ -176,6 +186,62 @@ func (s *Store) Flush() error { return s.log.Flush() }
 // SetFailpoint installs (or clears, with nil) the WAL fault-injection
 // hook; see Failpoint.
 func (s *Store) SetFailpoint(fp Failpoint) { s.log.SetFailpoint(fp) }
+
+// SetFlushHook installs (or clears, with nil) the durable-batch observer;
+// see FlushHook.
+func (s *Store) SetFlushHook(h FlushHook) { s.log.SetFlushHook(h) }
+
+// AppendRaw appends already-framed WAL bytes verbatim (see Log.AppendRaw);
+// replication followers write shipped primary frames with it.
+func (s *Store) AppendRaw(data []byte, first, last int64) error {
+	return s.log.AppendRaw(data, first, last)
+}
+
+// ReadFramesFrom reads the durable WAL frames with LSN >= from, split
+// into chunks of at most maxChunk bytes at frame boundaries. It serves a
+// replication follower's backlog request; the caller must ensure no
+// concurrent append (the commit pipeline's serialization point). A
+// position older than the log's first durable record is unavailable — it
+// is covered by a snapshot — and a position beyond the end means the
+// requester is ahead of this log; both are errors rather than guesses.
+func (s *Store) ReadFramesFrom(from int64, maxChunk int) ([]WALChunk, error) {
+	if from < 1 {
+		from = 1
+	}
+	data, err := os.ReadFile(filepath.Join(s.dir, walFile))
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("persist: read wal: %w", err)
+	}
+	// Only the durable prefix ships: a torn tail (crash image) or buffered
+	// suffix is not yet part of the replicated history.
+	if int64(len(data)) > s.log.size {
+		data = data[:s.log.size]
+	}
+	recs, offs, err := ParseFrames(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) == 0 {
+		// nextDurable is the LSN the next flushed record will carry;
+		// buffered group-commit records are not durable yet.
+		if nextDurable := s.log.next - int64(len(s.log.bufLSNs)); from == nextDurable {
+			return nil, nil // empty log, requester is current
+		}
+		return nil, fmt.Errorf("persist: wal position %d unavailable (log covered through %d by snapshot)", from, s.log.next-1)
+	}
+	first, last := recs[0].LSN, recs[len(recs)-1].LSN
+	if from < first {
+		return nil, fmt.Errorf("persist: wal position %d unavailable (log starts at %d; earlier records are snapshot-covered)", from, first)
+	}
+	if from > last+1 {
+		return nil, fmt.Errorf("persist: wal position %d is beyond the durable end %d", from, last)
+	}
+	if from == last+1 {
+		return nil, nil // requester is current
+	}
+	start := offs[from-first]
+	return SplitFrames(data[start:], maxChunk)
+}
 
 // SaveSnapshot atomically installs snap as the newest snapshot — temp
 // file, fsync, rename, directory fsync — stamps it with the current last

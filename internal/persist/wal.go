@@ -45,6 +45,16 @@ const (
 // end to end.
 type Failpoint func(op string, lsn int64) error
 
+// FlushHook observes every batch of frames the moment it becomes durable
+// (written and fsynced): data is the verbatim frame bytes, first/last the
+// contiguous LSN range they cover. It is the WAL-shipping tap of the
+// replication layer — because the log is byte-stable, forwarding exactly
+// these bytes to a follower reproduces the primary's log bit for bit.
+// The hook runs synchronously inside Append/Flush on the appender's
+// goroutine; data is only valid for the duration of the call (group
+// commit reuses the batch buffer), so consumers must copy to retain it.
+type FlushHook func(data []byte, first, last int64)
+
 // Log is an append-only write-ahead log backed by one file.
 //
 // With group commit enabled (SetGroupCommit n, n > 1), appended frames are
@@ -71,10 +81,15 @@ type Log struct {
 	// is in an unknown state, so further appends could land after garbage
 	// and turn a clean torn tail into mid-log corruption.
 	broken error
+	// flushHook, when set, observes every durable batch (see FlushHook).
+	flushHook FlushHook
 }
 
 // SetFailpoint installs (or clears, with nil) the fault-injection hook.
 func (l *Log) SetFailpoint(fp Failpoint) { l.fail = fp }
+
+// SetFlushHook installs (or clears, with nil) the durable-batch observer.
+func (l *Log) SetFlushHook(h FlushHook) { l.flushHook = h }
 
 // openLog opens (creating if needed) the WAL at path, positioned at size
 // for appending. next is the LSN the next append gets.
@@ -186,7 +201,48 @@ func (l *Log) Append(rec *Record) (int64, error) {
 	}
 	l.next++
 	l.size += int64(len(buf))
+	if l.flushHook != nil {
+		l.flushHook(buf, rec.LSN, rec.LSN)
+	}
 	return rec.LSN, nil
+}
+
+// AppendRaw appends already-framed WAL bytes verbatim and fsyncs them: a
+// replication follower writes the primary's shipped frames with it, so
+// the follower's log is byte-identical to the primary's by construction.
+// first/last declare the contiguous LSN range the frames cover; first
+// must be the next LSN this log expects. AppendRaw is incompatible with
+// an active group-commit buffer (followers append what was already
+// batched upstream).
+func (l *Log) AppendRaw(data []byte, first, last int64) error {
+	if l.broken != nil {
+		return l.broken
+	}
+	if len(l.bufLSNs) > 0 {
+		return fmt.Errorf("persist: AppendRaw with %d buffered records", len(l.bufLSNs))
+	}
+	if first != l.next {
+		return fmt.Errorf("persist: AppendRaw at LSN %d, expected %d", first, l.next)
+	}
+	if last < first {
+		return fmt.Errorf("persist: AppendRaw range [%d, %d] inverted", first, last)
+	}
+	if _, err := l.f.Write(data); err != nil {
+		l.broken = fmt.Errorf("persist: append: %w", err)
+		return l.broken
+	}
+	if l.sync {
+		if err := l.f.Sync(); err != nil {
+			l.broken = fmt.Errorf("persist: sync: %w", err)
+			return l.broken
+		}
+	}
+	l.next = last + 1
+	l.size += int64(len(data))
+	if l.flushHook != nil {
+		l.flushHook(data, first, last)
+	}
+	return nil
 }
 
 // Flush writes and (unless disabled) fsyncs all buffered group-commit
@@ -236,6 +292,10 @@ func (l *Log) Flush() error {
 		}
 	}
 	l.size += int64(len(l.buf))
+	first, last := l.bufLSNs[0], l.bufLSNs[len(l.bufLSNs)-1]
+	if l.flushHook != nil {
+		l.flushHook(l.buf, first, last)
+	}
 	l.buf = l.buf[:0]
 	l.bufLSNs = l.bufLSNs[:0]
 	l.bufOffs = l.bufOffs[:0]
@@ -347,6 +407,70 @@ func parseFrame(data []byte) (*Record, int64, error) {
 		return nil, 0, fmt.Errorf("payload: %w", err)
 	}
 	return &rec, headerLen + int64(n), nil
+}
+
+// ParseFrames strictly decodes a run of complete WAL frames: every byte
+// must belong to a valid frame (no torn-tail tolerance — a replication
+// batch is delivered whole or not at all) and the records' LSNs must be
+// contiguous. offs[i] is the byte offset of record i within data, so a
+// consumer can slice the verbatim bytes of any record suffix.
+func ParseFrames(data []byte) (recs []*Record, offs []int, err error) {
+	off := int64(0)
+	for off < int64(len(data)) {
+		rec, recLen, err := parseFrame(data[off:])
+		if err != nil {
+			return nil, nil, fmt.Errorf("persist: frame at offset %d: %w", off, err)
+		}
+		if n := len(recs); n > 0 && rec.LSN != recs[n-1].LSN+1 {
+			return nil, nil, fmt.Errorf("persist: wal LSN gap in batch: %d follows %d", rec.LSN, recs[n-1].LSN)
+		}
+		recs = append(recs, rec)
+		offs = append(offs, int(off))
+		off += recLen
+	}
+	return recs, offs, nil
+}
+
+// WALChunk is a shippable run of contiguous WAL frames: the verbatim
+// bytes plus the LSN range they cover.
+type WALChunk struct {
+	Data        []byte
+	First, Last int64
+}
+
+// SplitFrames cuts a run of contiguous frames into chunks of at most max
+// bytes, always at frame boundaries (one oversized frame is its own
+// chunk). The chunks' bytes alias data.
+func SplitFrames(data []byte, max int) ([]WALChunk, error) {
+	recs, offs, err := ParseFrames(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) == 0 {
+		return nil, nil
+	}
+	var out []WALChunk
+	start := 0
+	for i := range recs {
+		end := len(data)
+		if i+1 < len(offs) {
+			end = offs[i+1]
+		}
+		if end-offs[start] > max && i > start {
+			out = append(out, WALChunk{
+				Data:  data[offs[start]:offs[i]],
+				First: recs[start].LSN,
+				Last:  recs[i-1].LSN,
+			})
+			start = i
+		}
+	}
+	out = append(out, WALChunk{
+		Data:  data[offs[start]:],
+		First: recs[start].LSN,
+		Last:  recs[len(recs)-1].LSN,
+	})
+	return out, nil
 }
 
 // findValidFrame scans forward from offset from for any complete, valid

@@ -1,0 +1,184 @@
+package replica
+
+import (
+	"bufio"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"ptlactive/internal/server/wire"
+)
+
+// StreamConfig configures a follower's replication pull loop.
+type StreamConfig struct {
+	// Primary is the upstream address to replicate from.
+	Primary string
+	// Dial opens the transport (default: net.Dial "tcp"). Chaos tests
+	// inject torn and partitioned connections here.
+	Dial func(addr string) (net.Conn, error)
+	// Codecs is the frame-codec offer for the replication session
+	// (default wire.DefaultCodecs); tests pin one to cover both framings.
+	Codecs []string
+	// BackoffBase and BackoffMax bound the capped exponential reconnect
+	// backoff (defaults 50ms and 2s); jitter is applied on top.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Logf, when set, receives stream diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// Stream is a running replication pull loop: it dials the primary, sends
+// a replicate request resuming at the node's last LSN, applies every
+// pushed wal frame, and redials with capped exponential backoff plus
+// jitter on any failure — duplicate frames are skipped by LSN on apply,
+// so at-least-once delivery over reconnects stays exactly-once in effect.
+type Stream struct {
+	node *Node
+	cfg  StreamConfig
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// StartStream launches the pull loop for n against cfg.Primary.
+func StartStream(n *Node, cfg StreamConfig) *Stream {
+	if cfg.Dial == nil {
+		cfg.Dial = func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, 5*time.Second)
+		}
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 50 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 2 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	s := &Stream{node: n, cfg: cfg, stop: make(chan struct{}), done: make(chan struct{})}
+	go s.run()
+	return s
+}
+
+// Stop terminates the loop and waits for it; safe to call repeatedly.
+// The caller stops the stream before promoting its node.
+func (s *Stream) Stop() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.mu.Lock()
+	if s.conn != nil {
+		s.conn.Close()
+	}
+	s.mu.Unlock()
+	<-s.done
+}
+
+func (s *Stream) setConn(c net.Conn) {
+	s.mu.Lock()
+	s.conn = c
+	s.mu.Unlock()
+}
+
+func (s *Stream) run() {
+	defer close(s.done)
+	delay := s.cfg.BackoffBase
+	for {
+		select {
+		case <-s.stop:
+			return
+		default:
+		}
+		if s.node.promoted.Load() {
+			return
+		}
+		before := s.node.LastLSN()
+		err := s.once()
+		if s.node.LastLSN() > before {
+			// Progress resets the backoff: the primary was reachable and
+			// shipping; the failure is fresh, not a continuation.
+			delay = s.cfg.BackoffBase
+		}
+		if err != nil {
+			s.cfg.Logf("replica: stream from %s: %v (retrying in ~%v)", s.cfg.Primary, err, delay)
+		}
+		// Capped exponential backoff with jitter: sleep delay/2 plus a
+		// random half, so a fleet of followers does not redial in lockstep.
+		sleep := delay/2 + time.Duration(rand.Int63n(int64(delay/2)+1))
+		select {
+		case <-s.stop:
+			return
+		case <-time.After(sleep):
+		}
+		if delay *= 2; delay > s.cfg.BackoffMax {
+			delay = s.cfg.BackoffMax
+		}
+	}
+}
+
+// once runs one connection lifetime: handshake, replicate request, then
+// apply pushed frames until the stream dies. The wire client cannot carry
+// this (wal pushes have no request id), so the loop speaks raw frames.
+func (s *Stream) once() error {
+	conn, err := s.cfg.Dial(s.cfg.Primary)
+	if err != nil {
+		return err
+	}
+	s.setConn(conn)
+	defer func() {
+		s.setConn(nil)
+		conn.Close()
+	}()
+	// Hello is always JSON; the reply's Codec switches the session.
+	hello := wire.Hello()
+	hello.Codecs = s.cfg.Codecs
+	if hello.Codecs == nil {
+		hello.Codecs = wire.DefaultCodecs()
+	}
+	if err := wire.WriteFrame(conn, hello); err != nil {
+		return err
+	}
+	br := bufio.NewReaderSize(conn, 64<<10)
+	reply, err := wire.ReadFrame(br)
+	if err != nil {
+		return err
+	}
+	if err := wire.CheckHello(reply); err != nil {
+		return err
+	}
+	codec := wire.CodecJSON
+	if reply.Codec != "" {
+		if c, ok := wire.ParseCodec(reply.Codec); ok {
+			codec = c
+		}
+	}
+	req := &wire.Msg{T: wire.TypeReplicate, ID: 1, Lsn: s.node.LastLSN() + 1, Epoch: s.node.Epoch()}
+	if err := wire.WriteFrameC(conn, req, codec); err != nil {
+		return err
+	}
+	for {
+		m, err := wire.ReadFrameC(br, codec)
+		if err != nil {
+			return err
+		}
+		switch m.T {
+		case wire.TypeOK:
+			// The replicate ack; batches follow.
+		case wire.TypeWal:
+			if _, err := s.node.Apply(m.Wal, m.Epoch); err != nil {
+				return err
+			}
+		case wire.TypeError:
+			return fmt.Errorf("primary refused: %s: %s", m.Code, m.Err)
+		case wire.TypeBye:
+			return fmt.Errorf("primary is draining")
+		default:
+			return fmt.Errorf("unexpected %s frame on replication stream", m.T)
+		}
+	}
+}

@@ -236,10 +236,17 @@ func (b *EngineBackend) Firings(from int) ([]FiringEvent, error) {
 	return out, nil
 }
 
-func (b *EngineBackend) Rules() ([]wire.RuleJSON, error) {
+func (b *EngineBackend) Rules() ([]wire.RuleJSON, error) { return EngineRules(b.eng) }
+
+func (b *EngineBackend) Health() ([]wire.HealthJSON, string, error) { return EngineHealth(b.eng) }
+
+// EngineRules renders an engine's registered rules in wire form; shared
+// by EngineBackend and the replication follower node, which serves the
+// same queries from a replayed engine.
+func EngineRules(eng *adb.Engine) ([]wire.RuleJSON, error) {
 	var out []wire.RuleJSON
-	for _, name := range b.eng.RuleNames() {
-		info, ok := b.eng.Rule(name)
+	for _, name := range eng.RuleNames() {
+		info, ok := eng.Rule(name)
 		if !ok {
 			continue
 		}
@@ -255,10 +262,12 @@ func (b *EngineBackend) Rules() ([]wire.RuleJSON, error) {
 	return out, nil
 }
 
-func (b *EngineBackend) Health() ([]wire.HealthJSON, string, error) {
+// EngineHealth renders an engine's per-rule health and degraded cause in
+// wire form; see EngineRules.
+func EngineHealth(eng *adb.Engine) ([]wire.HealthJSON, string, error) {
 	var out []wire.HealthJSON
-	for _, name := range b.eng.RuleNames() {
-		h, ok := b.eng.RuleHealth(name)
+	for _, name := range eng.RuleNames() {
+		h, ok := eng.RuleHealth(name)
 		if !ok {
 			continue
 		}
@@ -275,10 +284,20 @@ func (b *EngineBackend) Health() ([]wire.HealthJSON, string, error) {
 		out = append(out, hj)
 	}
 	degraded := ""
-	if err := b.eng.Degraded(); err != nil {
+	if err := eng.Degraded(); err != nil {
 		degraded = err.Error()
 	}
 	return out, degraded, nil
+}
+
+// Do runs fn at the backend's serialization point — atomically with
+// respect to commits — and waits for it. The replication shipper uses it
+// to install the WAL flush hook and read the backlog without racing a
+// concurrent flush; fn must not call backend mutators (deadlock).
+func (b *EngineBackend) Do(fn func()) {
+	done := make(chan struct{})
+	b.ops <- func() { fn(); close(done) }
+	<-done
 }
 
 func (b *EngineBackend) Barrier() {

@@ -1,0 +1,84 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"ptlactive/client"
+	"ptlactive/internal/value"
+)
+
+// TestSubscribeResumeBySeqAfterReconnect pins the reconnect contract a
+// replication-aware client relies on: a subscriber that loses its
+// connection mid-stream reconnects, resumes from the last sequence number
+// it saw plus one, and receives the missed backlog followed by live
+// firings with contiguous sequence numbers — no duplicates, no gaps.
+func TestSubscribeResumeBySeqAfterReconnect(t *testing.T) {
+	_, addr := startServer(t, Config{})
+	c := dial(t, addr)
+	if err := c.AddTrigger("hot", `item("a") > 5`); err != nil {
+		t.Fatal(err)
+	}
+	fire := func(cl *client.Client, ts int64) {
+		t.Helper()
+		if _, err := cl.Exec(ts, map[string]value.Value{"a": value.NewInt(9)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for ts := int64(1); ts <= 3; ts++ {
+		fire(c, ts)
+	}
+
+	// First subscriber session: read part of the stream, then drop the
+	// connection abruptly (no bye) mid-subscription.
+	c1 := dial(t, addr)
+	sub1, err := c1.Subscribe(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastSeq := -1
+	for i := 0; i < 3; i++ {
+		select {
+		case ev := <-sub1.C:
+			if ev.Gap != 0 || ev.Seq != lastSeq+1 {
+				t.Fatalf("event %d = %+v, want seq %d", i, ev, lastSeq+1)
+			}
+			lastSeq = ev.Seq
+		case <-time.After(5 * time.Second):
+			t.Fatal("backlog stalled")
+		}
+	}
+	c1.Close()
+
+	// Firings keep happening while the subscriber is gone.
+	fire(c, 4)
+	fire(c, 5)
+
+	// Reconnect and resume from lastSeq+1: the missed firings arrive as
+	// backlog, then live ones follow, all contiguous.
+	c2 := dial(t, addr)
+	sub2, err := c2.Subscribe(lastSeq + 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, wantTS := range []int64{4, 5} {
+		select {
+		case ev := <-sub2.C:
+			if ev.Gap != 0 || ev.Seq != lastSeq+1 || ev.Firing.Time != wantTS {
+				t.Fatalf("resumed event = %+v, want seq %d at t=%d", ev, lastSeq+1, wantTS)
+			}
+			lastSeq = ev.Seq
+		case <-time.After(5 * time.Second):
+			t.Fatal("resume backlog stalled")
+		}
+	}
+	fire(c, 6)
+	select {
+	case ev := <-sub2.C:
+		if ev.Gap != 0 || ev.Seq != lastSeq+1 || ev.Firing.Time != 6 {
+			t.Fatalf("live event after resume = %+v, want seq %d", ev, lastSeq+1)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("live firing after resume never arrived")
+	}
+}

@@ -58,6 +58,38 @@ const (
 // ErrServerClosed is returned by Serve after Shutdown begins.
 var ErrServerClosed = errors.New("server: closed")
 
+// WALBatch is one durable batch of byte-exact WAL frames offered to a
+// replication follower: the frame bytes, the LSN range they span, and the
+// primary epoch in force when the batch became durable. Data is owned by
+// the receiver (the shipper copies out of the log's reused buffer).
+type WALBatch struct {
+	Data        []byte
+	First, Last int64
+	Epoch       int64
+}
+
+// WALSource is the replication feed a primary server exposes (see
+// internal/replica): FollowWAL registers sink for every durable WAL batch
+// from LSN `from` on — backlog first, then live flushes, gap-free. epoch
+// is the follower's current epoch; a follower ahead of this primary is
+// refused (it replicated from a newer primary). ack runs at the
+// serialization point after validation, strictly before the first sink
+// delivery, so a transport can order its acknowledgement ahead of the
+// stream. Sink runs on the commit pipeline and must hand off quickly.
+type WALSource interface {
+	FollowWAL(from, epoch int64, ack func(), sink func(WALBatch)) (cancel func(), err error)
+}
+
+// RoleInfo answers the "role" query: what this node is ("primary",
+// "follower", "standalone"), where the primary is (a hint, "" when
+// unknown), and the node's replication epoch and last WAL LSN.
+type RoleInfo struct {
+	Role   string
+	Leader string
+	Epoch  int64
+	LSN    int64
+}
+
 // Config configures a Server.
 type Config struct {
 	// Engine is the active database to serve; the server wraps it in an
@@ -80,6 +112,14 @@ type Config struct {
 	SubscriberQueue int
 	// Overflow selects the policy when a subscriber's queue is full.
 	Overflow OverflowPolicy
+	// WALSource, when set, enables the replication endpoint: replicate
+	// requests stream durable WAL batches to followers. Follower WAL
+	// queues are bounded by SubscriberQueue; an overflowing follower is
+	// disconnected (it redials and resumes by LSN).
+	WALSource WALSource
+	// RoleInfo, when set, answers the "role" query; nil reports a
+	// standalone node.
+	RoleInfo func() RoleInfo
 	// Logf, when set, receives server diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -262,6 +302,12 @@ func (s *Server) startSession(conn net.Conn) {
 
 func (s *Server) runSession(sess *session) {
 	defer func() {
+		// Detach a replication sink before teardown so the shipper stops
+		// delivering to a dead session (cancel synchronizes with the
+		// pipeline, so it must run without sess.mu held).
+		if cancel := sess.takeCancelWAL(); cancel != nil {
+			cancel()
+		}
 		sess.fail(wire.ErrSessionClosed)
 		sess.mu.Lock()
 		wasSubscribed := sess.subscribed
@@ -364,6 +410,11 @@ func (s *Server) readLoop(sess *session) {
 				continue
 			}
 			s.subscribe(sess, m)
+		case wire.TypeReplicate:
+			if s.refuse(sess, m.ID) {
+				continue
+			}
+			s.handleReplicate(sess, m)
 		default:
 			sess.enqueue(&wire.Msg{
 				T: wire.TypeError, ID: m.ID, Code: wire.CodeBadRequest,
@@ -399,6 +450,46 @@ func (s *Server) dispatchTxn(sess *session, m *wire.Msg) {
 	}
 }
 
+// handleReplicate turns the session into a replication stream: durable
+// WAL batches are pushed as wal frames from the requested LSN on. The
+// acknowledgement is enqueued from the source's serialization point,
+// strictly before the first batch, so the follower sees ok then batches
+// in order.
+func (s *Server) handleReplicate(sess *session, m *wire.Msg) {
+	if s.cfg.WALSource == nil {
+		sess.enqueue(&wire.Msg{
+			T: wire.TypeError, ID: m.ID, Code: wire.CodeBadRequest,
+			Err: "replication not enabled on this node",
+		})
+		return
+	}
+	sess.mu.Lock()
+	already := sess.replicating
+	sess.replicating = true
+	sess.mu.Unlock()
+	if already {
+		sess.enqueue(&wire.Msg{
+			T: wire.TypeError, ID: m.ID, Code: wire.CodeBadRequest,
+			Err: "session is already replicating",
+		})
+		return
+	}
+	id := m.ID
+	cancel, err := s.cfg.WALSource.FollowWAL(m.Lsn, m.Epoch,
+		func() { sess.enqueue(&wire.Msg{T: wire.TypeOK, ID: id}) },
+		func(b WALBatch) {
+			sess.pushWAL(&wire.Msg{T: wire.TypeWal, Lsn: b.First, Epoch: b.Epoch, Wal: b.Data})
+		})
+	if err != nil {
+		sess.mu.Lock()
+		sess.replicating = false
+		sess.mu.Unlock()
+		sess.enqueue(reply(id, 0, err))
+		return
+	}
+	sess.setCancelWAL(cancel)
+}
+
 // reply builds the response frame for a mutation outcome; engine errors
 // are mapped onto the wire error taxonomy, constraint violations carrying
 // their constraint name and transaction id.
@@ -411,6 +502,12 @@ func reply(id uint64, ts int64, err error) *wire.Msg {
 	if errors.As(err, &ce) {
 		out.Name = ce.Constraint
 		out.Txn = ce.Txn
+	}
+	var npe *wire.NotPrimaryError
+	if errors.As(err, &npe) {
+		// The redirect hint rides the error frame so a client can redial
+		// the primary without a separate role query.
+		out.Leader = npe.Leader
 	}
 	return out
 }
@@ -517,6 +614,13 @@ func (s *Server) handleQuery(sess *session, m *wire.Msg) {
 		}
 		out.Health = health
 		out.Degraded = degraded
+	case "role":
+		if s.cfg.RoleInfo != nil {
+			ri := s.cfg.RoleInfo()
+			out.Role, out.Leader, out.Epoch, out.Lsn = ri.Role, ri.Leader, ri.Epoch, ri.LSN
+		} else {
+			out.Role = "standalone"
+		}
 	default:
 		sess.enqueue(&wire.Msg{
 			T: wire.TypeError, ID: m.ID, Code: wire.CodeBadRequest,

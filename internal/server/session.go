@@ -52,6 +52,14 @@ type session struct {
 	// the marker sits exactly where the missing firings would have been.
 	gap        int
 	subscribed bool
+	// Replication stream state: replicating marks the session as a WAL
+	// follower feed, nwal counts queued wal frames (bounded like firings:
+	// a follower that cannot keep up is disconnected and resumes by LSN
+	// after redialing), cancelWAL detaches the session's sink from the
+	// shipper at teardown.
+	replicating bool
+	nwal        int
+	cancelWAL   func()
 	// draining: the writer closes the connection once the queue empties
 	// (graceful drain). closed: no further enqueues; the writer exits as
 	// soon as it observes it.
@@ -113,6 +121,46 @@ func (s *session) pushFiringLocked(fj *wire.FiringJSON) {
 	s.queue = append(s.queue, &wire.Msg{T: wire.TypeFiring, Firing: fj})
 	s.nfirings++
 	s.cond.Broadcast()
+}
+
+// pushWAL offers one replication batch to the follower feed. WAL frames
+// are bounded like firings, but the only sane overflow policy is
+// disconnect: dropping a batch would leave an LSN gap the follower can
+// never apply across, while a redial resumes exactly at its last LSN.
+func (s *session) pushWAL(m *wire.Msg) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	if s.nwal >= s.srv.cfg.SubscriberQueue {
+		s.failure = wire.ErrSubscriberLagged
+		s.closed = true
+		s.conn.Close()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		return
+	}
+	s.queue = append(s.queue, m)
+	s.nwal++
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// setCancelWAL records the shipper detach hook; takeCancelWAL claims it
+// (once) for the session teardown path.
+func (s *session) setCancelWAL(cancel func()) {
+	s.mu.Lock()
+	s.cancelWAL = cancel
+	s.mu.Unlock()
+}
+
+func (s *session) takeCancelWAL() func() {
+	s.mu.Lock()
+	cancel := s.cancelWAL
+	s.cancelWAL = nil
+	s.mu.Unlock()
+	return cancel
 }
 
 // dropGap records n firings as lost (used when a firing fails to encode —
@@ -194,6 +242,9 @@ func (s *session) writeLoop() {
 		}
 		m := s.queue[0]
 		s.queue = s.queue[1:]
+		if m.T == wire.TypeWal {
+			s.nwal--
+		}
 		if m.T == wire.TypeFiring {
 			s.nfirings--
 			if s.batch && len(s.queue) > 0 && s.queue[0].T == wire.TypeFiring {

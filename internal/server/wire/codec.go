@@ -183,6 +183,8 @@ var typeCodes = map[string]byte{
 	TypeFiring:    11,
 	TypeGap:       12,
 	TypeBye:       13,
+	TypeReplicate: 14,
+	TypeWal:       15,
 }
 
 var typeNames = func() map[byte]string {
@@ -221,6 +223,11 @@ const (
 	binDegraded
 	binFiring
 	binMissed
+	binLsn
+	binEpoch
+	binWal
+	binRole
+	binLeader
 )
 
 func appendString(b []byte, s string) []byte {
@@ -410,6 +417,27 @@ func appendBinaryMsg(b []byte, m *Msg) []byte {
 		b = append(b, binMissed)
 		b = binary.AppendVarint(b, int64(m.Missed))
 	}
+	if m.Lsn != 0 {
+		b = append(b, binLsn)
+		b = binary.AppendVarint(b, m.Lsn)
+	}
+	if m.Epoch != 0 {
+		b = append(b, binEpoch)
+		b = binary.AppendVarint(b, m.Epoch)
+	}
+	if len(m.Wal) > 0 {
+		b = append(b, binWal)
+		b = binary.AppendUvarint(b, uint64(len(m.Wal)))
+		b = append(b, m.Wal...)
+	}
+	if m.Role != "" {
+		b = append(b, binRole)
+		b = appendString(b, m.Role)
+	}
+	if m.Leader != "" {
+		b = append(b, binLeader)
+		b = appendString(b, m.Leader)
+	}
 	return b
 }
 
@@ -525,6 +553,27 @@ func (r *binReader) raw() json.RawMessage {
 		r.fail("raw value is not JSON: %.32q", []byte(out))
 		return nil
 	}
+	return out
+}
+
+// bytes reads a length-prefixed opaque byte string (no UTF-8 or JSON
+// validation — WAL frames are arbitrary bytes; the JSON codec carries
+// them as base64).
+func (r *binReader) bytes() []byte {
+	n := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(r.rem()) {
+		r.fail("byte string of %d bytes exceeds remaining %d", n, r.rem())
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.b[r.off:r.off+int(n)])
+	r.off += int(n)
 	return out
 }
 
@@ -669,6 +718,16 @@ func decodeBinaryMsg(payload []byte) (*Msg, error) {
 			m.Firing = &f
 		case binMissed:
 			m.Missed = int(r.varint())
+		case binLsn:
+			m.Lsn = r.varint()
+		case binEpoch:
+			m.Epoch = r.varint()
+		case binWal:
+			m.Wal = r.bytes()
+		case binRole:
+			m.Role = r.str()
+		case binLeader:
+			m.Leader = r.str()
 		default:
 			r.fail("unknown field tag %d", tag)
 		}

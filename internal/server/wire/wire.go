@@ -68,6 +68,12 @@ const (
 	TypeFiring    = "firing"
 	TypeGap       = "gap"
 	TypeBye       = "bye"
+	// TypeReplicate is a follower's stream request: "push me WAL batches
+	// from Lsn, I am at Epoch". TypeWal is one pushed batch of byte-exact
+	// primary WAL frames (Wal), stamped with its first LSN and the
+	// primary's epoch.
+	TypeReplicate = "replicate"
+	TypeWal       = "wal"
 )
 
 // Error codes carried by error frames; CodeFor and RemoteError.Unwrap are
@@ -85,6 +91,7 @@ const (
 	CodeBadRequest  = "bad_request"
 	CodeBusy        = "busy"
 	CodeCrossShard  = "cross_shard"
+	CodeNotPrimary  = "not_primary"
 	CodeError       = "error"
 )
 
@@ -108,7 +115,29 @@ var (
 	// cannot pin (unanalyzable reads, items spanning shards). Split the
 	// operation along shard boundaries or re-key the data.
 	ErrCrossShard = errors.New("cluster: operation spans multiple shards")
+	// ErrNotPrimary reports a write sent to a replication follower, which
+	// serves reads and firing subscriptions but refuses mutations. The
+	// concrete error is usually a *NotPrimaryError carrying a primary hint.
+	ErrNotPrimary = errors.New("server: node is not the primary")
 )
+
+// NotPrimaryError is the typed form of ErrNotPrimary: a follower refusing
+// a write, with a redirect hint to the primary it replicates from (""
+// when unknown, e.g. mid-promotion). errors.Is(err, ErrNotPrimary) holds.
+type NotPrimaryError struct {
+	Leader string
+}
+
+// Error describes the refusal.
+func (e *NotPrimaryError) Error() string {
+	if e.Leader == "" {
+		return "server: node is not the primary"
+	}
+	return fmt.Sprintf("server: node is not the primary (try %s)", e.Leader)
+}
+
+// Unwrap yields the sentinel so errors.Is works.
+func (e *NotPrimaryError) Unwrap() error { return ErrNotPrimary }
 
 // CodeFor maps an error to its wire code, via errors.Is over the engine
 // and network sentinels; unrecognized errors map to the generic "error".
@@ -134,6 +163,8 @@ func CodeFor(err error) string {
 		return CodeClosed
 	case errors.Is(err, ErrCrossShard):
 		return CodeCrossShard
+	case errors.Is(err, ErrNotPrimary):
+		return CodeNotPrimary
 	default:
 		return CodeError
 	}
@@ -177,6 +208,8 @@ func (e *RemoteError) Unwrap() error {
 		return ErrSessionClosed
 	case CodeCrossShard:
 		return ErrCrossShard
+	case CodeNotPrimary:
+		return ErrNotPrimary
 	default:
 		return nil
 	}
@@ -307,6 +340,20 @@ type Msg struct {
 	// queued firings into one frame per write). Gap pushes carry Missed.
 	Firing *FiringJSON `json:"firing,omitempty"`
 	Missed int         `json:"missed"`
+
+	// Replication (replicate requests, wal pushes) and the "role" query
+	// response. Lsn is the follower's resume position on a replicate
+	// request and the first frame's LSN on a wal push — WAL LSNs start at
+	// 1, so zero is never legal and omitempty is safe. Epoch is the
+	// primary epoch (0 = never promoted; absent and zero coincide by
+	// construction). Wal carries byte-exact primary WAL frames (base64 on
+	// the JSON wire). Role/Leader answer the "role" query and decorate
+	// not_primary refusals with a redirect hint.
+	Lsn    int64  `json:"lsn,omitempty"`
+	Epoch  int64  `json:"epoch,omitempty"`
+	Wal    []byte `json:"wal,omitempty"`
+	Role   string `json:"role,omitempty"`
+	Leader string `json:"leader,omitempty"`
 }
 
 // WriteFrame encodes m and writes one length-prefixed frame.

@@ -428,9 +428,16 @@ var (
 	// ErrVersionMismatch reports a connection whose protocol name or
 	// version the peer does not speak.
 	ErrVersionMismatch = wire.ErrVersionMismatch
+	// ErrNotPrimary reports a write sent to a replica that is not the
+	// primary; errors.As for *NotPrimaryError to get the redirect hint.
+	ErrNotPrimary = wire.ErrNotPrimary
 )
 
 // RemoteError is the client-side form of a server error frame; its Unwrap
 // maps the wire code back onto the matching sentinel, so errors.Is works
 // across the network.
 type RemoteError = wire.RemoteError
+
+// NotPrimaryError is the refusal a follower replica answers writes with;
+// Leader, when non-empty, is the address the client should redial.
+type NotPrimaryError = wire.NotPrimaryError
