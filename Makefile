@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench race vet fmtcheck vulncheck stress verify tables profile benchcheck bench-baselines serve-smoke cluster-smoke replica-smoke
+.PHONY: build test bench race vet fmtcheck vulncheck stress verify tables profile benchcheck bench-baselines bench-engine serve-smoke cluster-smoke replica-smoke
 
 build:
 	$(GO) build ./...
@@ -35,8 +35,10 @@ vulncheck:
 # panic and timeout sandboxing, plus the replication chaos tests (torn
 # streams, lease promotion). -count=3 reruns catch flaky interleavings in
 # the timeout handshake, the parallel drain and the promotion handoff.
+# The pmap property suite rides along: every engine state lives in a
+# persistent map, so its model checks belong in the repeated race pass.
 stress:
-	$(GO) test -race -count=3 -run 'Fault|Degrad|Quarantine|Sandbox|Panic|Failpoint|Timeout|Budget|Chaos|Failover|Lease|Promot|Replica' ./internal/adb ./internal/persist ./internal/replica
+	$(GO) test -race -count=3 -run 'Fault|Degrad|Quarantine|Sandbox|Panic|Failpoint|Timeout|Budget|Chaos|Failover|Lease|Promot|Replica|PMap' ./internal/adb ./internal/persist ./internal/replica ./internal/pmap
 
 # verify is the full pre-merge tier: static checks plus the whole suite
 # under the race detector (the concurrent engine and the durability
@@ -84,7 +86,7 @@ profile:
 # benchcheck re-runs the experiments behind the committed benchmark
 # baselines and reports any time column more than 20% over baseline.
 benchcheck:
-	$(GO) run ./cmd/benchcheck BENCH_sched.json BENCH_persist.json BENCH_server.json BENCH_cluster.json
+	$(GO) run ./cmd/benchcheck BENCH_sched.json BENCH_persist.json BENCH_server.json BENCH_cluster.json BENCH_engine.json
 
 # bench-baselines regenerates the committed baselines on this machine.
 bench-baselines:
@@ -92,3 +94,9 @@ bench-baselines:
 	$(GO) run ./cmd/benchtables -only E10 -json BENCH_persist.json >/dev/null
 	$(GO) run ./cmd/benchtables -only E13 -json BENCH_server.json >/dev/null
 	$(GO) run ./cmd/benchtables -only E14 -json BENCH_cluster.json >/dev/null
+	$(GO) run ./cmd/benchtables -only E16 -json BENCH_engine.json >/dev/null
+
+# bench-engine regenerates just the commit-scaling baseline (E16, ~1min:
+# the 1M-item rows dominate).
+bench-engine:
+	$(GO) run ./cmd/benchtables -only E16 -json BENCH_engine.json

@@ -1,0 +1,48 @@
+package adb
+
+import (
+	"testing"
+
+	"ptlactive/internal/value"
+)
+
+// TestCommitAllocs is the allocation-regression gate for the commit hot
+// path. BenchmarkCommit sat at 44 allocs/op when the gate landed
+// (pooled key scratch, owned event sets, structurally-shared DBState);
+// the ceiling keeps those wins from rotting silently — an accidental
+// return to whole-map copying in history.DBState, or a new per-commit
+// map, fails this test rather than only shifting a benchmark number.
+// The workload mirrors BenchmarkCommit exactly: a two-item transaction
+// against a small rule table of eight triggers and one constraint.
+func TestCommitAllocs(t *testing.T) {
+	e := NewEngine(Config{Initial: map[string]value.Value{
+		"a": value.NewInt(0), "b": value.NewInt(0), "c": value.NewInt(0),
+	}})
+	items := []string{"a", "b", "c"}
+	for i := 0; i < 8; i++ {
+		name := "watch" + string(rune('0'+i))
+		if err := e.AddTrigger(name, `item("`+items[i%3]+`") > 1000000`, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.AddConstraint("cap", `item("a") < 1000000`); err != nil {
+		t.Fatal(err)
+	}
+	ts := int64(0)
+	var failed error
+	got := testing.AllocsPerRun(500, func() {
+		ts++
+		if err := e.Exec(ts, map[string]value.Value{
+			"a": value.NewInt(ts % 1000),
+			"b": value.NewInt(ts % 777),
+		}); err != nil {
+			failed = err
+		}
+	})
+	if failed != nil {
+		t.Fatal(failed)
+	}
+	if got > 44 {
+		t.Fatalf("commit path: %.1f allocs/op, ceiling 44", got)
+	}
+}

@@ -446,10 +446,25 @@ func engineFromSnapshot(cfg Config, snap *persist.EngineSnapshot) (*Engine, erro
 		return nil, fmt.Errorf("adb: snapshot clock %d does not match last state %d", snap.Now, last.TS)
 	}
 	e.hist = h
-	// The snapshot does not carry per-state dirty sets; mark the restored
-	// window unknown so no read-set refinement applies to it. Results are
-	// unaffected, and states appended after recovery track dirtiness again.
+	// The snapshot does not carry per-state dirty sets, but they are
+	// reconstructible: diff each restored state against its predecessor.
+	// (States decoded from one snapshot share no structure, so each pair
+	// costs a sorted merge — paid once, at recovery.) Item-level read-set
+	// refinement and the dbUnchanged evaluator hint then apply to the
+	// restored window exactly as before the restart; the diff is by value,
+	// which is sound for both refinements — they only require that the
+	// items a rule reads carry the same values, not that no write touched
+	// them. The window's first state keeps an unknown dirty set: its
+	// predecessor is outside the snapshot.
 	e.dirty = make([]dirtySet, h.Len())
+	for i := 1; i < h.Len(); i++ {
+		d := dirtySet{known: true}
+		h.At(i).DB.Diff(h.At(i-1).DB, func(name string) bool {
+			d.items = append(d.items, name)
+			return true
+		})
+		e.dirty[i] = d
+	}
 	e.db = last.DB
 	e.now = snap.Now
 	e.base = snap.Base

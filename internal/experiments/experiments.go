@@ -100,6 +100,7 @@ var Catalog = []struct {
 	{"E12", E12ReadSetIndex},
 	{"E13", E13Server},
 	{"E14", E14Cluster},
+	{"E16", E16CommitScaling},
 	{"A1", A1DecomposableFastPath},
 	{"A2", A2FutureProgression},
 }

@@ -14,8 +14,8 @@ func TestAllExperimentsRun(t *testing.T) {
 		t.Skip("experiments are slow")
 	}
 	tables := All(true)
-	if len(tables) != 16 {
-		t.Fatalf("expected 16 tables (E1-E10, E7b, E12, E13, E14, A1, A2), got %d", len(tables))
+	if len(tables) != 17 {
+		t.Fatalf("expected 17 tables (E1-E10, E7b, E12, E13, E14, E16, A1, A2), got %d", len(tables))
 	}
 	byID := map[string]Table{}
 	for _, tab := range tables {
@@ -132,6 +132,17 @@ func TestAllExperimentsRun(t *testing.T) {
 	if wide >= oneShard {
 		t.Errorf("E14: %s-shard run (%vms) not faster than 1 shard (%vms)",
 			e14.Rows[len(e14.Rows)-1][0], wide, oneShard)
+	}
+
+	// E16: commit cost must not scale linearly with database size. The
+	// committed baseline holds the 100k rows within 2x of 1k; here the
+	// bound is 10x — far above quick-mode timer noise, two orders below
+	// the ~100x a return to whole-map copying would produce.
+	e16 := byID["E16"]
+	for _, row := range e16.Rows {
+		if ratio := atof(t, row[3]); ratio > 10 {
+			t.Errorf("E16 %s: %.1fx the 1k row — commit cost scaling with db size", row[0], ratio)
+		}
 	}
 }
 

@@ -122,13 +122,18 @@ type StateJSON struct {
 // EncodeState renders one system state in wire form.
 func EncodeState(st history.SystemState) (StateJSON, error) {
 	line := StateJSON{Time: st.TS, DB: map[string]json.RawMessage{}}
-	for _, name := range st.DB.Items() {
-		v, _ := st.DB.Get(name)
+	var encErr error
+	st.DB.Range(func(name string, v value.Value) bool {
 		raw, err := EncodeValue(v)
 		if err != nil {
-			return StateJSON{}, fmt.Errorf("histio: item %s: %w", name, err)
+			encErr = fmt.Errorf("histio: item %s: %w", name, err)
+			return false
 		}
 		line.DB[name] = raw
+		return true
+	})
+	if encErr != nil {
+		return StateJSON{}, encErr
 	}
 	evs, err := EncodeEvents(st.Events.Events())
 	if err != nil {

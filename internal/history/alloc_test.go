@@ -1,0 +1,44 @@
+package history
+
+import (
+	"fmt"
+	"testing"
+
+	"ptlactive/internal/value"
+)
+
+// TestDBStateAllocs gates the wrapper layer over internal/pmap: the
+// small-update operations the commit path performs must stay at path
+// copies (pmap has its own gate on the map internals; this one catches
+// a defensive copy or re-sort sneaking into DBState itself).
+func TestDBStateAllocs(t *testing.T) {
+	big := EmptyDB()
+	for i := 0; i < 100000; i++ {
+		big = big.With(fmt.Sprintf("item%06d", i), value.NewInt(int64(i)))
+	}
+	next := big.With("item050000", value.NewInt(-1))
+
+	cases := []struct {
+		name  string
+		limit float64
+		fn    func()
+	}{
+		{"with100k", 96, func() { big.With("item050000", value.NewInt(-1)) }},
+		{"without100k", 96, func() { big.Without("item050000") }},
+		{"get", 0, func() { big.Get("item099999") }},
+		// Comparing a state against its one-update successor walks only
+		// the unshared path; comparing a state to itself is pointer work.
+		{"equalAdjacent", 0, func() { big.Equal(next) }},
+		{"rangeEarlyStop", 0, func() {
+			n := 0
+			big.Range(func(string, value.Value) bool { n++; return n < 10 })
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := testing.AllocsPerRun(100, c.fn); got > c.limit {
+				t.Fatalf("%s: %.1f allocs/op, limit %.0f", c.name, got, c.limit)
+			}
+		})
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"ptlactive/internal/event"
+	"ptlactive/internal/pmap"
 	"ptlactive/internal/value"
 )
 
@@ -20,104 +21,97 @@ import (
 const TimeItem = "time"
 
 // DBState is an immutable mapping from database item names to values.
-// Mutating operations return a new state; unchanged states are shared
-// between consecutive system states, matching the model where the database
-// only changes at commit points.
+// Mutating operations return a new state that shares all untouched
+// structure with its parent (internal/pmap): a commit touching u of n
+// items costs O(u × log n), not a full-map copy, and consecutive system
+// states share everything the commit left alone — the structural form
+// of the model's "the database only changes at commit points".
 type DBState struct {
-	items map[string]value.Value
+	m pmap.Map[value.Value]
 }
+
+// valueEq adapts value.Value.Equal for the pmap callbacks.
+func valueEq(a, b value.Value) bool { return a.Equal(b) }
 
 // EmptyDB returns the empty database state.
 func EmptyDB() DBState { return DBState{} }
 
-// NewDB builds a state from an item map (copied).
+// NewDB builds a state from an item map.
 func NewDB(items map[string]value.Value) DBState {
-	m := make(map[string]value.Value, len(items))
-	for k, v := range items {
-		m[k] = v
-	}
-	return DBState{items: m}
+	return DBState{m: pmap.Map[value.Value]{}.WithAll(items)}
 }
 
 // Get returns the value of an item; ok is false if the item is absent.
 func (d DBState) Get(name string) (value.Value, bool) {
-	v, ok := d.items[name]
-	return v, ok
+	return d.m.Get(name)
 }
 
 // With returns a new state with one item set.
 func (d DBState) With(name string, v value.Value) DBState {
-	m := make(map[string]value.Value, len(d.items)+1)
-	for k, w := range d.items {
-		m[k] = w
-	}
-	m[name] = v
-	return DBState{items: m}
+	return DBState{m: d.m.With(name, v)}
 }
 
 // WithAll returns a new state with all the given updates applied.
 func (d DBState) WithAll(updates map[string]value.Value) DBState {
-	if len(updates) == 0 {
-		return d
-	}
-	m := make(map[string]value.Value, len(d.items)+len(updates))
-	for k, w := range d.items {
-		m[k] = w
-	}
-	for k, w := range updates {
-		m[k] = w
-	}
-	return DBState{items: m}
+	return DBState{m: d.m.WithAll(updates)}
 }
 
 // Without returns a new state with an item removed.
 func (d DBState) Without(name string) DBState {
-	m := make(map[string]value.Value, len(d.items))
-	for k, w := range d.items {
-		if k != name {
-			m[k] = w
-		}
-	}
-	return DBState{items: m}
+	return DBState{m: d.m.Without(name)}
 }
 
-// Items returns the sorted item names.
+// Range calls fn for every item in ascending name order until fn
+// returns false. The underlying map is ordered, so this is the
+// deterministic iterator — use it on hot paths (persist encode, state
+// dumps) instead of Items, which allocates the name slice.
+func (d DBState) Range(fn func(name string, v value.Value) bool) {
+	d.m.Range(fn)
+}
+
+// Items returns the sorted item names. It allocates; prefer Range where
+// the names are only iterated.
 func (d DBState) Items() []string {
-	names := make([]string, 0, len(d.items))
-	for k := range d.items {
-		names = append(names, k)
-	}
-	sort.Strings(names)
+	names := make([]string, 0, d.m.Len())
+	d.m.Range(func(name string, _ value.Value) bool {
+		names = append(names, name)
+		return true
+	})
 	return names
 }
 
 // Len returns the number of items.
-func (d DBState) Len() int { return len(d.items) }
+func (d DBState) Len() int { return d.m.Len() }
 
 // Equal reports whether two states map identical items to equal values.
+// States that share structure are compared by walking only the unshared
+// part: a state against its own successor costs O(updates × log n), and
+// event states (which reuse the database wholesale) compare in O(1).
 func (d DBState) Equal(o DBState) bool {
-	if len(d.items) != len(o.items) {
-		return false
-	}
-	for k, v := range d.items {
-		w, ok := o.items[k]
-		if !ok || !v.Equal(w) {
-			return false
-		}
-	}
-	return true
+	return d.m.Equal(o.m, valueEq)
+}
+
+// Diff calls fn, in ascending name order, for every item present in
+// exactly one of the two states or mapped to unequal values, walking
+// only structure the states do not share. It reconstructs "what did
+// this commit change" from two adjacent states in O(changes × log n).
+func (d DBState) Diff(o DBState, fn func(name string) bool) {
+	d.m.Diff(o.m, valueEq, fn)
 }
 
 // String renders the state deterministically.
 func (d DBState) String() string {
 	var sb strings.Builder
 	sb.WriteByte('[')
-	for i, k := range d.Items() {
-		if i > 0 {
+	first := true
+	d.m.Range(func(name string, v value.Value) bool {
+		if !first {
 			sb.WriteString(", ")
 		}
-		fmt.Fprintf(&sb, "%s=%s", k, d.items[k])
-	}
+		first = false
+		fmt.Fprintf(&sb, "%s=%s", name, v)
+		return true
+	})
 	sb.WriteByte(']')
 	return sb.String()
 }

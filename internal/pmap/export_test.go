@@ -1,0 +1,51 @@
+package pmap
+
+// SetPrioForTesting replaces the treap priority hash and returns a
+// restore function. Tests use it to force priority collisions (every
+// key tied, exercising the key tie-break until the tree degenerates)
+// and adversarial shapes. Maps built under different priority functions
+// must not be mixed, so tests restore before leaving.
+func SetPrioForTesting(f func(string) uint64) (restore func()) {
+	old := keyPrio
+	keyPrio = f
+	return func() { keyPrio = old }
+}
+
+// Fingerprint returns a preorder walk of the internal structure — keys
+// plus a shape marker per node — so tests can assert that the
+// representation is canonical: the same contents produce byte-identical
+// fingerprints regardless of the operation order that built the map.
+func (m Map[V]) Fingerprint() string {
+	if m.root == nil {
+		out := "vec:"
+		for i := range m.vec {
+			out += m.vec[i].k + ","
+		}
+		return out
+	}
+	return "treap:" + fingerprint(m.root)
+}
+
+func fingerprint[V any](n *node[V]) string {
+	if n == nil {
+		return "."
+	}
+	return "(" + n.k + " " + fingerprint(n.l) + " " + fingerprint(n.r) + ")"
+}
+
+// depth returns the height of the treap (0 for slice form), for the
+// balance sanity test.
+func (m Map[V]) Depth() int {
+	var d func(*node[V]) int
+	d = func(n *node[V]) int {
+		if n == nil {
+			return 0
+		}
+		dl, dr := d(n.l), d(n.r)
+		if dr > dl {
+			dl = dr
+		}
+		return dl + 1
+	}
+	return d(m.root)
+}

@@ -309,10 +309,10 @@ func (n *Node) Items() (map[string]value.Value, error) {
 		return items, nil
 	}
 	db := eng.DB()
-	for _, name := range db.Items() {
-		v, _ := db.Get(name)
+	db.Range(func(name string, v value.Value) bool {
 		items[name] = v
-	}
+		return true
+	})
 	return items, nil
 }
 

@@ -213,11 +213,11 @@ func (b *EngineBackend) Now() int64 { return b.eng.Now() }
 
 func (b *EngineBackend) Items() (map[string]value.Value, error) {
 	db := b.eng.DB()
-	items := map[string]value.Value{}
-	for _, name := range db.Items() {
-		v, _ := db.Get(name)
+	items := make(map[string]value.Value, db.Len())
+	db.Range(func(name string, v value.Value) bool {
 		items[name] = v
-	}
+		return true
+	})
 	return items, nil
 }
 

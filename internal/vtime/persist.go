@@ -7,6 +7,7 @@ import (
 
 	"ptlactive/internal/histio"
 	"ptlactive/internal/history"
+	"ptlactive/internal/value"
 )
 
 // This file serializes a valid-time store for the durability subsystem:
@@ -77,13 +78,18 @@ func decodeUpdates(ups []UpdateSnapshot) ([]Update, error) {
 // Snapshot serializes the store's full structural state.
 func (s *Store) Snapshot() (*StoreSnapshot, error) {
 	items := map[string]json.RawMessage{}
-	for _, name := range s.base.Items() {
-		v, _ := s.base.Get(name)
+	var encErr error
+	s.base.Range(func(name string, v value.Value) bool {
 		raw, err := histio.EncodeValue(v)
 		if err != nil {
-			return nil, fmt.Errorf("vtime: base item %s: %w", name, err)
+			encErr = fmt.Errorf("vtime: base item %s: %w", name, err)
+			return false
 		}
 		items[name] = raw
+		return true
+	})
+	if encErr != nil {
+		return nil, encErr
 	}
 	snap := &StoreSnapshot{Base: items, Now: s.now, Delta: s.delta}
 	for _, st := range s.states {

@@ -58,6 +58,14 @@ type vstate struct {
 
 // Store is the valid-time history: update effects are placed at their
 // valid times, commit/abort events at their transaction times.
+//
+// The store keeps updates as per-instant deltas over the base DBState
+// rather than materialized states, so a retroactive correction never
+// copies the database; the materializing views (CommittedAt, Collapsed)
+// build each state from its predecessor via DBState.WithAll, which is
+// the structurally-shared persistent map of internal/pmap — a history
+// over an n-item database with u total updates materializes in
+// O(n + u × log n), not O(states × n).
 type Store struct {
 	base   history.DBState
 	states []vstate // ordered by ts, strictly increasing
@@ -274,9 +282,12 @@ func (s *Store) CommittedAt(t int64) *history.History {
 			break
 		}
 		var evs []event.Event
-		changed := map[string]value.Value{}
+		var changed map[string]value.Value
 		for _, u := range st.updates {
 			if s.committedIn(u, t) {
+				if changed == nil {
+					changed = map[string]value.Value{}
+				}
 				changed[u.Item] = u.V
 			}
 		}
