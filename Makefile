@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench race vet fmtcheck vulncheck stress verify tables profile benchcheck bench-baselines bench-engine serve-smoke cluster-smoke replica-smoke
+.PHONY: build test bench race vet fmtcheck vulncheck stress verify tables profile benchcheck bench-baselines bench-engine serve-smoke cluster-smoke replica-smoke retain-smoke
 
 build:
 	$(GO) build ./...
@@ -47,7 +47,7 @@ stress:
 # default (the baselines are wall-clock numbers from the machine of
 # record); set BENCHCHECK_STRICT=1 to make a regression in the server
 # wire-path table (E13) fail the tier.
-verify: vet fmtcheck vulncheck race stress serve-smoke cluster-smoke replica-smoke
+verify: vet fmtcheck vulncheck race stress serve-smoke cluster-smoke replica-smoke retain-smoke
 ifeq ($(BENCHCHECK_STRICT),1)
 	$(MAKE) benchcheck
 else
@@ -66,6 +66,14 @@ serve-smoke:
 # the follower promotes itself and serves reads and writes.
 replica-smoke:
 	sh scripts/replica_smoke.sh
+
+# retain-smoke boots adbserverd with an aggressive retention policy,
+# drives enough commits through adbsh to rotate segments and GC the log
+# head, asserts the storage query reports a bounded hot set and spilled
+# history, then restarts the server and checks recovery still answers
+# in-window and cold reads.
+retain-smoke:
+	sh scripts/retain_smoke.sh
 
 # cluster-smoke boots adbrouterd over two durable in-process shards,
 # drives a scripted session with a cross-shard relay rule through
@@ -86,7 +94,7 @@ profile:
 # benchcheck re-runs the experiments behind the committed benchmark
 # baselines and reports any time column more than 20% over baseline.
 benchcheck:
-	$(GO) run ./cmd/benchcheck BENCH_sched.json BENCH_persist.json BENCH_server.json BENCH_cluster.json BENCH_engine.json
+	$(GO) run ./cmd/benchcheck BENCH_sched.json BENCH_persist.json BENCH_server.json BENCH_cluster.json BENCH_engine.json BENCH_retain.json
 
 # bench-baselines regenerates the committed baselines on this machine.
 bench-baselines:
@@ -95,6 +103,7 @@ bench-baselines:
 	$(GO) run ./cmd/benchtables -only E13 -json BENCH_server.json >/dev/null
 	$(GO) run ./cmd/benchtables -only E14 -json BENCH_cluster.json >/dev/null
 	$(GO) run ./cmd/benchtables -only E16 -json BENCH_engine.json >/dev/null
+	$(GO) run ./cmd/benchtables -only E17 -json BENCH_retain.json >/dev/null
 
 # bench-engine regenerates just the commit-scaling baseline (E16, ~1min:
 # the 1M-item rows dominate).

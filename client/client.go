@@ -762,6 +762,56 @@ func (c *Client) Role() (RoleStatus, error) {
 	return RoleStatus{Role: resp.Role, Leader: resp.Leader, Epoch: resp.Epoch, LSN: resp.Lsn}, nil
 }
 
+// StorageStatus is the server's storage footprint report: the WAL and
+// snapshot accounting plus the history-retention tiers.
+type StorageStatus struct {
+	// Segments is the number of live WAL segment files; WALBytes their
+	// total size.
+	Segments int
+	WALBytes int64
+	// Snapshots is the snapshot chain length; SnapshotBytes its total size.
+	Snapshots     int
+	SnapshotBytes int64
+	// HeadLSN is the oldest retained WAL record; LastLSN the newest
+	// durable one.
+	HeadLSN int64
+	LastLSN int64
+	// HistoryWindow and HistoryFloor describe the retained temporal
+	// history (0 when the server retains everything); SpillHistory reports
+	// the tiered policy, with TierRows/TierBytes sizing the cold tier.
+	HistoryWindow int64
+	HistoryFloor  int64
+	SpillHistory  bool
+	TierRows      int64
+	TierBytes     int64
+}
+
+// Storage queries the server's storage footprint; servers without a
+// durable store (or routers over a mix) refuse with bad_request.
+func (c *Client) Storage() (StorageStatus, error) {
+	resp, err := c.call(&wire.Msg{T: wire.TypeQuery, What: "storage"})
+	if err != nil {
+		return StorageStatus{}, err
+	}
+	if resp.Storage == nil {
+		return StorageStatus{}, fmt.Errorf("client: storage reply carried no stats")
+	}
+	st := resp.Storage
+	return StorageStatus{
+		Segments:      st.Segments,
+		WALBytes:      st.WalBytes,
+		Snapshots:     st.Snapshots,
+		SnapshotBytes: st.SnapshotBytes,
+		HeadLSN:       st.HeadLsn,
+		LastLSN:       st.LastLsn,
+		HistoryWindow: st.HistoryWindow,
+		HistoryFloor:  st.HistoryFloor,
+		SpillHistory:  st.SpillHistory,
+		TierRows:      st.TierRows,
+		TierBytes:     st.TierBytes,
+	}, nil
+}
+
 // Subscribe opens the session's firing stream starting at absolute firing
 // index from: the backlog is replayed, then live firings follow in engine
 // order. One subscription per session.

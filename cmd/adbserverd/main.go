@@ -29,6 +29,13 @@
 // happens to a lagging subscriber: "drop" delivers a gap marker counting
 // the missed firings, "disconnect" severs the connection.
 //
+// Storage lifecycle (DESIGN.md §4k): -snapshot-every picks a checkpoint
+// cadence, -wal-segment-bytes a rotation size, -keep-snapshots the chain
+// depth, and -history-window/-spill-history the temporal-history
+// retention policy, so a server under sustained commits holds a bounded
+// hot set on disk. The "storage" query (adbsh storage) reports the
+// resulting footprint.
+//
 // SIGTERM or SIGINT drains gracefully: stop accepting, finish queued
 // commits, flush every subscriber queue, close the engine, exit 0.
 //
@@ -44,6 +51,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -69,6 +77,12 @@ func main() {
 	leasePath := flag.String("lease", "", "primary lease file (flock-anchored); primaries must hold it, followers poll it to promote")
 	leasePoll := flag.Duration("lease-poll", 200*time.Millisecond, "follower lease poll / primary lease verify interval")
 	advertise := flag.String("advertise", "", "address clients should redial this node at (default: the bound address)")
+	snapEvery := flag.Int("snapshot-every", 0, "checkpoint a snapshot every N commits; snapshot-covered WAL segments become GC-eligible (0 = wal-only durability)")
+	segBytes := flag.Int64("wal-segment-bytes", 0, "rotate the WAL at this segment size; snapshot-covered segments are GCed (0 = single segment forever)")
+	keepSnaps := flag.Int("keep-snapshots", 0, "snapshot chain length after each checkpoint (0/1 = newest only)")
+	histWindow := flag.Int64("history-window", 0, "prune collapsed temporal history older than this many ticks (0 = retain everything)")
+	spillHist := flag.Bool("spill-history", false, "spill pruned history to an on-disk cold tier instead of dropping it")
+	track := flag.String("track", "", "comma-separated item names whose historic values the engine records for AsOf reads")
 	flag.Parse()
 
 	var policy server.OverflowPolicy
@@ -84,11 +98,25 @@ func main() {
 		fatal(fmt.Errorf("-replica-of requires -data (the follower persists the shipped wal)"))
 	}
 
+	var trackItems []string
+	for _, name := range strings.Split(*track, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			trackItems = append(trackItems, name)
+		}
+	}
+
 	cfg := adb.Config{
 		Workers:         *workers,
 		MaxRuleFailures: *maxFailures,
 		SweepBudget:     *sweepBudget,
 		ActionTimeout:   *actionTimeout,
+		TrackItems:      trackItems,
+		Retention: adb.Retention{
+			SegmentBytes:  *segBytes,
+			KeepSnapshots: *keepSnaps,
+			HistoryWindow: *histWindow,
+			SpillHistory:  *spillHist,
+		},
 	}
 
 	// Listen before building the node so the default advertise address is
@@ -139,6 +167,10 @@ func main() {
 			logf("holding lease %s at epoch %d", *leasePath, lease.Epoch())
 		}
 		cfg.Durability = adb.DurabilityWAL
+		if *snapEvery > 0 {
+			cfg.Durability = adb.DurabilitySnapshot
+			cfg.SnapshotEvery = *snapEvery
+		}
 		eng, err := adb.Restore(cfg, *dataDir)
 		if err != nil {
 			fatal(err)

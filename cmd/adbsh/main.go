@@ -71,6 +71,10 @@ func main() {
 	actionTimeout := flag.Duration("action-timeout", 0, "per-action deadline (0 = none)")
 	connect := flag.String("connect", "", "run against a remote adbserverd at host:port instead of an in-process engine")
 	codec := flag.String("codec", "json", "wire codec to offer in remote mode: json (inspectable frames) or binary")
+	segBytes := flag.Int64("wal-segment-bytes", 0, "rotate the WAL at this segment size; snapshot-covered segments are GCed (0 = single segment forever)")
+	keepSnaps := flag.Int("keep-snapshots", 0, "snapshot chain length after each checkpoint (0/1 = newest only)")
+	histWindow := flag.Int64("history-window", 0, "prune collapsed temporal history older than this many ticks (0 = retain everything)")
+	spillHist := flag.Bool("spill-history", false, "spill pruned history to an on-disk cold tier instead of dropping it")
 	flag.Parse()
 	in := os.Stdin
 	if flag.NArg() > 0 {
@@ -97,6 +101,12 @@ func main() {
 			maxFailures:   *maxFailures,
 			sweepBudget:   *sweepBudget,
 			actionTimeout: *actionTimeout,
+			retention: ptlactive.Retention{
+				SegmentBytes:  *segBytes,
+				KeepSnapshots: *keepSnaps,
+				HistoryWindow: *histWindow,
+				SpillHistory:  *spillHist,
+			},
 		}
 		run = sh.exec
 	}
@@ -125,6 +135,7 @@ type shell struct {
 	maxFailures   int
 	sweepBudget   int64
 	actionTimeout time.Duration
+	retention     ptlactive.Retention
 	eng           *ptlactive.Engine
 }
 
@@ -140,6 +151,7 @@ func (s *shell) engine() *ptlactive.Engine {
 			MaxRuleFailures: s.maxFailures,
 			SweepBudget:     s.sweepBudget,
 			ActionTimeout:   s.actionTimeout,
+			Retention:       s.retention,
 			OnFiring: func(f ptlactive.Firing) {
 				if len(f.Binding) > 0 {
 					fmt.Printf("FIRE %s at %d %v\n", f.Rule, f.Time, f.Binding)
@@ -325,6 +337,24 @@ func (s *shell) exec(line string) error {
 		}
 		if err := eng.Degraded(); err != nil {
 			fmt.Printf("  engine: DEGRADED: %v\n", err)
+		}
+		return nil
+	case "storage":
+		st, err := s.engine().Storage()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("segments=%d wal_bytes=%d snapshots=%d snapshot_bytes=%d head_lsn=%d last_lsn=%d\n",
+			st.Segments, st.WALBytes, st.Snapshots, st.SnapshotBytes, st.HeadLSN, st.LastLSN)
+		if st.HistoryWindow > 0 {
+			policy := "drop"
+			if st.SpillHistory {
+				policy = "spill"
+			}
+			fmt.Printf("history: window=%d floor=%d policy=%s tier_rows=%d tier_bytes=%d\n",
+				st.HistoryWindow, st.HistoryFloor, policy, st.TierRows, st.TierBytes)
+		} else {
+			fmt.Println("history: retained forever")
 		}
 		return nil
 	case "revive":

@@ -182,6 +182,24 @@ func (r *remote) exec(line string) error {
 		}
 		fmt.Printf("role=%s leader=%s epoch=%d lsn=%d\n", rs.Role, rs.Leader, rs.Epoch, rs.LSN)
 		return nil
+	case "storage":
+		st, err := r.cli.Storage()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("segments=%d wal_bytes=%d snapshots=%d snapshot_bytes=%d head_lsn=%d last_lsn=%d\n",
+			st.Segments, st.WALBytes, st.Snapshots, st.SnapshotBytes, st.HeadLSN, st.LastLSN)
+		if st.HistoryWindow > 0 {
+			policy := "drop"
+			if st.SpillHistory {
+				policy = "spill"
+			}
+			fmt.Printf("history: window=%d floor=%d policy=%s tier_rows=%d tier_bytes=%d\n",
+				st.HistoryWindow, st.HistoryFloor, policy, st.TierRows, st.TierBytes)
+		} else {
+			fmt.Println("history: retained forever")
+		}
+		return nil
 	case "revive":
 		if rest == "" {
 			return errors.New("usage: revive <rule>")

@@ -97,9 +97,10 @@ func strictGated(id string) bool {
 }
 
 // timeColumn reports whether a header labels a wall-clock measurement.
+// "ms" must be its own word — a bare substring match catches "items".
 func timeColumn(h string) bool {
 	h = strings.ToLower(h)
-	return strings.Contains(h, "ms") || strings.Contains(h, "us/")
+	return h == "ms" || strings.HasSuffix(h, " ms") || strings.Contains(h, "us/")
 }
 
 // compare checks fresh against base row by row (keyed on the first

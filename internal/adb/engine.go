@@ -24,6 +24,7 @@ import (
 	"ptlactive/internal/ptl"
 	"ptlactive/internal/query"
 	"ptlactive/internal/relation"
+	"ptlactive/internal/retain"
 	"ptlactive/internal/value"
 )
 
@@ -319,6 +320,15 @@ type Engine struct {
 	recovery     RecoveryInfo
 	initRec      *persist.InitRecord
 	actions      map[string]Action
+
+	// Storage-lifecycle policy (see retention.go): retention is fixed at
+	// construction; tier is the open cold tier (nil without SpillHistory
+	// or for memory engines); histFloor is the oldest timestamp resident
+	// point-in-time reads answer, advanced only at commit tails so
+	// concurrent ItemAsOf readers load it atomically.
+	retention Retention
+	tier      *retain.Tier
+	histFloor atomic.Int64
 }
 
 // Config configures a new engine.
@@ -398,6 +408,11 @@ type Config struct {
 	// replay equivalence they must be the same deterministic actions the
 	// original engine ran.
 	Actions map[string]Action
+	// Retention is the storage-lifecycle policy (see retention.go). The
+	// history fields (HistoryWindow, SpillHistory) shape query answers and
+	// are persisted in the init record; the WAL fields (SegmentBytes,
+	// KeepSnapshots) are runtime-only disk-layout knobs read by Restore.
+	Retention Retention
 }
 
 // NewEngine creates a memory-only engine with an initial state at
@@ -465,6 +480,12 @@ func NewEngine(cfg Config) *Engine {
 		CascadeLimit:    limit,
 		MaxRuleFailures: cfg.MaxRuleFailures,
 		SweepBudget:     cfg.SweepBudget,
+		HistoryWindow:   cfg.Retention.HistoryWindow,
+		SpillHistory:    cfg.Retention.SpillHistory,
+	}
+	e.retention = cfg.Retention
+	if w := e.retention.HistoryWindow; w > 0 {
+		e.histFloor.Store(cfg.Start - w)
 	}
 	e.hist.MustAppend(history.SystemState{DB: e.db, Events: event.NewSet(), TS: cfg.Start})
 	// The initial state's delta from "before the engine existed" is not a
@@ -528,15 +549,17 @@ func (e *Engine) seal(cause error) error {
 
 // ItemAsOf returns the value a tracked item had at time t (Null if the
 // item did not exist then). The second result is false when the item is
-// not tracked or t precedes the engine's start. Safe for concurrent use
-// (the tracked table is immutable after NewEngine and each auxiliary
-// relation synchronizes its own readers against captures).
+// not tracked, t precedes the engine's start, or t is older than the
+// retained history (ItemAsOfChecked distinguishes the latter with a typed
+// error). Safe for concurrent use (the tracked table is immutable after
+// NewEngine, each auxiliary relation synchronizes its own readers against
+// captures, and the retention floor is read atomically).
 func (e *Engine) ItemAsOf(name string, t int64) (value.Value, bool) {
-	aux, ok := e.tracked[name]
-	if !ok {
+	v, ok, err := e.ItemAsOfChecked(name, t)
+	if err != nil {
 		return value.Value{}, false
 	}
-	return aux.AsOf(t)
+	return v, ok
 }
 
 // Registry returns the engine's query registry, for registering
@@ -1098,6 +1121,9 @@ func (t *Txn) Commit(ts int64) error {
 	if err := e.sweep(); err != nil {
 		return err
 	}
+	if err := e.maybeRetain(ts); err != nil {
+		return err
+	}
 	return e.maybeCheckpoint()
 }
 
@@ -1314,10 +1340,10 @@ func (e *Engine) Compact() int {
 	e.mu.Unlock()
 	// Auxiliary intervals that ended before the retained horizon can no
 	// longer be read by any pending action. The aux relations synchronize
-	// their own readers.
-	for _, name := range e.trackedNames {
-		e.tracked[name].Prune(horizon)
-	}
+	// their own readers; under the spill policy the expired intervals go
+	// to the cold tier first (a failure there seals the engine, surfacing
+	// at the next operation or Close, like the logRecord below).
+	_ = e.pruneAux(horizon)
 	// Compaction moves base and the aux horizon, so it replays. A failed
 	// append seals the engine (logRecord) and surfaces at the next
 	// operation or Close.

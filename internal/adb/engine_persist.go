@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"path/filepath"
 
 	"ptlactive/internal/core"
 	"ptlactive/internal/histio"
@@ -11,6 +12,7 @@ import (
 	"ptlactive/internal/persist"
 	"ptlactive/internal/ptl"
 	"ptlactive/internal/relation"
+	"ptlactive/internal/retain"
 	"ptlactive/internal/value"
 )
 
@@ -194,6 +196,13 @@ func (e *Engine) Close() error {
 		err = e.store.Close()
 		e.store = nil
 	}
+	if e.tier != nil {
+		terr := e.tier.Close()
+		e.tier = nil
+		if err == nil {
+			err = terr
+		}
+	}
 	if deg := e.Degraded(); deg != nil {
 		return deg
 	}
@@ -319,7 +328,10 @@ func (e *Engine) buildSnapshot() (*persist.EngineSnapshot, error) {
 // directory those are taken from cfg and logged. DurabilityOff is promoted
 // to DurabilityWAL: an engine with a data directory logs.
 func Restore(cfg Config, dir string) (*Engine, error) {
-	st, res, err := persist.Open(dir)
+	st, res, err := persist.OpenOptions(dir, persist.Options{
+		SegmentBytes:  cfg.Retention.SegmentBytes,
+		KeepSnapshots: cfg.Retention.KeepSnapshots,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -364,6 +376,17 @@ func Restore(cfg Config, dir string) (*Engine, error) {
 			st.Close()
 			return nil, err
 		}
+	}
+	// The cold tier must be attached before replay: replayed commits run
+	// the same retention prunes the original engine did, and under the
+	// spill policy those spill (idempotently, by watermark) before pruning.
+	if e.retention.SpillHistory && e.retention.HistoryWindow > 0 {
+		tier, terr := retain.OpenTier(filepath.Join(dir, coldTierFile))
+		if terr != nil {
+			st.Close()
+			return nil, terr
+		}
+		e.tier = tier
 	}
 	if res.Snapshot == nil && replayed == 0 {
 		// Fresh directory: the init record opens the log.
@@ -418,6 +441,14 @@ func engineFromInit(cfg Config, init *persist.InitRecord) (*Engine, error) {
 		SweepBudget:     init.SweepBudget,
 		ActionTimeout:   cfg.ActionTimeout,
 		OnRuleFault:     cfg.OnRuleFault,
+		// The history-retention policy shapes query answers, so it comes
+		// from the init record; the WAL-layout knobs are runtime-only.
+		Retention: Retention{
+			SegmentBytes:  cfg.Retention.SegmentBytes,
+			KeepSnapshots: cfg.Retention.KeepSnapshots,
+			HistoryWindow: init.HistoryWindow,
+			SpillHistory:  init.SpillHistory,
+		},
 	})
 	e.actions = cfg.Actions
 	return e, nil
@@ -467,6 +498,12 @@ func engineFromSnapshot(cfg Config, snap *persist.EngineSnapshot) (*Engine, erro
 	}
 	e.db = last.DB
 	e.now = snap.Now
+	// The snapshot was taken after the retention prunes up to its clock;
+	// resume the floor there so refusals pick up exactly where they stood
+	// (replayed commits advance it further via maybeRetain).
+	if w := e.retention.HistoryWindow; w > 0 {
+		e.histFloor.Store(snap.Now - w)
+	}
 	e.base = snap.Base
 	e.nextTxn = snap.NextTxn
 	e.evalSteps = snap.EvalSteps

@@ -2,8 +2,10 @@ package adb
 
 import (
 	"fmt"
+	"path/filepath"
 
 	"ptlactive/internal/persist"
+	"ptlactive/internal/retain"
 )
 
 // This file is the engine half of the replication subsystem (see
@@ -79,6 +81,18 @@ func (e *Engine) WALReadFrom(from int64, maxChunk int) ([]persist.WALChunk, erro
 	return e.store.ReadFramesFrom(from, maxChunk)
 }
 
+// WALNewestSnapshot returns the newest durable snapshot's raw bytes and
+// covered LSN, for bootstrapping a follower whose resume position fell
+// behind the retained WAL head. ok is false when no snapshot exists (then
+// no GC has run either, so the full log is still readable). Durable
+// engines only.
+func (e *Engine) WALNewestSnapshot() ([]byte, int64, bool, error) {
+	if e.store == nil {
+		return nil, 0, false, fmt.Errorf("adb: WALNewestSnapshot requires a durable engine")
+	}
+	return e.store.NewestSnapshot()
+}
+
 // Follower is a replication replica of a remote primary: it owns a
 // durability directory whose WAL is an exact byte prefix of the primary's
 // and an engine rebuilt from it by replay. Shipped frames are persisted
@@ -91,7 +105,8 @@ func (e *Engine) WALReadFrom(from int64, maxChunk int) ([]persist.WALChunk, erro
 type Follower struct {
 	cfg      Config
 	store    *persist.Store
-	eng      *Engine // nil until the primary's init frame arrives
+	tier     *retain.Tier // open cold tier under the spill policy, else nil
+	eng      *Engine      // nil until the primary's init frame arrives
 	lastLSN  int64
 	epoch    int64
 	promoted bool
@@ -106,12 +121,25 @@ type Follower struct {
 // Actions, OnFiring, Workers); the replicated init record governs the
 // rest.
 func OpenFollower(cfg Config, dir string) (*Follower, error) {
-	st, res, err := persist.Open(dir)
+	st, res, err := persist.OpenOptions(dir, persist.Options{
+		SegmentBytes:  cfg.Retention.SegmentBytes,
+		KeepSnapshots: cfg.Retention.KeepSnapshots,
+	})
 	if err != nil {
 		return nil, err
 	}
 	if cfg.NoFsync {
 		st.DisableSync()
+	}
+	// The follower keeps its own cold tier (spills during replay are
+	// idempotent via the tier watermark, exactly as in Restore). It opens
+	// before replay so replayed prunes can spill.
+	var tier *retain.Tier
+	if cfg.Retention.SpillHistory && cfg.Retention.HistoryWindow > 0 {
+		if tier, err = retain.OpenTier(filepath.Join(dir, coldTierFile)); err != nil {
+			st.Close()
+			return nil, err
+		}
 	}
 	var e *Engine
 	tail := res.Tail
@@ -127,14 +155,23 @@ func OpenFollower(cfg Config, dir string) (*Follower, error) {
 		}
 	}
 	if err != nil {
+		if tier != nil {
+			tier.Close()
+		}
 		st.Close()
 		return nil, err
+	}
+	if e != nil {
+		e.tier = tier
 	}
 	for _, rec := range tail {
 		// Per-operation failures replay the primary's own logged outcome
 		// (a rejected commit, a failed action) — they are state, not
 		// errors; malformed records are fatal exactly as in Restore.
 		if _, fatal := e.applyRecord(rec); fatal != nil {
+			if tier != nil {
+				tier.Close()
+			}
 			st.Close()
 			return nil, fatal
 		}
@@ -142,6 +179,7 @@ func OpenFollower(cfg Config, dir string) (*Follower, error) {
 	return &Follower{
 		cfg:     cfg,
 		store:   st,
+		tier:    tier,
 		eng:     e,
 		lastLSN: st.LastLSN(),
 		epoch:   res.Epoch,
@@ -214,6 +252,7 @@ func (f *Follower) ApplyFrames(data []byte, batchEpoch int64) (int, error) {
 			if err != nil {
 				return applied, err
 			}
+			e.tier = f.tier
 			f.eng = e
 		default:
 			// Per-operation failures are the primary's logged outcome;
@@ -229,6 +268,38 @@ func (f *Follower) ApplyFrames(data []byte, batchEpoch int64) (int, error) {
 		applied++
 	}
 	return applied, nil
+}
+
+// BootstrapSnapshot installs a primary snapshot shipped to a follower
+// whose resume position fell behind the primary's retained WAL head (the
+// segments covering it were garbage-collected). The snapshot bytes are
+// durably installed, the follower's log is reset to continue from lsn+1
+// and the engine is rebuilt from the snapshot, after which the ordinary
+// frame stream converges the follower byte-identically from that point.
+// A snapshot at or behind the follower's position is refused — the
+// follower is not behind, and regressing would discard applied state.
+func (f *Follower) BootstrapSnapshot(data []byte, lsn int64) error {
+	if f.promoted {
+		return fmt.Errorf("adb: follower was promoted; no snapshot bootstrap")
+	}
+	if lsn <= f.lastLSN {
+		return fmt.Errorf("adb: snapshot at LSN %d does not advance follower at %d", lsn, f.lastLSN)
+	}
+	snap, err := f.store.InstallSnapshot(data, lsn)
+	if err != nil {
+		return err
+	}
+	e, err := engineFromSnapshot(f.cfg, snap)
+	if err != nil {
+		return err
+	}
+	e.tier = f.tier
+	f.eng = e
+	f.lastLSN = lsn
+	if snap.Epoch > f.epoch {
+		f.epoch = snap.Epoch
+	}
+	return nil
 }
 
 // Promote turns the follower into a primary: it attaches the store to the
@@ -254,6 +325,7 @@ func (f *Follower) Promote(newEpoch int64) (*Engine, error) {
 		mem.Durability = DurabilityOff
 		f.eng = NewEngine(mem)
 		f.eng.actions = f.cfg.Actions
+		f.eng.tier = f.tier
 		fresh = true
 	}
 	e := f.eng
@@ -286,8 +358,41 @@ func (f *Follower) Promote(newEpoch int64) (*Engine, error) {
 	return e, nil
 }
 
-// Close releases the follower's store; after promotion the engine owns
-// the store and Close is a no-op.
+// Storage reports the follower's storage footprint: persistence stats
+// from its own store plus the retention fields from the replayed engine
+// (which has no store attached until promotion, so Engine().Storage()
+// alone would report zero persistence fields).
+func (f *Follower) Storage() (StorageStats, error) {
+	if f.promoted {
+		return StorageStats{}, fmt.Errorf("adb: follower was promoted; query the engine")
+	}
+	st, err := f.store.Stats()
+	if err != nil {
+		return StorageStats{}, err
+	}
+	out := StorageStats{
+		Segments:      st.Segments,
+		WALBytes:      st.WALBytes,
+		Snapshots:     st.Snapshots,
+		SnapshotBytes: st.SnapshotBytes,
+		HeadLSN:       st.HeadLSN,
+		LastLSN:       st.LastLSN,
+	}
+	if f.eng != nil {
+		if w := f.eng.retention.HistoryWindow; w > 0 {
+			out.HistoryWindow = w
+			out.HistoryFloor = f.eng.histFloor.Load()
+		}
+		out.SpillHistory = f.eng.retention.SpillHistory
+	}
+	if f.tier != nil {
+		out.TierRows, out.TierBytes = f.tier.Stats()
+	}
+	return out, nil
+}
+
+// Close releases the follower's store and cold tier; after promotion the
+// engine owns both and Close is a no-op.
 func (f *Follower) Close() error {
 	if f.promoted {
 		return nil
@@ -296,5 +401,12 @@ func (f *Follower) Close() error {
 		// The engine never had the store attached; close just the store.
 		f.eng = nil
 	}
-	return f.store.Close()
+	err := f.store.Close()
+	if f.tier != nil {
+		if terr := f.tier.Close(); err == nil {
+			err = terr
+		}
+		f.tier = nil
+	}
+	return err
 }

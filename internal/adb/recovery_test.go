@@ -199,7 +199,7 @@ func TestRestoreTornTail(t *testing.T) {
 	if err := e.Close(); err != nil {
 		t.Fatal(err)
 	}
-	walPath := filepath.Join(dir, "wal.log")
+	walPath := filepath.Join(dir, "wal.000001")
 	data, err := os.ReadFile(walPath)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,228 @@
+package adb
+
+import (
+	"errors"
+	"testing"
+
+	"ptlactive/internal/value"
+)
+
+// execSeries commits one update per tick over [1, n] so the engine clock
+// and the tracked item's interval history advance predictably.
+func execSeries(t *testing.T, e *Engine, n int64) {
+	t.Helper()
+	for ts := int64(1); ts <= n; ts++ {
+		if err := e.Exec(ts, map[string]value.Value{"a": value.NewInt(ts)}); err != nil {
+			t.Fatalf("exec at %d: %v", ts, err)
+		}
+	}
+}
+
+// TestRetentionDropRefusesOldReads: under the drop policy, a
+// point-in-time read older than the retention floor is refused with the
+// typed error — deterministically, before consulting whatever rows happen
+// to still be resident — while reads inside the window keep answering.
+func TestRetentionDropRefusesOldReads(t *testing.T) {
+	e := NewEngine(Config{
+		Initial:    map[string]value.Value{"a": value.NewInt(0)},
+		TrackItems: []string{"a"},
+		Retention:  Retention{HistoryWindow: 5},
+	})
+	execSeries(t, e, 20)
+
+	floor, ok := e.HistoryFloor()
+	if !ok || floor != 15 {
+		t.Fatalf("HistoryFloor = %d, %t; want 15, true", floor, ok)
+	}
+	if _, _, err := e.ItemAsOfChecked("a", 3); err == nil {
+		t.Fatal("read below the floor succeeded under the drop policy")
+	} else {
+		if !errors.Is(err, ErrHistoryTruncated) {
+			t.Fatalf("error %v does not match ErrHistoryTruncated", err)
+		}
+		var hte *HistoryTruncatedError
+		if !errors.As(err, &hte) || hte.Time != 3 || hte.Floor != 15 {
+			t.Fatalf("typed error = %+v; want Time 3, Floor 15", hte)
+		}
+	}
+	v, ok, err := e.ItemAsOfChecked("a", 17)
+	if err != nil || !ok || v.AsInt() != 17 {
+		t.Fatalf("in-window read = %v, %t, %v; want 17", v, ok, err)
+	}
+	// The untyped accessor misses rather than erroring.
+	if _, ok := e.ItemAsOf("a", 3); ok {
+		t.Fatal("ItemAsOf answered below the floor")
+	}
+	// Untracked items are a miss, not a truncation.
+	if _, ok, err := e.ItemAsOfChecked("zzz", 3); ok || err != nil {
+		t.Fatalf("untracked = %t, %v; want miss, nil", ok, err)
+	}
+}
+
+// TestRetentionSpillServesColdReads: under the spill policy, intervals
+// pruned from the resident window are answered from the on-disk cold
+// tier with the exact values they had.
+func TestRetentionSpillServesColdReads(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		Initial:    map[string]value.Value{"a": value.NewInt(0)},
+		TrackItems: []string{"a"},
+		Durability: DurabilityWAL,
+		NoFsync:    true,
+		Retention:  Retention{HistoryWindow: 5, SpillHistory: true},
+	}
+	e, err := Restore(cfg, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	execSeries(t, e, 20)
+
+	for _, ts := range []int64{1, 3, 9, 14} {
+		v, ok, err := e.ItemAsOfChecked("a", ts)
+		if err != nil || !ok || v.AsInt() != ts {
+			t.Fatalf("cold read at %d = %v, %t, %v; want %d", ts, v, ok, err, ts)
+		}
+	}
+	st, err := e.Storage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TierRows == 0 || st.TierBytes == 0 {
+		t.Fatalf("tier empty after spilling: %+v", st)
+	}
+	if st.HistoryWindow != 5 || st.HistoryFloor != 15 || !st.SpillHistory {
+		t.Fatalf("storage stats window view wrong: %+v", st)
+	}
+}
+
+// TestRetentionSpillReplayIdempotent: recovery replays the commits that
+// originally pruned, so the prunes re-run — the tier watermark must make
+// the re-spills no-ops (same row count, same answers) instead of
+// duplicating the cold tier on every restart.
+func TestRetentionSpillReplayIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		Initial:    map[string]value.Value{"a": value.NewInt(0)},
+		TrackItems: []string{"a"},
+		Durability: DurabilityWAL,
+		NoFsync:    true,
+		Retention:  Retention{HistoryWindow: 5, SpillHistory: true},
+	}
+	e, err := Restore(cfg, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	execSeries(t, e, 20)
+	st1, err := e.Storage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for round := 0; round < 2; round++ {
+		e, err = Restore(cfg, dir)
+		if err != nil {
+			t.Fatalf("restart %d: %v", round, err)
+		}
+		st, err := e.Storage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.TierRows != st1.TierRows {
+			t.Fatalf("restart %d duplicated the tier: %d rows, want %d", round, st.TierRows, st1.TierRows)
+		}
+		for _, ts := range []int64{1, 9, 14, 17} {
+			v, ok, err := e.ItemAsOfChecked("a", ts)
+			if err != nil || !ok || v.AsInt() != ts {
+				t.Fatalf("restart %d read at %d = %v, %t, %v; want %d", round, ts, v, ok, err, ts)
+			}
+		}
+		if err := e.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRetentionMemorySpillKeepsResident: a memory engine has no cold tier
+// to spill to; rather than silently losing history, the spill policy
+// keeps the rows resident.
+func TestRetentionMemorySpillKeepsResident(t *testing.T) {
+	e := NewEngine(Config{
+		Initial:    map[string]value.Value{"a": value.NewInt(0)},
+		TrackItems: []string{"a"},
+		Retention:  Retention{HistoryWindow: 5, SpillHistory: true},
+	})
+	execSeries(t, e, 20)
+	for _, ts := range []int64{1, 9, 17} {
+		v, ok, err := e.ItemAsOfChecked("a", ts)
+		if err != nil || !ok || v.AsInt() != ts {
+			t.Fatalf("read at %d = %v, %t, %v; want %d (kept resident)", ts, v, ok, err, ts)
+		}
+	}
+}
+
+// TestRetentionGCChaosUnderGroupCommit drives a durable engine with tiny
+// segments, an aggressive snapshot cadence and a group-commit flusher in
+// flight, so segment rotation and snapshot-chain GC race the background
+// flush goroutine; under -race this is the lifecycle subsystem's
+// concurrency check, and the disk footprint must stay bounded.
+func TestRetentionGCChaosUnderGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		Initial:       map[string]value.Value{"a": value.NewInt(0)},
+		TrackItems:    []string{"a"},
+		Durability:    DurabilitySnapshot,
+		SnapshotEvery: 5,
+		GroupCommit:   8,
+		NoFsync:       true,
+		Retention: Retention{
+			SegmentBytes:  512,
+			KeepSnapshots: 2,
+			HistoryWindow: 10,
+			SpillHistory:  true,
+		},
+	}
+	e, err := Restore(cfg, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	execSeries(t, e, 300)
+	if err := e.SyncWAL(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := e.Storage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 512-byte segments GCed behind a 2-deep snapshot chain, the live
+	// segment count must stay small no matter how many commits ran.
+	if st.Segments > 8 {
+		t.Fatalf("segment count grew without bound: %+v", st)
+	}
+	if st.Snapshots > 2 {
+		t.Fatalf("snapshot chain not compacted: %+v", st)
+	}
+	if st.HeadLSN <= 1 {
+		t.Fatalf("no WAL head advance (GC never ran): %+v", st)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The survivor must still recover and keep answering cold reads.
+	e, err = Restore(cfg, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if got := e.Now(); got != 300 {
+		t.Fatalf("recovered clock %d, want 300", got)
+	}
+	v, ok, err := e.ItemAsOfChecked("a", 42)
+	if err != nil || !ok || v.AsInt() != 42 {
+		t.Fatalf("cold read after recovery = %v, %t, %v; want 42", v, ok, err)
+	}
+}

@@ -567,6 +567,52 @@ func (f *Front) Health() ([]wire.HealthJSON, string, error) {
 	return out, strings.Join(degraded, "; "), nil
 }
 
+// Storage implements server.StorageBackend by summing the shards'
+// footprints: sizes and counts add; HeadLsn/LastLsn report the max across
+// shards (per-shard positions are independent sequences). The history
+// fields take the most conservative cluster-wide view — the largest
+// window and floor, with SpillHistory true only when every windowed shard
+// spills (only then is a cold read below the floor servable everywhere).
+func (f *Front) Storage() (wire.StorageJSON, error) {
+	var out wire.StorageJSON
+	spill := true
+	for i, sh := range f.shards {
+		sb, ok := sh.(interface {
+			Storage() (wire.StorageJSON, error)
+		})
+		if !ok {
+			return wire.StorageJSON{}, fmt.Errorf("cluster: shard %d does not report storage", i)
+		}
+		st, err := sb.Storage()
+		if err != nil {
+			return wire.StorageJSON{}, fmt.Errorf("cluster: shard %d: %w", i, err)
+		}
+		out.Segments += st.Segments
+		out.WalBytes += st.WalBytes
+		out.Snapshots += st.Snapshots
+		out.SnapshotBytes += st.SnapshotBytes
+		if st.HeadLsn > out.HeadLsn {
+			out.HeadLsn = st.HeadLsn
+		}
+		if st.LastLsn > out.LastLsn {
+			out.LastLsn = st.LastLsn
+		}
+		if st.HistoryWindow > 0 {
+			if st.HistoryWindow > out.HistoryWindow {
+				out.HistoryWindow = st.HistoryWindow
+			}
+			if st.HistoryFloor > out.HistoryFloor {
+				out.HistoryFloor = st.HistoryFloor
+			}
+			spill = spill && st.SpillHistory
+		}
+		out.TierRows += st.TierRows
+		out.TierBytes += st.TierBytes
+	}
+	out.SpillHistory = out.HistoryWindow > 0 && spill
+	return out, nil
+}
+
 // Barrier waits for every shard's submitted operations, then flushes the
 // fan-in so their firings are merged and delivered.
 func (f *Front) Barrier() {

@@ -205,6 +205,29 @@ func (s *RemoteShard) Health() ([]wire.HealthJSON, string, error) {
 	return out, h.Degraded, nil
 }
 
+// Storage queries the remote server's storage footprint, satisfying the
+// router's optional per-shard storage capability (LocalShard gets it from
+// the embedded EngineBackend).
+func (s *RemoteShard) Storage() (wire.StorageJSON, error) {
+	st, err := s.cli.Storage()
+	if err != nil {
+		return wire.StorageJSON{}, err
+	}
+	return wire.StorageJSON{
+		Segments:      st.Segments,
+		WalBytes:      st.WALBytes,
+		Snapshots:     st.Snapshots,
+		SnapshotBytes: st.SnapshotBytes,
+		HeadLsn:       st.HeadLSN,
+		LastLsn:       st.LastLSN,
+		HistoryWindow: st.HistoryWindow,
+		HistoryFloor:  st.HistoryFloor,
+		SpillHistory:  st.SpillHistory,
+		TierRows:      st.TierRows,
+		TierBytes:     st.TierBytes,
+	}, nil
+}
+
 // Follow subscribes from sequence 0 and pumps the stream into fn; the
 // server's subscribe path makes backlog-then-live exactly-once. Gaps
 // (this router lagging the shard's firing rate beyond the shard server's

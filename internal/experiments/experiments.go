@@ -101,6 +101,7 @@ var Catalog = []struct {
 	{"E13", E13Server},
 	{"E14", E14Cluster},
 	{"E16", E16CommitScaling},
+	{"E17", E17BoundedDisk},
 	{"A1", A1DecomposableFastPath},
 	{"A2", A2FutureProgression},
 }

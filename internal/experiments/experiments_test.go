@@ -14,8 +14,8 @@ func TestAllExperimentsRun(t *testing.T) {
 		t.Skip("experiments are slow")
 	}
 	tables := All(true)
-	if len(tables) != 17 {
-		t.Fatalf("expected 17 tables (E1-E10, E7b, E12, E13, E14, E16, A1, A2), got %d", len(tables))
+	if len(tables) != 18 {
+		t.Fatalf("expected 18 tables (E1-E10, E7b, E12, E13, E14, E16, E17, A1, A2), got %d", len(tables))
 	}
 	byID := map[string]Table{}
 	for _, tab := range tables {
@@ -143,6 +143,30 @@ func TestAllExperimentsRun(t *testing.T) {
 		if ratio := atof(t, row[3]); ratio > 10 {
 			t.Errorf("E16 %s: %.1fx the 1k row — commit cost scaling with db size", row[0], ratio)
 		}
+	}
+
+	// E17: over the 8x commit sweep, the unbounded engine's hot set
+	// grows with the commit count (well past 4x first-to-last) while the
+	// retained configs end near flat (early samples land before the
+	// rotation plateau, so only each config's final ratio is the claim)
+	// and the spill tier is nonempty by the end.
+	e17 := byID["E17"]
+	finals := map[string]float64{}
+	for _, row := range e17.Rows {
+		name := row[0][:strings.IndexByte(row[0], '@')]
+		finals[name] = atof(t, row[5]) // rows are in sweep order per config
+	}
+	if finals["unbounded"] < 4 {
+		t.Errorf("E17: unbounded final hot ratio %.2fx over an 8x commit sweep — baseline not growing", finals["unbounded"])
+	}
+	for _, name := range []string{"retain-drop", "retain-spill"} {
+		if finals[name] > 3 {
+			t.Errorf("E17 %s: final hot ratio %.2fx — retention not bounding the hot set", name, finals[name])
+		}
+	}
+	lastSpill := e17.Rows[len(e17.Rows)-1]
+	if !strings.HasPrefix(lastSpill[0], "retain-spill@") || atof(t, lastSpill[3]) == 0 {
+		t.Errorf("E17: final spill row %v has an empty cold tier", lastSpill)
 	}
 }
 

@@ -1,0 +1,25 @@
+package persist
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrTruncatedHead reports that a requested WAL position predates the
+// retained head: retention GC deleted the segments that held it because a
+// durable snapshot covers them. A replication follower that hits it must
+// bootstrap from a shipped snapshot instead of a frame backlog.
+var ErrTruncatedHead = errors.New("persist: wal head truncated")
+
+// TruncatedHeadError carries the positions: the requested LSN and the
+// oldest LSN still on disk. It unwraps to ErrTruncatedHead.
+type TruncatedHeadError struct {
+	From int64 // requested position
+	Head int64 // oldest retained durable LSN
+}
+
+func (e *TruncatedHeadError) Error() string {
+	return fmt.Sprintf("persist: wal position %d unavailable (retained head is %d; earlier records are snapshot-covered)", e.From, e.Head)
+}
+
+func (e *TruncatedHeadError) Unwrap() error { return ErrTruncatedHead }

@@ -58,11 +58,11 @@ func TestGroupCommitSameBytes(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	a, err := os.ReadFile(filepath.Join(dirA, "wal.log"))
+	a, err := os.ReadFile(filepath.Join(dirA, segmentName(1)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := os.ReadFile(filepath.Join(dirB, "wal.log"))
+	b, err := os.ReadFile(filepath.Join(dirB, segmentName(1)))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,79 @@
+package persist
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+)
+
+const manifestFile = "wal.manifest"
+
+// Manifest records the retention GC's intent durably before any file is
+// deleted: which snapshot versions are retained and through which LSN the
+// oldest of them covers the log. It is written (temp + fsync + rename +
+// directory fsync) before snapshot or segment deletion begins, so a crash
+// at any byte of a GC pass leaves either the old manifest (GC under-done,
+// redone on the next pass) or the new one (the deletions it implies are
+// resumed at the next open).
+//
+// The manifest is advisory, never authoritative: recovery clamps its
+// floor to the newest snapshot that actually validates on disk, so a
+// corrupt-but-parseable manifest can never talk GC into deleting records
+// that no present snapshot covers.
+type Manifest struct {
+	Version int `json:"version"`
+	// CoveredLSN is the GC floor: every WAL record with LSN <= CoveredLSN
+	// is covered by the oldest retained snapshot.
+	CoveredLSN int64 `json:"covered"`
+	// Snapshots lists the retained snapshot versions (their covered LSNs),
+	// oldest first.
+	Snapshots []int64 `json:"snapshots"`
+}
+
+// writeManifest durably replaces the manifest.
+func writeManifest(dir string, m *Manifest) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, "manifest-*.tmp")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, filepath.Join(dir, manifestFile)); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// readManifest loads the manifest; a missing, unreadable or malformed
+// manifest returns nil (GC simply has no resumable intent — safe, since
+// the manifest only ever authorizes deletion of snapshot-covered data and
+// recovery re-derives coverage from the snapshots themselves).
+func readManifest(dir string) *Manifest {
+	data, err := os.ReadFile(filepath.Join(dir, manifestFile))
+	if err != nil {
+		return nil
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil || m.Version != 1 {
+		return nil
+	}
+	return &m
+}

@@ -281,7 +281,7 @@ func buildWAL(t *testing.T, n int) (string, []byte, []int64) {
 	t.Helper()
 	dir := t.TempDir()
 	appendN(t, dir, n)
-	data, err := os.ReadFile(filepath.Join(dir, walFile))
+	data, err := os.ReadFile(filepath.Join(dir, segmentName(1)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -306,7 +306,7 @@ func TestTornFinalRecordEveryTruncation(t *testing.T) {
 	const n = 5
 	dir, data, offs := buildWAL(t, n)
 	finalStart := offs[n-1]
-	walPath := filepath.Join(dir, walFile)
+	walPath := filepath.Join(dir, segmentName(1))
 	for cut := finalStart; cut <= int64(len(data)); cut++ {
 		if err := os.WriteFile(walPath, data[:cut], 0o644); err != nil {
 			t.Fatal(err)
@@ -356,7 +356,7 @@ func TestCorruptFinalRecordEveryByte(t *testing.T) {
 	const n = 5
 	dir, data, offs := buildWAL(t, n)
 	finalStart := offs[n-1]
-	walPath := filepath.Join(dir, walFile)
+	walPath := filepath.Join(dir, segmentName(1))
 	for pos := finalStart; pos < int64(len(data)); pos++ {
 		mut := append([]byte(nil), data...)
 		mut[pos] ^= 0xff
@@ -383,7 +383,7 @@ func TestCorruptFinalRecordEveryByte(t *testing.T) {
 func TestCorruptMidLogIsHardError(t *testing.T) {
 	const n = 5
 	dir, data, offs := buildWAL(t, n)
-	walPath := filepath.Join(dir, walFile)
+	walPath := filepath.Join(dir, segmentName(1))
 	for rec := 0; rec < n-1; rec++ {
 		// One flip inside the payload and one in the header of each record.
 		for _, pos := range []int64{offs[rec] + 5, offs[rec] + headerLen + 2} {

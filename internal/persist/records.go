@@ -62,6 +62,12 @@ type InitRecord struct {
 	// existed.
 	MaxRuleFailures int   `json:"maxfail,omitempty"`
 	SweepBudget     int64 `json:"budget,omitempty"`
+	// HistoryWindow and SpillHistory are the history-retention policy:
+	// they shape which point-in-time reads answer, so replay must use the
+	// original values. Both decode to "retain everything" in logs written
+	// before retention existed.
+	HistoryWindow int64 `json:"histwin,omitempty"`
+	SpillHistory  bool  `json:"spill,omitempty"`
 }
 
 // Record is one WAL entry. Kind selects which of the payload fields are

@@ -49,7 +49,7 @@ func TestFlushHookDeliversExactFileBytes(t *testing.T) {
 				t.Fatal(err)
 			}
 
-			file, err := os.ReadFile(filepath.Join(dir, walFile))
+			file, err := os.ReadFile(filepath.Join(dir, segmentName(1)))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -94,8 +94,8 @@ func TestAppendRawReplicatesByteIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	pb, _ := os.ReadFile(filepath.Join(primary, walFile))
-	fb, _ := os.ReadFile(filepath.Join(follower, walFile))
+	pb, _ := os.ReadFile(filepath.Join(primary, segmentName(1)))
+	fb, _ := os.ReadFile(filepath.Join(follower, segmentName(1)))
 	if !bytes.Equal(pb, fb) {
 		t.Fatalf("follower wal differs: %d vs %d bytes", len(fb), len(pb))
 	}
@@ -109,7 +109,7 @@ func TestAppendRawReplicatesByteIdentical(t *testing.T) {
 func TestAppendRawRejectsGapAndDuplicate(t *testing.T) {
 	src := t.TempDir()
 	appendN(t, src, 3)
-	data, err := os.ReadFile(filepath.Join(src, walFile))
+	data, err := os.ReadFile(filepath.Join(src, segmentName(1)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +161,7 @@ func TestReadFramesFromChunks(t *testing.T) {
 	if next != 21 {
 		t.Fatalf("chunks cover through %d, want 20", next-1)
 	}
-	file, _ := os.ReadFile(filepath.Join(dir, walFile))
+	file, _ := os.ReadFile(filepath.Join(dir, segmentName(1)))
 	if !bytes.Equal(all, file) {
 		t.Fatal("chunk bytes differ from wal file")
 	}

@@ -12,9 +12,13 @@
 //
 // Records carry strictly increasing LSNs assigned at append time; a gap
 // in the sequence is a hard error (a silently missing record would break
-// firing equivalence). A torn final record — the only damage a crash
-// mid-append can cause — is truncated and reported; damage anywhere else
-// is surfaced as an error and never skipped.
+// firing equivalence). The log is written as numbered segment files
+// (wal.000001, wal.000002, ...) rotated at a configurable byte threshold;
+// recovery replays them in ordinal order. A torn final record — the only
+// damage a crash mid-append can cause — can exist only in the last
+// segment; it is truncated and reported. Damage anywhere else (including
+// any malformed byte in a sealed segment) is surfaced as an error and
+// never skipped.
 package persist
 
 import (
@@ -25,6 +29,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 )
 
 var walMagic = []byte("PWAL")
@@ -55,21 +60,66 @@ type Failpoint func(op string, lsn int64) error
 // commit reuses the batch buffer), so consumers must copy to retain it.
 type FlushHook func(data []byte, first, last int64)
 
-// Log is an append-only write-ahead log backed by one file.
+// segment is one WAL segment file. first is the LSN of the segment's
+// first record; for an empty segment it is the LSN the first record will
+// get. size counts durable bytes (a torn crash image past size is not
+// part of the log).
+type segment struct {
+	ord   int64
+	first int64
+	size  int64
+}
+
+// segmentName is the file name of segment ord; the zero-padded ordinal
+// makes lexical order equal replay order for the first million segments
+// (recovery sorts numerically regardless).
+func segmentName(ord int64) string { return fmt.Sprintf("wal.%06d", ord) }
+
+// parseSegmentName extracts the ordinal from a segment file name. The
+// suffix must be all digits, so the legacy single-file name "wal.log"
+// does not parse as a segment.
+func parseSegmentName(name string) (int64, bool) {
+	const prefix = "wal."
+	if len(name) <= len(prefix) || name[:len(prefix)] != prefix {
+		return 0, false
+	}
+	var ord int64
+	for _, c := range name[len(prefix):] {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		ord = ord*10 + int64(c-'0')
+		if ord > 1<<40 {
+			return 0, false
+		}
+	}
+	if ord < 1 {
+		return 0, false
+	}
+	return ord, true
+}
+
+// Log is an append-only write-ahead log backed by a directory of numbered
+// segment files; appends go to the last (active) segment, which rotates
+// once it reaches the configured byte threshold.
 //
 // With group commit enabled (SetGroupCommit n, n > 1), appended frames are
 // buffered in memory and written — and fsynced — as one batch every n
-// records, or on an explicit Flush, a snapshot reset, or Close. A crash
-// loses at most the buffered suffix; the flushed prefix recovers exactly,
-// so the durability contract weakens from "every record" to "every
-// flushed record" in exchange for one write+fsync per batch.
+// records, or on an explicit Flush, a snapshot, or Close. A crash loses at
+// most the buffered suffix; the flushed prefix recovers exactly, so the
+// durability contract weakens from "every record" to "every flushed
+// record" in exchange for one write+fsync per batch.
 type Log struct {
-	f    *os.File
-	path string
+	dir  string
+	f    *os.File // active (last) segment, open for append
+	segs []segment
 	next int64 // next LSN to assign
-	size int64 // current durable file size in bytes (excludes the buffer)
 	sync bool
-	fail Failpoint
+	// segBytes is the rotation threshold: once the active segment's
+	// durable size reaches it, the segment is sealed and a new one
+	// started. 0 disables size-based rotation (snapshots still rotate).
+	segBytes int64
+	fail     Failpoint
 	// Group-commit state: group is the batch size (<=1 means per-record),
 	// buf accumulates framed records, bufLSNs/bufOffs track each buffered
 	// record's LSN and frame offset within buf (for fault injection).
@@ -77,9 +127,9 @@ type Log struct {
 	buf     []byte
 	bufLSNs []int64
 	bufOffs []int
-	// broken poisons the log after a failed append or fsync: the file tail
-	// is in an unknown state, so further appends could land after garbage
-	// and turn a clean torn tail into mid-log corruption.
+	// broken poisons the log after a failed append, fsync or rotation: the
+	// file tail is in an unknown state, so further appends could land after
+	// garbage and turn a clean torn tail into mid-log corruption.
 	broken error
 	// flushHook, when set, observes every durable batch (see FlushHook).
 	flushHook FlushHook
@@ -91,36 +141,64 @@ func (l *Log) SetFailpoint(fp Failpoint) { l.fail = fp }
 // SetFlushHook installs (or clears, with nil) the durable-batch observer.
 func (l *Log) SetFlushHook(h FlushHook) { l.flushHook = h }
 
-// openLog opens (creating if needed) the WAL at path, positioned at size
-// for appending. next is the LSN the next append gets.
-func openLog(path string, next, size int64) (*Log, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+// openLog opens the log over the scanned segment set. segs must be the
+// segments on disk in ordinal order with their durable sizes; the final
+// one is opened for appending, truncated to its durable size (discarding
+// a torn crash image). next is the LSN the next append gets. When segs is
+// empty a fresh first segment is created.
+func openLog(dir string, segs []segment, next int64) (*Log, error) {
+	if len(segs) == 0 {
+		segs = []segment{{ord: 1, first: next, size: 0}}
+	}
+	act := segs[len(segs)-1]
+	f, err := os.OpenFile(filepath.Join(dir, segmentName(act.ord)), os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	if err := f.Truncate(size); err != nil {
+	if err := f.Truncate(act.size); err != nil {
 		f.Close()
 		return nil, err
 	}
-	if _, err := f.Seek(size, io.SeekStart); err != nil {
+	if _, err := f.Seek(act.size, io.SeekStart); err != nil {
 		f.Close()
 		return nil, err
 	}
-	return &Log{f: f, path: path, next: next, size: size, sync: true}, nil
+	return &Log{dir: dir, f: f, segs: segs, next: next, sync: true}, nil
 }
+
+// active returns the segment appends go to.
+func (l *Log) active() *segment { return &l.segs[len(l.segs)-1] }
 
 // DisableSync turns off the per-record fsync; crash tests and benchmarks
 // use it, production durability should not.
 func (l *Log) DisableSync() { l.sync = false }
 
+// SetSegmentBytes sets the rotation threshold (0 disables size-based
+// rotation).
+func (l *Log) SetSegmentBytes(n int64) { l.segBytes = n }
+
 // LastLSN returns the LSN of the most recently appended record — buffered
 // records included — or 0 when the log is empty.
 func (l *Log) LastLSN() int64 { return l.next - 1 }
 
+// headLSN returns the LSN of the oldest record still on disk; when the
+// log holds no durable records it is the LSN the next flushed record will
+// carry.
+func (l *Log) headLSN() int64 { return l.segs[0].first }
+
+// walBytes returns the total durable bytes across all segments.
+func (l *Log) walBytes() int64 {
+	var n int64
+	for i := range l.segs {
+		n += l.segs[i].size
+	}
+	return n
+}
+
 // SetGroupCommit sets the batch size: n > 1 buffers appended records and
-// writes+fsyncs them together every n records (or on Flush / snapshot
-// reset / Close); n <= 1 restores per-record durability. Any buffered
-// records are flushed before the mode changes.
+// writes+fsyncs them together every n records (or on Flush / snapshot /
+// Close); n <= 1 restores per-record durability. Any buffered records are
+// flushed before the mode changes.
 func (l *Log) SetGroupCommit(n int) error {
 	if err := l.Flush(); err != nil {
 		return err
@@ -200,16 +278,18 @@ func (l *Log) Append(rec *Record) (int64, error) {
 		}
 	}
 	l.next++
-	l.size += int64(len(buf))
+	l.active().size += int64(len(buf))
 	if l.flushHook != nil {
 		l.flushHook(buf, rec.LSN, rec.LSN)
 	}
+	l.maybeRotate()
 	return rec.LSN, nil
 }
 
 // AppendRaw appends already-framed WAL bytes verbatim and fsyncs them: a
 // replication follower writes the primary's shipped frames with it, so
-// the follower's log is byte-identical to the primary's by construction.
+// the follower's log is byte-identical to the primary's by construction
+// (segment boundaries may differ — the concatenation is what matches).
 // first/last declare the contiguous LSN range the frames cover; first
 // must be the next LSN this log expects. AppendRaw is incompatible with
 // an active group-commit buffer (followers append what was already
@@ -238,10 +318,11 @@ func (l *Log) AppendRaw(data []byte, first, last int64) error {
 		}
 	}
 	l.next = last + 1
-	l.size += int64(len(data))
+	l.active().size += int64(len(data))
 	if l.flushHook != nil {
 		l.flushHook(data, first, last)
 	}
+	l.maybeRotate()
 	return nil
 }
 
@@ -291,7 +372,7 @@ func (l *Log) Flush() error {
 			return l.broken
 		}
 	}
-	l.size += int64(len(l.buf))
+	l.active().size += int64(len(l.buf))
 	first, last := l.bufLSNs[0], l.bufLSNs[len(l.bufLSNs)-1]
 	if l.flushHook != nil {
 		l.flushHook(l.buf, first, last)
@@ -299,31 +380,75 @@ func (l *Log) Flush() error {
 	l.buf = l.buf[:0]
 	l.bufLSNs = l.bufLSNs[:0]
 	l.bufOffs = l.bufOffs[:0]
+	l.maybeRotate()
 	return nil
 }
 
-// ResetTo truncates the log to empty after a snapshot at LSN snapLSN; the
-// next record appended gets snapLSN+1. Buffered group-commit records are
-// dropped — the snapshot was stamped with LastLSN, which includes them, so
-// their effects are covered.
-func (l *Log) ResetTo(snapLSN int64) error {
-	l.buf = l.buf[:0]
-	l.bufLSNs = l.bufLSNs[:0]
-	l.bufOffs = l.bufOffs[:0]
-	if err := l.f.Truncate(0); err != nil {
-		return fmt.Errorf("persist: reset wal: %w", err)
+// maybeRotate seals the active segment once it reaches the rotation
+// threshold. Called only with an empty group-commit buffer (after the
+// durable write that grew the segment).
+func (l *Log) maybeRotate() {
+	if l.broken != nil || l.segBytes <= 0 || l.active().size < l.segBytes {
+		return
 	}
-	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+	l.rotate()
+}
+
+// Rotate flushes any buffered records and seals the active segment,
+// starting a new empty one. A snapshot save calls it so the covered
+// segments become eligible for GC. Rotating an empty segment is a no-op.
+func (l *Log) Rotate() error {
+	if err := l.Flush(); err != nil {
 		return err
 	}
+	if l.active().size == 0 {
+		return nil
+	}
+	l.rotate()
+	return l.broken
+}
+
+// rotate seals the active segment (fsync + close) and opens the next
+// ordinal with O_EXCL, fsyncing the directory so the new name is durable.
+// Any failure poisons the log: a half-rotated state must not take further
+// appends. Requires an empty group-commit buffer.
+func (l *Log) rotate() {
 	if l.sync {
 		if err := l.f.Sync(); err != nil {
-			return err
+			l.broken = fmt.Errorf("persist: rotate sync: %w", err)
+			return
 		}
 	}
-	l.next = snapLSN + 1
-	l.size = 0
-	return nil
+	if err := l.f.Close(); err != nil {
+		l.broken = fmt.Errorf("persist: rotate close: %w", err)
+		return
+	}
+	ord := l.active().ord + 1
+	f, err := os.OpenFile(filepath.Join(l.dir, segmentName(ord)), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		l.broken = fmt.Errorf("persist: rotate create: %w", err)
+		return
+	}
+	if l.sync {
+		if err := syncDir(l.dir); err != nil {
+			f.Close()
+			l.broken = fmt.Errorf("persist: rotate dir sync: %w", err)
+			return
+		}
+	}
+	l.f = f
+	l.segs = append(l.segs, segment{ord: ord, first: l.next, size: 0})
+}
+
+// removeCoveredThrough deletes sealed segments whose every record has
+// LSN <= floor, oldest first, so a crash mid-GC always leaves a
+// contiguous ordinal range. The active segment is never removed. Removal
+// failures are harmless: the next open (or next GC pass) retries.
+func (l *Log) removeCoveredThrough(floor int64) {
+	for len(l.segs) >= 2 && l.segs[1].first-1 <= floor {
+		_ = os.Remove(filepath.Join(l.dir, segmentName(l.segs[0].ord)))
+		l.segs = l.segs[1:]
+	}
 }
 
 // Close flushes any buffered group-commit records and closes the
@@ -346,7 +471,19 @@ func (l *Log) Close() error {
 	return err
 }
 
-// scanResult is what reading a WAL file yields.
+// syncDir fsyncs a directory so renames and creates within it are
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	d.Close()
+	return err
+}
+
+// scanResult is what reading a WAL segment yields.
 type scanResult struct {
 	records []*Record
 	// size is the number of valid bytes; less than the file size when a
@@ -356,12 +493,12 @@ type scanResult struct {
 	truncatedAt int64
 }
 
-// scanRecords parses a WAL image. A malformed suffix is accepted as a
-// torn tail only when no complete valid record follows it — otherwise the
-// damage is mid-log and scanning fails: skipping a whole committed record
-// would silently diverge the recovered engine. (The disambiguation scan
-// is conservative: a payload byte sequence that happens to look like a
-// later intact frame turns a genuinely torn tail into a reported
+// scanRecords parses a WAL segment image. A malformed suffix is accepted
+// as a torn tail only when no complete valid record follows it — otherwise
+// the damage is mid-log and scanning fails: skipping a whole committed
+// record would silently diverge the recovered engine. (The disambiguation
+// scan is conservative: a payload byte sequence that happens to look like
+// a later intact frame turns a genuinely torn tail into a reported
 // corruption error, which is safe — recovery refuses rather than guesses.)
 func scanRecords(data []byte) (*scanResult, error) {
 	res := &scanResult{truncatedAt: -1}

@@ -148,6 +148,25 @@ func (a *Aux) Prune(t int64) int {
 	return dropped
 }
 
+// Expired returns copies of the interval rows Prune(t) would discard —
+// every closed interval that ended at or before t, in capture order. The
+// retention policy spills exactly these to the cold tier (fsynced) before
+// calling Prune, so no captured interval ever exists in neither place.
+func (a *Aux) Expired(t int64) []IntervalRow {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	var out []IntervalRow
+	for _, r := range a.rows {
+		if r.tend > t {
+			continue
+		}
+		cp := make([]value.Value, len(r.tuple))
+		copy(cp, r.tuple)
+		out = append(out, IntervalRow{Tuple: cp, Start: r.tstart, End: r.tend})
+	}
+	return out
+}
+
 // Intervals returns (tstart, tend) pairs for a given tuple, sorted by
 // start; used by tests and the inspection CLI.
 func (a *Aux) Intervals(row []value.Value) [][2]int64 {
@@ -261,3 +280,7 @@ func (s *ScalarAux) Len() int { return s.aux.Len() }
 
 // Prune discards intervals ending at or before t.
 func (s *ScalarAux) Prune(t int64) int { return s.aux.Prune(t) }
+
+// Expired returns the closed intervals Prune(t) would discard, for
+// spilling to the cold tier.
+func (s *ScalarAux) Expired(t int64) []IntervalRow { return s.aux.Expired(t) }

@@ -106,6 +106,41 @@ func (n *Node) Apply(data []byte, epoch int64) (int, error) {
 	return n.fol.ApplyFrames(data, epoch)
 }
 
+// Bootstrap installs a primary snapshot shipped because the node's resume
+// position fell behind the primary's retained WAL head (see
+// adb.Follower.BootstrapSnapshot). The stream loop calls it when a snap
+// frame sequence completes; the engine is rebuilt from the snapshot and
+// the firing sequence reseeds to the snapshot's absolute count, exactly
+// as a restored primary would number them.
+func (n *Node) Bootstrap(data []byte, lsn int64) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.promoted.Load() {
+		return fmt.Errorf("replica: node was promoted; stream must stop")
+	}
+	if err := n.fol.BootstrapSnapshot(data, lsn); err != nil {
+		return err
+	}
+	if eng := n.fol.Engine(); eng != nil {
+		n.seq = len(eng.Firings())
+	}
+	return nil
+}
+
+// Storage implements server.StorageBackend for either role.
+func (n *Node) Storage() (wire.StorageJSON, error) {
+	if n.promoted.Load() {
+		return n.be.Storage()
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st, err := n.fol.Storage()
+	if err != nil {
+		return wire.StorageJSON{}, err
+	}
+	return server.StorageWire(st), nil
+}
+
 // LastLSN returns the node's durable WAL position (the resume point minus
 // one). Safe for concurrent use.
 func (n *Node) LastLSN() int64 {

@@ -9,6 +9,8 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"sort"
+	"strings"
 	"testing"
 	"time"
 
@@ -19,7 +21,23 @@ import (
 	"ptlactive/internal/value"
 )
 
-const walFile = "wal.log" // persist's on-disk log name
+// walSegment reports whether name is a WAL segment file (wal.000001,
+// wal.000002, ...); the manifest (wal.manifest) is not one.
+func walSegment(name string) bool {
+	if !strings.HasPrefix(name, "wal.") {
+		return false
+	}
+	digits := name[len("wal."):]
+	if digits == "" {
+		return false
+	}
+	for _, c := range digits {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
+}
 
 // prim bundles a running primary: durable engine, node, server.
 type prim struct {
@@ -141,11 +159,26 @@ func waitLSN(t *testing.T, n *Node, want int64) {
 
 func walBytes(t *testing.T, dir string) []byte {
 	t.Helper()
-	b, err := os.ReadFile(filepath.Join(dir, walFile))
+	entries, err := os.ReadDir(dir)
 	if err != nil && !os.IsNotExist(err) {
 		t.Fatal(err)
 	}
-	return b
+	var names []string
+	for _, ent := range entries {
+		if walSegment(ent.Name()) {
+			names = append(names, ent.Name())
+		}
+	}
+	sort.Strings(names) // zero-padded ordinals: lexical order is replay order
+	var out []byte
+	for _, name := range names {
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, b...)
+	}
+	return out
 }
 
 // assertReplicaIdentical is the core acceptance check: after the primary

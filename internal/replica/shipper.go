@@ -23,9 +23,11 @@
 package replica
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
+	"ptlactive/internal/persist"
 	"ptlactive/internal/server"
 )
 
@@ -143,11 +145,43 @@ func (s *Shipper) FollowWAL(from, epoch int64, ack func(), sink func(server.WALB
 			return
 		}
 		chunks, rerr := s.be.Engine().WALReadFrom(from, maxWalChunk)
+		acked := false
 		if rerr != nil {
-			err = rerr
-			return
+			// A follower asking below the retained WAL head (its segments
+			// were garbage-collected) is bootstrapped from the newest durable
+			// snapshot instead: snapshot chunks ship first, then the ordinary
+			// frame stream resumes from the LSN the snapshot covers.
+			if !errors.Is(rerr, persist.ErrTruncatedHead) {
+				err = rerr
+				return
+			}
+			snap, snapLSN, ok, serr := s.be.Engine().WALNewestSnapshot()
+			if !ok || serr != nil || snapLSN+1 <= from {
+				// No snapshot to bootstrap from (or it would not advance the
+				// follower past its own position — then the truncation is
+				// real and unfixable from here). Surface the original error;
+				// the wire layer maps it to wal_truncated.
+				err = rerr
+				return
+			}
+			ack()
+			acked = true
+			for off := 0; off < len(snap); off += maxWalChunk {
+				end := off + maxWalChunk
+				if end > len(snap) {
+					end = len(snap)
+				}
+				sink(server.WALBatch{Data: snap[off:end], First: snapLSN, Epoch: cur,
+					Snap: true, More: end < len(snap)})
+			}
+			if chunks, rerr = s.be.Engine().WALReadFrom(snapLSN+1, maxWalChunk); rerr != nil {
+				err = rerr
+				return
+			}
 		}
-		ack()
+		if !acked {
+			ack()
+		}
 		for _, c := range chunks {
 			// Backlog chunks alias a fresh file read, so no copy is needed;
 			// stamping them with the current epoch is sound because the

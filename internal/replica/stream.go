@@ -161,6 +161,10 @@ func (s *Stream) once() error {
 	if err := wire.WriteFrameC(conn, req, codec); err != nil {
 		return err
 	}
+	// snapBuf accumulates a chunked snapshot bootstrap (the primary ships
+	// one when our resume position fell behind its retained WAL head); the
+	// final chunk (More unset) installs it.
+	var snapBuf []byte
 	for {
 		m, err := wire.ReadFrameC(br, codec)
 		if err != nil {
@@ -172,6 +176,15 @@ func (s *Stream) once() error {
 		case wire.TypeWal:
 			if _, err := s.node.Apply(m.Wal, m.Epoch); err != nil {
 				return err
+			}
+		case wire.TypeSnap:
+			snapBuf = append(snapBuf, m.Wal...)
+			if !m.More {
+				s.cfg.Logf("replica: bootstrapping from primary snapshot at LSN %d (%d bytes)", m.Lsn, len(snapBuf))
+				if err := s.node.Bootstrap(snapBuf, m.Lsn); err != nil {
+					return err
+				}
+				snapBuf = nil
 			}
 		case wire.TypeError:
 			return fmt.Errorf("primary refused: %s: %s", m.Code, m.Err)

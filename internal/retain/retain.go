@@ -1,0 +1,210 @@
+// Package retain implements the cold tier of the history-retention
+// policy: an append-only JSON-lines file holding closed aux-relation
+// intervals that were pruned from the resident hot window. Spills are
+// fsynced before the resident rows are dropped, so the union of resident
+// and tiered rows always contains every captured interval; per-item
+// watermarks make re-spills after a crash idempotent. AsOf answers
+// point-in-time queries for times older than the hot window by scanning
+// the tier (intervals are disjoint per item, so at most one row matches).
+package retain
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// ErrHistoryTruncated reports that a point-in-time query fell outside the
+// retained history window and no cold tier is configured to answer it:
+// the engine dropped that history rather than spilling it.
+var ErrHistoryTruncated = errors.New("retain: history truncated")
+
+// Row is one spilled interval: item held value V over [Start, End).
+type Row struct {
+	Item  string          `json:"item"`
+	V     json.RawMessage `json:"v"`
+	Start int64           `json:"start"`
+	End   int64           `json:"end"`
+}
+
+// Tier is an open cold-tier file. One engine owns a tier at a time;
+// Spill runs at the engine's serialization point, while AsOf and Stats
+// may run concurrently from query paths (the mutex covers the append
+// state; AsOf reads the durable prefix of the file, which appends never
+// rewrite).
+type Tier struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	size int64 // durable valid bytes
+	rows int64
+	// water tracks, per item, the largest End already spilled: a crash
+	// between a spill and the snapshot that would have made the prune
+	// durable re-presents the same rows, and the watermark drops them.
+	water map[string]int64
+}
+
+// OpenTier opens (creating if needed) the tier file at path. A torn final
+// line — the only damage a crash mid-spill can leave — is truncated; a
+// malformed line followed by intact ones is corruption and refused.
+func OpenTier(path string) (*Tier, error) {
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("retain: open tier: %w", err)
+	}
+	t := &Tier{path: path, water: map[string]int64{}}
+	off := 0
+	for off < len(data) {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			break // incomplete final line: torn tail
+		}
+		line := data[off : off+nl]
+		var row Row
+		if err := json.Unmarshal(line, &row); err != nil {
+			if rest := data[off+nl+1:]; validLineFollows(rest) {
+				return nil, fmt.Errorf("retain: tier corrupt at offset %d (%v) with intact rows after it", off, err)
+			}
+			break // torn tail that happens to contain a newline
+		}
+		t.rows++
+		if row.End > t.water[row.Item] {
+			t.water[row.Item] = row.End
+		}
+		off += nl + 1
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("retain: open tier: %w", err)
+	}
+	if err := f.Truncate(int64(off)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("retain: truncate tier: %w", err)
+	}
+	if _, err := f.Seek(int64(off), io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	t.f = f
+	t.size = int64(off)
+	return t, nil
+}
+
+// validLineFollows reports whether rest contains at least one complete,
+// parseable row — which would make the preceding damage mid-file
+// corruption rather than a torn tail.
+func validLineFollows(rest []byte) bool {
+	for len(rest) > 0 {
+		nl := bytes.IndexByte(rest, '\n')
+		if nl < 0 {
+			return false
+		}
+		var row Row
+		if err := json.Unmarshal(rest[:nl], &row); err == nil {
+			return true
+		}
+		rest = rest[nl+1:]
+	}
+	return false
+}
+
+// Spill appends rows to the tier and fsyncs them. Rows at or below an
+// item's watermark were already spilled by a previous pass and are
+// skipped, so replay-driven re-prunes are idempotent. The caller must not
+// drop the resident rows until Spill returns nil.
+func (t *Tier) Spill(rows []Row) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.f == nil {
+		return errors.New("retain: tier closed")
+	}
+	var buf bytes.Buffer
+	appended := 0
+	for _, row := range rows {
+		if row.End <= t.water[row.Item] {
+			continue
+		}
+		line, err := json.Marshal(row)
+		if err != nil {
+			return fmt.Errorf("retain: encode row: %w", err)
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+		appended++
+	}
+	if appended == 0 {
+		return nil
+	}
+	if _, err := t.f.Write(buf.Bytes()); err != nil {
+		return fmt.Errorf("retain: spill: %w", err)
+	}
+	if err := t.f.Sync(); err != nil {
+		return fmt.Errorf("retain: spill sync: %w", err)
+	}
+	t.size += int64(buf.Len())
+	t.rows += int64(appended)
+	for _, row := range rows {
+		if row.End > t.water[row.Item] {
+			t.water[row.Item] = row.End
+		}
+	}
+	return nil
+}
+
+// AsOf returns the spilled value item held at time ts, scanning the tier
+// file. Intervals are disjoint per item, so at most one row matches; ok
+// is false when the tier holds no interval containing ts.
+func (t *Tier) AsOf(item string, ts int64) (json.RawMessage, bool, error) {
+	t.mu.Lock()
+	durable := t.size
+	path := t.path
+	t.mu.Unlock()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, false, nil
+		}
+		return nil, false, fmt.Errorf("retain: read tier: %w", err)
+	}
+	if int64(len(data)) > durable {
+		data = data[:durable]
+	}
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			break
+		}
+		var row Row
+		if err := json.Unmarshal(data[:nl], &row); err != nil {
+			break
+		}
+		if row.Item == item && row.Start <= ts && ts < row.End {
+			return row.V, true, nil
+		}
+		data = data[nl+1:]
+	}
+	return nil, false, nil
+}
+
+// Stats reports the tier's row count and file size.
+func (t *Tier) Stats() (rows, size int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.rows, t.size
+}
+
+// Close closes the tier file.
+func (t *Tier) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.f == nil {
+		return nil
+	}
+	err := t.f.Close()
+	t.f = nil
+	return err
+}

@@ -1,0 +1,135 @@
+package retain
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func row(item string, v int, start, end int64) Row {
+	return Row{Item: item, V: json.RawMessage(fmt.Sprintf("%d", v)), Start: start, End: end}
+}
+
+func TestTierSpillAsOfRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "history.cold")
+	tr, err := OpenTier(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if err := tr.Spill([]Row{row("a", 1, 0, 10), row("a", 2, 10, 20), row("b", 7, 5, 15)}); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := tr.AsOf("a", 12)
+	if err != nil || !ok || string(v) != "2" {
+		t.Fatalf("AsOf(a,12) = %s,%t,%v", v, ok, err)
+	}
+	if _, ok, _ := tr.AsOf("a", 25); ok {
+		t.Fatal("AsOf past the spilled intervals matched")
+	}
+	if _, ok, _ := tr.AsOf("c", 5); ok {
+		t.Fatal("AsOf on an unknown item matched")
+	}
+	// End is exclusive.
+	v, ok, _ = tr.AsOf("a", 10)
+	if !ok || string(v) != "2" {
+		t.Fatalf("AsOf(a,10) = %s,%t; [10,20) should win", v, ok)
+	}
+}
+
+// TestTierWatermarkIdempotent re-spills the same rows (the state a crash
+// between a spill and its covering snapshot reproduces); the watermark
+// must drop them so the tier holds no duplicates.
+func TestTierWatermarkIdempotent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "history.cold")
+	tr, err := OpenTier(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := []Row{row("a", 1, 0, 10), row("b", 2, 0, 5)}
+	if err := tr.Spill(batch); err != nil {
+		t.Fatal(err)
+	}
+	rows1, size1 := tr.Stats()
+	if err := tr.Spill(batch); err != nil {
+		t.Fatal(err)
+	}
+	if rows2, size2 := tr.Stats(); rows2 != rows1 || size2 != size1 {
+		t.Fatalf("re-spill grew the tier: %d/%d -> %d/%d", rows1, size1, rows2, size2)
+	}
+	tr.Close()
+	// The watermark survives a reopen.
+	tr2, err := OpenTier(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr2.Close()
+	if err := tr2.Spill(batch); err != nil {
+		t.Fatal(err)
+	}
+	if rows3, _ := tr2.Stats(); rows3 != rows1 {
+		t.Fatalf("re-spill after reopen grew the tier to %d rows", rows3)
+	}
+}
+
+// TestTierTornTailEveryByte truncates the tier file at every byte; every
+// prefix must open, keep the complete rows, and spill new ones cleanly.
+func TestTierTornTailEveryByte(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "history.cold")
+	tr, err := OpenTier(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Spill([]Row{row("a", 1, 0, 10), row("a", 2, 10, 20), row("b", 3, 0, 30)}); err != nil {
+		t.Fatal(err)
+	}
+	tr.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut <= len(data); cut++ {
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		tr2, err := OpenTier(path)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		rows, size := tr2.Stats()
+		if size > int64(cut) {
+			t.Fatalf("cut %d: claims %d valid bytes", cut, size)
+		}
+		_ = rows
+		tr2.Close()
+	}
+}
+
+// TestTierMidFileCorruptionRefused flips a byte in the first row with
+// intact rows after it; that is not a torn tail and must be refused.
+func TestTierMidFileCorruptionRefused(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "history.cold")
+	tr, err := OpenTier(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Spill([]Row{row("a", 1, 0, 10), row("a", 2, 10, 20)}); err != nil {
+		t.Fatal(err)
+	}
+	tr.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[0] = 'X' // break the first row's JSON structure
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenTier(path); err == nil {
+		t.Fatal("mid-file corruption opened cleanly")
+	}
+}

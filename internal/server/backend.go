@@ -240,6 +240,37 @@ func (b *EngineBackend) Rules() ([]wire.RuleJSON, error) { return EngineRules(b.
 
 func (b *EngineBackend) Health() ([]wire.HealthJSON, string, error) { return EngineHealth(b.eng) }
 
+// Storage implements StorageBackend: the stats read runs at the
+// serialization point (the persist layer is not synchronized against a
+// concurrent append).
+func (b *EngineBackend) Storage() (wire.StorageJSON, error) {
+	var st adb.StorageStats
+	var err error
+	b.Do(func() { st, err = b.eng.Storage() })
+	if err != nil {
+		return wire.StorageJSON{}, err
+	}
+	return StorageWire(st), nil
+}
+
+// StorageWire renders engine storage stats in wire form; shared by the
+// backend, the replication node and the cluster router.
+func StorageWire(st adb.StorageStats) wire.StorageJSON {
+	return wire.StorageJSON{
+		Segments:      st.Segments,
+		WalBytes:      st.WALBytes,
+		Snapshots:     st.Snapshots,
+		SnapshotBytes: st.SnapshotBytes,
+		HeadLsn:       st.HeadLSN,
+		LastLsn:       st.LastLSN,
+		HistoryWindow: st.HistoryWindow,
+		HistoryFloor:  st.HistoryFloor,
+		SpillHistory:  st.SpillHistory,
+		TierRows:      st.TierRows,
+		TierBytes:     st.TierBytes,
+	}
+}
+
 // EngineRules renders an engine's registered rules in wire form; shared
 // by EngineBackend and the replication follower node, which serves the
 // same queries from a replayed engine.

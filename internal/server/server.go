@@ -66,6 +66,21 @@ type WALBatch struct {
 	Data        []byte
 	First, Last int64
 	Epoch       int64
+	// Snap marks a snapshot-bootstrap chunk: Data is a slice of raw
+	// snapshot bytes covering LSN First (sent when the follower's resume
+	// position fell behind the retained WAL head), and More reports that
+	// further chunks of the same snapshot follow. The ordinary wal stream
+	// resumes after the final chunk.
+	Snap bool
+	More bool
+}
+
+// StorageBackend is the optional backend capability behind the "storage"
+// query: backends that own durable storage report their footprint (WAL
+// segments, snapshot chain, retained-history window, cold tier). Memory
+// backends simply do not implement it.
+type StorageBackend interface {
+	Storage() (wire.StorageJSON, error)
 }
 
 // WALSource is the replication feed a primary server exposes (see
@@ -478,6 +493,10 @@ func (s *Server) handleReplicate(sess *session, m *wire.Msg) {
 	cancel, err := s.cfg.WALSource.FollowWAL(m.Lsn, m.Epoch,
 		func() { sess.enqueue(&wire.Msg{T: wire.TypeOK, ID: id}) },
 		func(b WALBatch) {
+			if b.Snap {
+				sess.pushWAL(&wire.Msg{T: wire.TypeSnap, Lsn: b.First, Epoch: b.Epoch, Wal: b.Data, More: b.More})
+				return
+			}
 			sess.pushWAL(&wire.Msg{T: wire.TypeWal, Lsn: b.First, Epoch: b.Epoch, Wal: b.Data})
 		})
 	if err != nil {
@@ -621,6 +640,21 @@ func (s *Server) handleQuery(sess *session, m *wire.Msg) {
 		} else {
 			out.Role = "standalone"
 		}
+	case "storage":
+		sb, ok := s.be.(StorageBackend)
+		if !ok {
+			sess.enqueue(&wire.Msg{
+				T: wire.TypeError, ID: m.ID, Code: wire.CodeBadRequest,
+				Err: "storage stats not supported by this backend",
+			})
+			return
+		}
+		st, err := sb.Storage()
+		if err != nil {
+			internal(err)
+			return
+		}
+		out.Storage = &st
 	default:
 		sess.enqueue(&wire.Msg{
 			T: wire.TypeError, ID: m.ID, Code: wire.CodeBadRequest,

@@ -242,7 +242,7 @@ func (s *session) writeLoop() {
 		}
 		m := s.queue[0]
 		s.queue = s.queue[1:]
-		if m.T == wire.TypeWal {
+		if m.T == wire.TypeWal || m.T == wire.TypeSnap {
 			s.nwal--
 		}
 		if m.T == wire.TypeFiring {

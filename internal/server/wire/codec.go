@@ -185,6 +185,7 @@ var typeCodes = map[string]byte{
 	TypeBye:       13,
 	TypeReplicate: 14,
 	TypeWal:       15,
+	TypeSnap:      16,
 }
 
 var typeNames = func() map[byte]string {
@@ -228,6 +229,8 @@ const (
 	binWal
 	binRole
 	binLeader
+	binMore
+	binStorage
 )
 
 func appendString(b []byte, s string) []byte {
@@ -437,6 +440,28 @@ func appendBinaryMsg(b []byte, m *Msg) []byte {
 	if m.Leader != "" {
 		b = append(b, binLeader)
 		b = appendString(b, m.Leader)
+	}
+	if m.More {
+		b = append(b, binMore, 1)
+	}
+	if m.Storage != nil {
+		s := m.Storage
+		b = append(b, binStorage)
+		b = binary.AppendVarint(b, int64(s.Segments))
+		b = binary.AppendVarint(b, s.WalBytes)
+		b = binary.AppendVarint(b, int64(s.Snapshots))
+		b = binary.AppendVarint(b, s.SnapshotBytes)
+		b = binary.AppendVarint(b, s.HeadLsn)
+		b = binary.AppendVarint(b, s.LastLsn)
+		b = binary.AppendVarint(b, s.HistoryWindow)
+		b = binary.AppendVarint(b, s.HistoryFloor)
+		if s.SpillHistory {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+		b = binary.AppendVarint(b, s.TierRows)
+		b = binary.AppendVarint(b, s.TierBytes)
 	}
 	return b
 }
@@ -728,6 +753,22 @@ func decodeBinaryMsg(payload []byte) (*Msg, error) {
 			m.Role = r.str()
 		case binLeader:
 			m.Leader = r.str()
+		case binMore:
+			m.More = r.bool()
+		case binStorage:
+			s := &StorageJSON{}
+			s.Segments = int(r.varint())
+			s.WalBytes = r.varint()
+			s.Snapshots = int(r.varint())
+			s.SnapshotBytes = r.varint()
+			s.HeadLsn = r.varint()
+			s.LastLsn = r.varint()
+			s.HistoryWindow = r.varint()
+			s.HistoryFloor = r.varint()
+			s.SpillHistory = r.bool()
+			s.TierRows = r.varint()
+			s.TierBytes = r.varint()
+			m.Storage = s
 		default:
 			r.fail("unknown field tag %d", tag)
 		}

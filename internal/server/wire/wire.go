@@ -37,6 +37,7 @@ import (
 	"ptlactive/internal/adb"
 	"ptlactive/internal/core"
 	"ptlactive/internal/histio"
+	"ptlactive/internal/persist"
 )
 
 // Protocol identity. Version bumps whenever a frame's meaning changes
@@ -74,6 +75,12 @@ const (
 	// primary's epoch.
 	TypeReplicate = "replicate"
 	TypeWal       = "wal"
+	// TypeSnap is a snapshot-bootstrap chunk pushed to a follower whose
+	// resume position fell behind the primary's retained WAL head: Wal
+	// carries raw snapshot bytes, Lsn the LSN the snapshot covers, More
+	// whether further chunks follow. After the final chunk the ordinary
+	// wal stream resumes from Lsn+1.
+	TypeSnap = "snap"
 )
 
 // Error codes carried by error frames; CodeFor and RemoteError.Unwrap are
@@ -92,7 +99,11 @@ const (
 	CodeBusy        = "busy"
 	CodeCrossShard  = "cross_shard"
 	CodeNotPrimary  = "not_primary"
-	CodeError       = "error"
+	// CodeWalTruncated reports a replicate request whose resume position
+	// predates the primary's retained WAL head and which could not be
+	// served a snapshot bootstrap either.
+	CodeWalTruncated = "wal_truncated"
+	CodeError        = "error"
 )
 
 // Sentinel errors of the network layer; match with errors.Is. They are
@@ -119,6 +130,11 @@ var (
 	// serves reads and firing subscriptions but refuses mutations. The
 	// concrete error is usually a *NotPrimaryError carrying a primary hint.
 	ErrNotPrimary = errors.New("server: node is not the primary")
+	// ErrWalTruncated is the client-side sentinel for CodeWalTruncated:
+	// the requested WAL position was garbage-collected behind a snapshot
+	// and no snapshot bootstrap could stand in. On the server side the
+	// condition is persist.ErrTruncatedHead.
+	ErrWalTruncated = errors.New("server: wal position truncated behind a snapshot")
 )
 
 // NotPrimaryError is the typed form of ErrNotPrimary: a follower refusing
@@ -165,6 +181,8 @@ func CodeFor(err error) string {
 		return CodeCrossShard
 	case errors.Is(err, ErrNotPrimary):
 		return CodeNotPrimary
+	case errors.Is(err, persist.ErrTruncatedHead), errors.Is(err, ErrWalTruncated):
+		return CodeWalTruncated
 	default:
 		return CodeError
 	}
@@ -210,6 +228,8 @@ func (e *RemoteError) Unwrap() error {
 		return ErrCrossShard
 	case CodeNotPrimary:
 		return ErrNotPrimary
+	case CodeWalTruncated:
+		return ErrWalTruncated
 	default:
 		return nil
 	}
@@ -268,6 +288,24 @@ type HealthJSON struct {
 	Total       int    `json:"total,omitempty"`
 	LastError   string `json:"last_error,omitempty"`
 	LastAt      int64  `json:"last_at,omitempty"`
+}
+
+// StorageJSON answers the "storage" query: the node's storage footprint
+// (WAL segments, snapshot chain, retained-history window and cold tier).
+// A cluster router sums the per-shard counters and reports the widest
+// window fields.
+type StorageJSON struct {
+	Segments      int   `json:"segments"`
+	WalBytes      int64 `json:"wal_bytes"`
+	Snapshots     int   `json:"snapshots"`
+	SnapshotBytes int64 `json:"snapshot_bytes"`
+	HeadLsn       int64 `json:"head_lsn"`
+	LastLsn       int64 `json:"last_lsn"`
+	HistoryWindow int64 `json:"history_window,omitempty"`
+	HistoryFloor  int64 `json:"history_floor,omitempty"`
+	SpillHistory  bool  `json:"spill_history,omitempty"`
+	TierRows      int64 `json:"tier_rows,omitempty"`
+	TierBytes     int64 `json:"tier_bytes,omitempty"`
 }
 
 // RuleJSON describes one registered rule in wire form.
@@ -354,6 +392,11 @@ type Msg struct {
 	Wal    []byte `json:"wal,omitempty"`
 	Role   string `json:"role,omitempty"`
 	Leader string `json:"leader,omitempty"`
+	// More marks a chunked push (snap frames) whose payload continues in
+	// the next frame of the same type. Storage answers the "storage"
+	// query.
+	More    bool         `json:"more,omitempty"`
+	Storage *StorageJSON `json:"storage,omitempty"`
 }
 
 // WriteFrame encodes m and writes one length-prefixed frame.

@@ -14,6 +14,7 @@ import (
 
 	"ptlactive/internal/event"
 	"ptlactive/internal/history"
+	"ptlactive/internal/retain"
 	"ptlactive/internal/value"
 )
 
@@ -73,6 +74,7 @@ type Store struct {
 	order  []int64 // txn ids in begin order
 	now    int64   // latest transaction-time instant seen
 	delta  int64   // maximum delay; updates must satisfy valid >= post-delta
+	floor  int64   // oldest instant materializing views answer (TruncateBefore)
 }
 
 // NewStore creates a store over an initial database state. delta is the
@@ -80,7 +82,7 @@ type Store struct {
 // within delta of the time it is posted. A negative delta disables the
 // check (no definite values ever).
 func NewStore(initial history.DBState, start, delta int64) *Store {
-	s := &Store{base: initial, txns: map[int64]*txnRec{}, now: start, delta: delta}
+	s := &Store{base: initial, txns: map[int64]*txnRec{}, now: start, delta: delta, floor: start}
 	s.states = append(s.states, vstate{ts: start})
 	return s
 }
@@ -386,4 +388,107 @@ func (s *Store) CollapsedStore() *Store {
 // histories legitimately change the database between commits).
 func appendLoose(h *history.History, st history.SystemState) {
 	h.AppendUnchecked(st)
+}
+
+// Floor returns the oldest instant the materializing views still answer:
+// the store's start, or the cut of the latest TruncateBefore.
+func (s *Store) Floor() int64 { return s.floor }
+
+// CommittedAtChecked is CommittedAt with a typed refusal for prefixes the
+// store has truncated away: t below the floor wraps
+// retain.ErrHistoryTruncated instead of silently materializing a history
+// whose early states were folded into the base.
+func (s *Store) CommittedAtChecked(t int64) (*history.History, error) {
+	if t < s.floor {
+		return nil, fmt.Errorf("vtime: committed history at %d unavailable (floor is %d): %w",
+			t, s.floor, retain.ErrHistoryTruncated)
+	}
+	return s.CommittedAt(t), nil
+}
+
+// TruncateBefore folds the valid-time states older than t into the base
+// database state and discards them, bounding the store's resident history
+// the way the engine's retention policy bounds aux relations. It requires
+// a complete history (every transaction resolved): a pending transaction
+// could still commit or abort updates sitting in the fold region.
+//
+// The effective cut can be earlier than t: a committed transaction whose
+// commit time is at or after the cut may hold retroactive updates below
+// it, and folding those would bake them into views at times before the
+// commit. The cut retreats below every such update (the maximum-delay
+// bound keeps this retreat at most delta), so every materializing view at
+// or after the returned cut is unchanged by the truncation. The cut never
+// retreats below the current floor.
+//
+// The fold preserves the committed-history views (CommittedAt and the
+// monitors built on them). The collapse procedures (Collapsed,
+// CollapsedStore) re-order the folded prefix by commit time, which the
+// base cannot represent; run them before truncating if the whole-history
+// transaction-time view is needed.
+func (s *Store) TruncateBefore(t int64) (int64, error) {
+	if !s.Complete() {
+		return s.floor, fmt.Errorf("vtime: truncate of an incomplete history (pending transactions)")
+	}
+	cut := t
+	for {
+		prev := cut
+		for _, rec := range s.txns {
+			if rec.status != Committed || rec.commit < cut {
+				continue
+			}
+			for _, u := range rec.updates {
+				if u.Valid < cut {
+					cut = u.Valid
+				}
+			}
+		}
+		if cut == prev {
+			break
+		}
+	}
+	if cut < s.floor {
+		cut = s.floor
+	}
+	// Fold: apply the committed updates of each dropped state to the base
+	// in state order, batched per state exactly as CommittedAt batches
+	// them, so the remaining suffix materializes identically. Always keep
+	// at least one state so the views stay non-empty.
+	kept := 0
+	for kept < len(s.states)-1 && s.states[kept].ts < cut {
+		st := s.states[kept]
+		var changed map[string]value.Value
+		for _, u := range st.updates {
+			if rec := s.txns[u.Txn]; rec != nil && rec.status == Committed {
+				if changed == nil {
+					changed = map[string]value.Value{}
+				}
+				changed[u.Item] = u.V
+			}
+		}
+		s.base = s.base.WithAll(changed)
+		kept++
+	}
+	if kept == 0 {
+		return cut, nil
+	}
+	s.states = append([]vstate(nil), s.states[kept:]...)
+	// Transactions that committed below the cut have every update below it
+	// (valid <= commit) and are fully folded; drop their records so the
+	// collapse procedures do not re-apply them.
+	liveOrder := s.order[:0]
+	for _, id := range s.order {
+		rec := s.txns[id]
+		dead := rec.status == Aborted ||
+			(rec.status == Committed && rec.commit < cut)
+		if dead {
+			delete(s.txns, id)
+			continue
+		}
+		liveOrder = append(liveOrder, id)
+	}
+	s.order = liveOrder
+	if cut > s.floor {
+		s.floor = cut
+	}
+	return cut, nil
 }

@@ -48,6 +48,7 @@ import (
 	"ptlactive/internal/histio"
 	"ptlactive/internal/history"
 	"ptlactive/internal/naive"
+	"ptlactive/internal/persist"
 	"ptlactive/internal/ptl"
 	"ptlactive/internal/query"
 	"ptlactive/internal/relation"
@@ -305,6 +306,30 @@ type RecoveryInfo = adb.RecoveryInfo
 // yields a new engine whose operations are logged from the start.
 func Restore(cfg Config, dir string) (*Engine, error) { return adb.Restore(cfg, dir) }
 
+// Retention is the storage-lifecycle policy of a durable engine: WAL
+// segment rotation, snapshot-chain length, and the tiered retention of
+// temporal history (Config.Retention). The zero value retains everything.
+type Retention = adb.Retention
+
+// StorageStats is an engine's storage footprint (Engine.Storage): WAL
+// segments and snapshot chain plus the history tiers.
+type StorageStats = adb.StorageStats
+
+// Storage-lifecycle sentinels; match with errors.Is.
+var (
+	// ErrHistoryTruncated reports a point-in-time read older than the
+	// retained history window of an engine that drops (rather than
+	// spills) old history; errors.As for *HistoryTruncatedError.
+	ErrHistoryTruncated = adb.ErrHistoryTruncated
+	// ErrTruncatedHead reports a WAL read below the retained head — the
+	// segments covering it were garbage-collected behind a snapshot.
+	ErrTruncatedHead = persist.ErrTruncatedHead
+)
+
+// HistoryTruncatedError carries the requested timestamp and the oldest
+// retained one.
+type HistoryTruncatedError = adb.HistoryTruncatedError
+
 // ---- Temporal aggregates by rule rewriting (Section 6.1.1) ----
 
 // RewriteAggregates registers a trigger whose condition's aggregates are
@@ -431,6 +456,10 @@ var (
 	// ErrNotPrimary reports a write sent to a replica that is not the
 	// primary; errors.As for *NotPrimaryError to get the redirect hint.
 	ErrNotPrimary = wire.ErrNotPrimary
+	// ErrWalTruncated reports a replication resume position that fell
+	// behind the primary's retained WAL head and could not be snapshot-
+	// bootstrapped.
+	ErrWalTruncated = wire.ErrWalTruncated
 )
 
 // RemoteError is the client-side form of a server error frame; its Unwrap

@@ -77,7 +77,11 @@ while [ "$(role_field "$faddr" lsn)" != "$plsn" ]; do
     fi
     sleep 0.1
 done
-cmp "$tmp/pdata/wal.log" "$tmp/fdata/wal.log" || {
+# The WAL is segmented; compare the concatenation in ordinal order
+# (neither side runs retention here, so both hold the full log).
+cat "$tmp/pdata"/wal.0* > "$tmp/pwal"
+cat "$tmp/fdata"/wal.0* > "$tmp/fwal"
+cmp "$tmp/pwal" "$tmp/fwal" || {
     echo "replica-smoke: follower wal differs from primary wal" >&2
     exit 1
 }
